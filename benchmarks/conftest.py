@@ -1,0 +1,54 @@
+"""Shared fixtures and the row-reporting helper for the bench harness.
+
+Every bench regenerates one paper artifact (figure) or quantitative claim
+and *prints the rows/series the paper reports* — via :func:`report`, which
+writes through pytest's capture to the terminal and mirrors everything
+into ``benchmarks/artifacts/`` for inspection.
+"""
+
+from __future__ import annotations
+
+import pathlib
+import sys
+
+import pytest
+
+from repro.core.casestudies import run_leak_case_study, run_switch_case_study
+
+ARTIFACT_DIR = pathlib.Path(__file__).parent / "artifacts"
+
+
+#: Artifacts written during this session, replayed in the terminal summary.
+_SESSION_REPORTS: list[str] = []
+
+
+def report(name: str, text: str) -> None:
+    """Emit a bench's paper-comparison rows to the terminal + artifact file."""
+    ARTIFACT_DIR.mkdir(exist_ok=True)
+    banner = f"\n===== {name} =====\n{text}\n"
+    _SESSION_REPORTS.append(banner)
+    sys.__stdout__.write(banner)
+    sys.__stdout__.flush()
+    (ARTIFACT_DIR / f"{name}.txt").write_text(text + "\n")
+
+
+def pytest_terminal_summary(terminalreporter):
+    """Replay every bench's paper-comparison rows after the timing table
+    (pytest's fd capture swallows the live writes)."""
+    if not _SESSION_REPORTS:
+        return
+    terminalreporter.section("paper artifact reproduction")
+    for banner in _SESSION_REPORTS:
+        terminalreporter.write(banner)
+
+
+@pytest.fixture(scope="session")
+def leak_case():
+    """The §IV.A leak scenario, run once for all F2-F6 benches."""
+    return run_leak_case_study()
+
+
+@pytest.fixture(scope="session")
+def switch_case():
+    """The §IV.B switch scenario, run once for all F7-F9 benches."""
+    return run_switch_case_study()

@@ -1,0 +1,78 @@
+"""A1 — ablation: chunk target size / flush policy (DESIGN.md §5).
+
+"Loki prefers handling bigger but fewer chunks" (paper §IV.A). Sweeps
+the chunk target size for a fixed corpus and measures chunk count,
+compression ratio and range-query latency.
+
+Expected shape: larger targets → fewer chunks and better compression
+(bigger zlib windows), with flat-to-better query latency; tiny chunks
+pay per-chunk overhead everywhere.
+"""
+
+import time
+
+from repro.common.labels import LabelSet, label_matcher
+from repro.common.xname import XName
+from repro.loki.chunks import ChunkPolicy
+from repro.loki.model import LogEntry
+from repro.loki.store import LokiStore
+from repro.workloads.loggen import SyslogGenerator
+
+from conftest import report
+
+N_LOGS = 20_000
+NODES = [XName.parse(f"x1c0s{s}b0n{n}") for s in range(8) for n in range(2)]
+
+
+def _corpus():
+    logs = SyslogGenerator(NODES, seed=3).generate(N_LOGS, 0, 1_000_000)
+    streams: dict[LabelSet, list[LogEntry]] = {}
+    for g in logs:
+        streams.setdefault(LabelSet(g.labels), []).append(
+            LogEntry(g.timestamp_ns, g.line)
+        )
+    return streams
+
+
+def _ingest(streams, target_bytes):
+    store = LokiStore(ChunkPolicy(target_size_bytes=target_bytes))
+    for labels, entries in streams.items():
+        store.push_stream(labels, entries)
+    store.flush_all()
+    return store
+
+
+def test_a1_chunk_target_size_sweep(benchmark):
+    streams = _corpus()
+    benchmark.pedantic(lambda: _ingest(streams, 256 * 1024), rounds=1, iterations=1)
+
+    rows = [
+        f"{'target':>9} {'chunks':>7} {'stored_B':>10} {'compress':>9} "
+        f"{'scan_query_ms':>14}"
+    ]
+    measured = []
+    for target in (256, 4 * 1024, 64 * 1024, 1024 * 1024):
+        store = _ingest(streams, target)
+        t0 = time.perf_counter()
+        results = store.select(
+            [label_matcher("cluster", "=", "perlmutter")], 0, N_LOGS * 1_000_000 + 1
+        )
+        q_ms = (time.perf_counter() - t0) * 1e3
+        got = sum(len(e) for _, e in results)
+        assert got == N_LOGS
+        measured.append((target, store.chunk_count(), store.compression_ratio()))
+        rows.append(
+            f"{target:>9} {store.chunk_count():>7} {store.stored_bytes():>10,} "
+            f"{store.compression_ratio():>8.1f}x {q_ms:>14.1f}"
+        )
+
+    # Shape: chunk count falls and compression improves with target size.
+    chunk_counts = [c for _, c, _ in measured]
+    ratios = [r for _, _, r in measured]
+    assert chunk_counts == sorted(chunk_counts, reverse=True)
+    assert ratios[-1] > ratios[0]
+    rows.append(
+        "\npaper §IV.A: 'Loki prefers handling bigger but fewer chunks' — "
+        "larger targets cut chunk count and improve compression."
+    )
+    report("A1_chunk_policy", "\n".join(rows))

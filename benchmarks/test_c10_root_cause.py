@@ -1,0 +1,59 @@
+"""C10 (extension) — automated root-cause analysis on a cascade.
+
+Paper §I claims "real-time automated root cause analysis enabled via the
+seamless analysis of logs"; §IV.B supplies the canonical cascade: "If
+one switch goes offline, the connection of the group of eight compute
+nodes goes down."  This bench stages exactly that — a Rosetta switch
+fails and takes its eight nodes with it — and measures how the
+correlation engine compresses the resulting alert pile into one root.
+"""
+
+from repro.common.simclock import minutes
+from repro.cluster.faults import FaultKind
+from repro.cluster.topology import ClusterSpec
+from repro.core.framework import FrameworkConfig, MonitoringFramework
+
+from conftest import report
+
+
+def _run_cascade():
+    fw = MonitoringFramework(
+        FrameworkConfig(cluster_spec=ClusterSpec(cabinets=1, chassis_per_cabinet=2))
+    )
+    fw.start()
+    sw_x = sorted(fw.cluster.switches)[0]
+    switch = fw.cluster.switches[sw_x]
+    # The cascade: switch goes UNKNOWN; its eight nodes drop moments later.
+    fw.faults.schedule(FaultKind.SWITCH_UNKNOWN, sw_x, delay_ns=minutes(1))
+    for node in switch.nodes:
+        fw.faults.schedule(FaultKind.NODE_DOWN, node, delay_ns=minutes(1) + 1)
+    # Observe at t+4m: every alert of the cascade is firing (the
+    # edge-triggered switch event ages out of its 5m rule window later).
+    fw.run_for(minutes(4))
+    return fw, sw_x
+
+
+def test_c10_cascade_root_cause(benchmark):
+    fw, sw_x = benchmark.pedantic(_run_cascade, rounds=1, iterations=1)
+    rca = fw.root_cause_report()
+
+    assert rca.alert_count >= 9  # 1 switch + 8 nodes
+    switch_groups = [
+        g for g in rca.groups if g.root.name == "SwitchOffline"
+    ]
+    assert switch_groups, "the switch alert must be identified as a root"
+    group = switch_groups[0]
+    assert len(group.consequences) == 8  # every served node attributed
+    assert group.rule == "switch fan-out"
+    assert rca.compression_factor() >= 4.0
+
+    report(
+        "C10_root_cause_analysis",
+        f"active alerts:        {rca.alert_count}\n"
+        f"probable root causes: {rca.root_count}\n"
+        f"triage compression:   {rca.compression_factor():.1f}x\n\n"
+        + rca.render()
+        + "\n\npaper §IV.B: one offline switch takes eight nodes down — the "
+        "correlation engine hands the operator one root instead of nine "
+        "pages.",
+    )

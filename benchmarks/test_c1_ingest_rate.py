@@ -1,0 +1,79 @@
+"""C1 — "OMNI is able to ingest at a rate of up to 400,000 messages per
+second" (paper §III.C).
+
+Measures real wall-clock ingest throughput of the warehouse for logs
+(Loki path) and metrics (VictoriaMetrics path), over batch sizes.  We do
+not expect to match the absolute production number (their OMNI is a
+multi-node Elasticsearch/VM cluster; ours is one Python process) — the
+bench establishes our simulator's envelope and that batch ingest scales
+linearly.
+"""
+
+import time
+
+from repro.common.labels import LabelSet
+from repro.common.simclock import SimClock
+from repro.loki.model import LogEntry
+from repro.omni.warehouse import OmniWarehouse
+from repro.workloads.loggen import SyslogGenerator
+from repro.common.xname import XName
+
+from conftest import report
+
+NODES = [XName.parse(f"x1c0s{s}b0n{n}") for s in range(8) for n in range(2)]
+
+
+def _prepare_logs(count):
+    gen = SyslogGenerator(NODES, seed=0)
+    logs = gen.generate(count, 0, 1000)
+    by_stream = {}
+    for g in logs:
+        by_stream.setdefault(LabelSet(g.labels), []).append(
+            LogEntry(g.timestamp_ns, g.line)
+        )
+    return by_stream
+
+
+def test_c1_log_ingest_throughput(benchmark):
+    by_stream = _prepare_logs(20_000)
+
+    def ingest():
+        w = OmniWarehouse(SimClock())
+        for labels, entries in by_stream.items():
+            w.loki.push_stream(labels, entries)
+        return w
+
+    w = benchmark.pedantic(ingest, rounds=3, iterations=1)
+    assert w.loki.stats.entries_ingested == 20_000
+
+    # Throughput sweep for the report.
+    rows = ["batch_entries   entries_per_sec"]
+    for count in (1_000, 10_000, 50_000):
+        streams = _prepare_logs(count)
+        w = OmniWarehouse(SimClock())
+        t0 = time.perf_counter()
+        for labels, entries in streams.items():
+            w.loki.push_stream(labels, entries)
+        dt = time.perf_counter() - t0
+        rows.append(f"{count:>12}   {count / dt:>15,.0f}")
+    rows.append(
+        "\npaper claim: up to 400,000 msg/s on the production OMNI cluster"
+        "\n(single-process Python simulator; shape to check: linear scaling "
+        "with batch size, 1e4-1e6 msg/s envelope)"
+    )
+    report("C1_ingest_rate_logs", "\n".join(rows))
+
+
+def test_c1_metric_ingest_throughput(benchmark):
+    def ingest():
+        w = OmniWarehouse(SimClock())
+        ts = 0
+        for i in range(20_000):
+            w.ingest_metric(
+                "node_temp_celsius", {"xname": str(NODES[i % len(NODES)])},
+                35.0, ts + i,
+            )
+        return w
+
+    w = benchmark.pedantic(ingest, rounds=3, iterations=1)
+    assert w.tsdb.sample_count() == 20_000

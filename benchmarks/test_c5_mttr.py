@@ -1,0 +1,52 @@
+"""C5 — "reducing Mean Time to Repair (MTTR)" (paper §I) /
+"we minimize downtime by being able to mitigate the leak problem
+quicker" (paper §IV.A).
+
+The quantitative counterfactual: the automated pipeline's fault→alert
+latency versus the manual model the paper describes (a person scanning
+uncoloured event lines).  Sweeps the human scan interval; also reports
+the rule `for`-duration ablation (DESIGN.md §5).
+
+Expected shape: automated detection is minutes and constant; manual
+detection scales with the scan interval, giving a 10-100x improvement.
+"""
+
+from repro.common.simclock import NANOS_PER_SECOND, minutes
+from repro.baselines.manual import ManualMonitoringModel
+from repro.core.mttr import run_mttr_study
+
+from conftest import report
+
+
+def test_c5_mttr_automated_vs_manual(benchmark):
+    result = benchmark.pedantic(
+        lambda: run_mttr_study(fault_count=3, seed=0), rounds=1, iterations=1
+    )
+    assert result.improvement_factor > 5.0
+
+    rows = [
+        f"{'scan_interval':>14} {'manual_detect_s':>16} {'auto_detect_s':>14} "
+        f"{'improvement':>12}"
+    ]
+    auto_s = result.automated_mean_detect_ns / NANOS_PER_SECOND
+    for scan_minutes in (10, 30, 60, 120):
+        model = ManualMonitoringModel(
+            scan_interval_ns=minutes(scan_minutes), seed=1
+        )
+        manual_s = model.mean_detection_latency_ns(50.0, trials=300) / NANOS_PER_SECOND
+        rows.append(
+            f"{scan_minutes:>12}m {manual_s:>16,.0f} {auto_s:>14,.0f} "
+            f"{manual_s / auto_s:>11.1f}x"
+        )
+    rows.append(
+        f"\nautomated MTTR (detect + repair): "
+        f"{result.automated_mttr_ns / NANOS_PER_SECOND:,.0f}s vs manual "
+        f"{result.manual_mttr_ns / NANOS_PER_SECOND:,.0f}s "
+        f"({result.improvement_factor:.0f}x faster detection)"
+    )
+    rows.append(
+        "paper claim: the framework reduces MTTR via proactive alerting — "
+        "automated detection is bounded by poll + rule-for + group_wait "
+        "(~90s here) while manual detection scales with the scan interval."
+    )
+    report("C5_mttr", "\n".join(rows))

@@ -1,0 +1,99 @@
+"""C9 (extension) — proactive ML detection lead time.
+
+The paper invokes "machine learning methods for proactive incident
+response" (§II) without evaluating them.  This bench quantifies the
+mechanism on the reproduction: a node's temperature creeps upward (a
+slow thermal fault); the EWMA anomaly detector should flag the creep
+*before* the classic fixed-threshold rule (``node_temp_celsius > 90``)
+trips — the lead time is the proactive margin.
+
+Expected shape: anomaly alert minutes-to-tens-of-minutes ahead of the
+threshold alert, with zero anomaly alerts on the healthy fleet.
+"""
+
+from repro.common.simclock import minutes, seconds
+from repro.cluster.sensors import SensorId, SensorKind
+from repro.cluster.topology import ClusterSpec
+from repro.core.framework import FrameworkConfig, MonitoringFramework
+from repro.omni.anomaly import CusumDetector, ProactiveMonitor
+
+from conftest import report
+
+
+def _run():
+    fw = MonitoringFramework(
+        FrameworkConfig(
+            cluster_spec=ClusterSpec(cabinets=1, chassis_per_cabinet=1),
+        )
+    )
+    fw.start()
+    # Drift calls for CUSUM, not the spike-oriented EWMA default.
+    proactive = ProactiveMonitor(
+        fw.warehouse.tsdb,
+        fw.clock,
+        fw.alertmanager.receive,
+        detector=CusumDetector(k=2.0, h=15.0, warmup=60, relearn_every=60),
+        window_ns=minutes(180),  # hold the 60-sample baseline + live data
+    )
+    proactive.watch_metric("node_temp_celsius", severity="warning")
+    proactive.run_periodic(seconds(120))
+    victim = sorted(fw.cluster.nodes)[0]
+    sensor = SensorId(victim, SensorKind.TEMPERATURE_C)
+
+    # A creeping thermal fault: +1.2 C per minute starting after the
+    # detector's one-hour baseline warmup.
+    creep_start = fw.clock.now_ns + minutes(70)
+    state = {"offset": 0.0}
+
+    def creep():
+        if fw.clock.now_ns >= creep_start:
+            state["offset"] += 1.2
+            fw.sensors.set_offset(sensor, state["offset"])
+
+    fw.clock.every(minutes(1), creep)
+    fw.run_for(minutes(150))
+
+    def first_ts(substring, xname):
+        hits = [
+            m.timestamp_ns
+            for m in fw.slack.messages
+            if substring in m.text and str(xname) in m.text
+        ]
+        return min(hits) if hits else None
+
+    anomaly_ts = first_ts("AnomalyDetected", victim)
+    threshold_ts = first_ts("NodeHotTemperature", victim)
+    return fw, creep_start, anomaly_ts, threshold_ts
+
+
+def test_c9_proactive_lead_time(benchmark):
+    fw, creep_start, anomaly_ts, threshold_ts = benchmark.pedantic(
+        _run, rounds=1, iterations=1
+    )
+    assert anomaly_ts is not None, "the anomaly detector must catch the creep"
+    assert threshold_ts is not None, "the creep must eventually trip the rule"
+    assert anomaly_ts < threshold_ts
+
+    lead_s = (threshold_ts - anomaly_ts) / 1e9
+    anomaly_after_s = (anomaly_ts - creep_start) / 1e9
+    threshold_after_s = (threshold_ts - creep_start) / 1e9
+    # Healthy siblings stay quiet.
+    victims = {
+        line.split("`")[1]
+        for m in fw.slack.messages
+        if "AnomalyDetected" in m.text
+        for line in m.text.splitlines()
+        if line.startswith("• xname:")
+    }
+    report(
+        "C9_proactive_lead_time",
+        f"thermal creep starts:       t+0s (+1.2 C/min)\n"
+        f"anomaly alert (CUSUM):      t+{anomaly_after_s:,.0f}s\n"
+        f"threshold alert (>90 C):    t+{threshold_after_s:,.0f}s\n"
+        f"proactive lead time:        {lead_s:,.0f}s\n"
+        f"nodes flagged:              {sorted(victims)} "
+        f"({len(victims) - 1} sibling false positive(s) over 2.5h)\n"
+        "paper §II: 'machine learning methods for proactive incident "
+        "response' — the CUSUM drift detector warns while the classic "
+        "threshold rule is still waiting for 90 C.",
+    )

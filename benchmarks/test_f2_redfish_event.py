@@ -1,0 +1,35 @@
+"""F2 — Figure 2: the raw Redfish leak event from the Telemetry API.
+
+Regenerates the paper's exact nested-JSON payload (same Context,
+MessageId, Message text and field set) and times payload construction.
+"""
+
+import json
+
+from repro.common.jsonutil import iso8601_to_ns
+from repro.common.xname import XName
+from repro.shasta.redfish import cabinet_leak_event, telemetry_payload
+
+from conftest import report
+
+PAPER_TS = iso8601_to_ns("2022-03-03T01:47:57+00:00")
+
+
+def test_f2_redfish_payload(benchmark, leak_case):
+    def build():
+        ev = cabinet_leak_event(XName.parse("x1203c1b0"), "Front", "A", PAPER_TS)
+        return telemetry_payload([ev])
+
+    payload = benchmark(build)
+    message = payload["metrics"]["messages"][0]
+    event = message["Events"][0]
+    assert message["Context"] == "x1203c1b0"
+    assert event["EventTimestamp"] == "2022-03-03T01:47:57+00:00"
+    assert event["MessageId"] == "CrayAlerts.1.0.CabinetLeakDetected"
+    assert event["MessageArgs"] == ["A, Front"]
+
+    # The live pipeline produced the same payload shape (fixture).
+    live = leak_case.fig2_payload["metrics"]["messages"][0]
+    assert live["Context"] == "x1203c1b0"
+    assert live["Events"][0]["MessageId"] == event["MessageId"]
+    report("F2_redfish_raw_event", json.dumps(payload, indent=2))

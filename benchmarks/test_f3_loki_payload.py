@@ -1,0 +1,30 @@
+"""F3 — Figure 3: the cleaned Loki push payload.
+
+Times the §IV.A transform (Figure 2 in → Figure 3 out) and regenerates
+the exact push JSON: nanosecond epoch, Context/cluster/data_type labels,
+Severity/MessageId/Message wrapped as the log line.
+"""
+
+import json
+
+from repro.core.transform import redfish_payload_to_push
+
+from conftest import report
+
+
+def test_f3_transform(benchmark, leak_case):
+    fig2 = leak_case.fig2_payload
+
+    push = benchmark(lambda: redfish_payload_to_push(fig2))
+    obj = push.to_json_obj()
+    (stream,) = obj["streams"]
+    assert stream["stream"] == {
+        "Context": "x1203c1b0",
+        "cluster": "perlmutter",
+        "data_type": "redfish_event",
+    }
+    ((ts, line),) = stream["values"]
+    content = json.loads(line)
+    assert list(content) == ["Severity", "MessageId", "Message"]
+    assert "OriginOfCondition" not in content and "MessageArgs" not in content
+    report("F3_loki_push_payload", json.dumps(obj, indent=2))

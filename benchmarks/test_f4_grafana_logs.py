@@ -1,0 +1,25 @@
+"""F4 — Figure 4: the Redfish event viewed in Grafana.
+
+Times the Loki log query behind the panel and regenerates the
+Explore-style table showing the leak event.
+"""
+
+from repro.common.simclock import minutes
+from repro.grafana.render import render_log_table
+
+from conftest import report
+
+QUERY = '{data_type="redfish_event"} |= "CabinetLeakDetected"'
+
+
+def test_f4_grafana_log_panel(benchmark, leak_case):
+    fw = leak_case.framework
+    end = fw.clock.now_ns + 1
+    start = end - minutes(30)
+
+    results = benchmark(lambda: fw.logql.query_logs(QUERY, start, end))
+    assert results, "the leak event must be visible in the panel window"
+    table = render_log_table(results)
+    assert "x1203c1b0" in table
+    assert "CabinetLeakDetected" in table
+    report("F4_grafana_redfish_events", table)

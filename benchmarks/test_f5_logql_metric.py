@@ -1,0 +1,49 @@
+"""F5 — Figure 5: the LogQL query converting the leak log to a metric.
+
+The paper's query::
+
+    sum(count_over_time({data_type="redfish_event"} |= "CabinetLeakDetected"
+        | json [60m])) by (severity, cluster, context, message_id, message)
+
+"The result of the query increases from zero to one at [the event time]".
+This bench times the instant evaluation and regenerates the 0→1 series
+and its ASCII chart.  (Our ``json`` parser preserves the original key
+case — ``Severity`` not ``severity`` — as real Loki does; see
+EXPERIMENTS.md.)
+"""
+
+from repro.common.simclock import minutes
+from repro.core.framework import LEAK_QUERY
+from repro.grafana.render import render_chart
+
+from conftest import report
+
+
+def test_f5_leak_metric_step(benchmark, leak_case):
+    fw = leak_case.framework
+    event_ts = leak_case.timeline["redfish_event_ns"]
+
+    samples = benchmark(
+        lambda: fw.logql.query_instant(LEAK_QUERY, event_ts + minutes(5))
+    )
+    assert len(samples) == 1
+    assert samples[0].value == 1.0
+    assert samples[0].labels["Context"] == "x1203c1b0"
+
+    # The step: no sample before the event, 1.0 after it.
+    before = fw.logql.query_instant(LEAK_QUERY, event_ts - 1)
+    assert before == []
+    series = fw.logql.query_range(
+        LEAK_QUERY, event_ts - minutes(5), event_ts + minutes(10), minutes(1)
+    )
+    rows = [
+        f"t=+{(t - event_ts) // minutes(1):>3}m  value={v:.0f}"
+        for t, v in series[0].points
+    ]
+    report(
+        "F5_logql_leak_metric",
+        "query: " + LEAK_QUERY + "\n\n"
+        + "\n".join(rows)
+        + "\n\n"
+        + render_chart(series, title="count_over_time step 0 -> 1"),
+    )

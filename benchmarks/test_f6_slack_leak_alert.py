@@ -1,0 +1,21 @@
+"""F6 — Figure 6: the Slack alert for the Redfish leak event.
+
+Times one Ruler evaluation pass over the live store and regenerates the
+formatted Slack message (bold headline, bullet points, dashboard link).
+"""
+
+from conftest import report
+
+
+def test_f6_slack_leak_alert(benchmark, leak_case):
+    fw = leak_case.framework
+
+    benchmark(fw.ruler.evaluate_all)
+
+    assert leak_case.fig6_slack is not None
+    text = leak_case.fig6_slack
+    assert "*[FIRING:1] PerlmutterCabinetLeak*" in text
+    assert "x1203c1b0" in text
+    assert "•" in text  # bullet points, as the paper highlights
+    assert "Open dashboard" in text  # §V future-work enrichment
+    report("F6_slack_leak_alert", text)

@@ -1,0 +1,39 @@
+"""F7 — Figure 7: the switch event in Grafana with pattern extraction.
+
+Regenerates the paper's sample event line
+
+    [critical] problem:fm_switch_offline, xname:x1002c1r7b0, state:UNKNOWN
+
+and times the pattern-parser query that extracts severity/problem/
+xname/state from it.
+"""
+
+from repro.common.simclock import minutes
+from repro.core.framework import SWITCH_PATTERN
+
+from conftest import report
+
+QUERY = (
+    '{app="fabric_manager_monitor"} |= "fm_switch_offline" '
+    f'| pattern "{SWITCH_PATTERN}"'
+)
+
+
+def test_f7_switch_event_pattern(benchmark, switch_case):
+    fw = switch_case.framework
+    end = fw.clock.now_ns + 1
+    start = end - minutes(30)
+
+    results = benchmark(lambda: fw.logql.query_logs(QUERY, start, end))
+    assert results
+    assert switch_case.fig7_event_line == (
+        "[critical] problem:fm_switch_offline, xname:x1002c1r7b0, state:UNKNOWN"
+    )
+    assert switch_case.pattern_extracted["xname"] == "x1002c1r7b0"
+    assert switch_case.pattern_extracted["state"] == "UNKNOWN"
+    report(
+        "F7_switch_event",
+        "event line: " + switch_case.fig7_event_line + "\n"
+        + "extracted:  " + str(switch_case.pattern_extracted) + "\n\n"
+        + switch_case.fig7_table,
+    )

@@ -1,0 +1,32 @@
+"""F8 — Figure 8: the alerting rule querying offline-switch events.
+
+Regenerates the rule definition and times its LogQL expression, which is
+what the Ruler evaluates every interval.
+"""
+
+from repro.core.framework import SWITCH_RULE_QUERY
+
+from conftest import report
+
+
+def test_f8_switch_offline_rule(benchmark, switch_case):
+    fw = switch_case.framework
+    now = fw.clock.now_ns
+
+    samples = benchmark(
+        lambda: fw.logql.query_instant(SWITCH_RULE_QUERY + " > 0", now)
+    )
+    # At scenario end the 5m window has slid past the single event, so the
+    # rule correctly returns empty now — but it fired during the run:
+    assert any("SwitchOffline" in m.text for m in fw.slack.messages)
+
+    rule = switch_case.fig8_rule
+    text = (
+        f"alert: {rule['alert']}\n"
+        f"expr: {rule['expr']}\n"
+        f"for: {rule['for']}\n"
+        f"labels: severity={rule['severity']}\n\n"
+        f"samples at scenario end (window slid past event): {samples}\n"
+        f"rule fired during run: True"
+    )
+    report("F8_switch_offline_rule", text)

@@ -1,0 +1,81 @@
+#!/usr/bin/env python3
+"""Data exploration tour: LogCLI and the OMNI event archive.
+
+The paper names two exploration surfaces besides Grafana: LogCLI
+("queries can be executed ... using a command line interface, LogCLI",
+§III.A) and Kibana over OMNI's Elasticsearch event data (§III.C).  This
+example drives both against a day of simulated operations: ad-hoc LogQL
+from the command line, then event-archive digging with the bool-query
+DSL.
+
+Run:  python examples/data_exploration.py
+"""
+
+from repro.common.simclock import hours, minutes
+from repro.cluster.faults import FaultKind
+from repro.cluster.topology import ClusterSpec
+from repro.core.framework import FrameworkConfig, MonitoringFramework
+from repro.loki.logcli import run_logcli
+from repro.omni.eventstore import Bool, EventStore, Match, Term, TimeRange
+
+
+def main() -> None:
+    framework = MonitoringFramework(
+        FrameworkConfig(cluster_spec=ClusterSpec(cabinets=1, chassis_per_cabinet=2))
+    )
+    framework.start()
+    switch = sorted(framework.cluster.switches)[0]
+    framework.faults.schedule(
+        FaultKind.SWITCH_OFFLINE, switch, delay_ns=minutes(30),
+        duration_ns=minutes(20),
+    )
+    framework.run_for(hours(2))
+
+    store = framework.warehouse.loki
+    start, end = "0", str(framework.clock.now_ns + 1)
+
+    print("$ logcli labels")
+    print(run_logcli(store, ["labels"]))
+
+    print('\n$ logcli series \'{app="fabric_manager_monitor"}\'')
+    print(run_logcli(store, ["series", '{app="fabric_manager_monitor"}']))
+
+    print('\n$ logcli query \'{app="fabric_manager_monitor"}\' --output raw')
+    print(
+        run_logcli(
+            store,
+            ["query", '{app="fabric_manager_monitor"}',
+             "--from", start, "--to", end, "--output", "raw"],
+        )
+    )
+
+    print("\n$ logcli query 'sum(count_over_time({data_type=\"console_log\"}[2h]))'")
+    print(
+        run_logcli(
+            store,
+            ["query", 'sum(count_over_time({data_type="console_log"}[2h]))',
+             "--from", start, "--to", end],
+        )
+    )
+
+    # --- the OMNI event archive (ES-like) --------------------------------
+    events: EventStore = framework.eventstore
+    print(f"\n=== OMNI event archive: {events.doc_count()} document(s) ===")
+    print("query: category=sn_alert AND match('SwitchOffline')")
+    docs = events.search(
+        Bool(must=(Term("category", "sn_alert"), Match("SwitchOffline"))),
+        now_ns=framework.clock.now_ns,
+    )
+    print(EventStore.render_discover(docs))
+
+    print("\nquery: everything overlapping the fault window")
+    epoch = framework.clock.now_ns - hours(2)  # when the run started
+    docs = events.search(
+        TimeRange(epoch + minutes(25), epoch + minutes(60)),
+        now_ns=framework.clock.now_ns,
+    )
+    print(EventStore.render_discover(docs))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,63 @@
+#!/usr/bin/env python3
+"""Facility operations day: environment monitoring, a CDU failure,
+service-impact analysis and the weekly ops report.
+
+Exercises the §III.C environmental data path end to end: facility
+series (room climate, particle counts, CDU/PDU health) land in
+VictoriaMetrics; a cooling-distribution-unit pump degrades; the
+``CduLowFlow`` rule pages; ServiceNow opens a P1 whose blast radius the
+CMDB service map shows; and the operations summary rolls the day up.
+
+Run:  python examples/facility_operations.py
+"""
+
+from repro.common.simclock import minutes
+from repro.cluster.topology import ClusterSpec
+from repro.core.framework import FrameworkConfig, MonitoringFramework
+from repro.servicenow.reports import operations_summary
+
+
+def main() -> None:
+    framework = MonitoringFramework(
+        FrameworkConfig(cluster_spec=ClusterSpec(cabinets=4, chassis_per_cabinet=2))
+    )
+    framework.start()
+
+    # The facility fault: cdu-0's pump degrades 10 minutes in.
+    framework.clock.call_later(
+        minutes(10), lambda: framework.facility.degrade_cdu("cdu-0", 0.3)
+    )
+    # A node console panic for variety (console-log path, §III.C).
+    victim = sorted(framework.cluster.nodes)[3]
+    framework.clock.call_later(
+        minutes(25), lambda: framework.console.emit_panic(victim)
+    )
+    framework.run_for(minutes(45))
+
+    print("=== Facility metrics (PromQL over VictoriaMetrics) ===")
+    now = framework.clock.now_ns
+    for query, label in (
+        ("facility_room_temp_celsius", "room temperature (C)"),
+        ("facility_room_humidity_percent", "room humidity (%)"),
+        ("facility_particle_count_m3", "particles (/m3)"),
+        ('facility_cdu_flow_lpm{cdu="cdu-0"}', "cdu-0 coolant flow (LPM)"),
+        ('facility_cdu_flow_lpm{cdu="cdu-1"}', "cdu-1 coolant flow (LPM)"),
+    ):
+        samples = framework.promql.query_instant(query, now)
+        value = samples[0].value if samples else float("nan")
+        print(f"  {label:<28} {value:>10.1f}")
+
+    print("\n=== Slack ===")
+    for message in framework.slack.messages:
+        print(message.text)
+        print("-" * 60)
+
+    print("\n=== Service map (live, alert-aware) ===")
+    print(framework.service_map())
+
+    print("\n=== Weekly operations summary ===")
+    print(operations_summary(framework.servicenow))
+
+
+if __name__ == "__main__":
+    main()

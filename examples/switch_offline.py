@@ -1,0 +1,46 @@
+#!/usr/bin/env python3
+"""Case study B walkthrough: switch offline detection (paper §IV.B).
+
+Rosetta switch x1002c1r7b0 goes to state UNKNOWN; the fabric-manager
+monitor emits the paper's exact event line, the pattern parser extracts
+labels, the Figure-8 rule fires, and Slack is notified (Figure 9).
+
+Run:  python examples/switch_offline.py
+"""
+
+from repro.common.jsonutil import ns_to_iso8601
+from repro.core.casestudies import run_switch_case_study
+
+
+def main() -> None:
+    result = run_switch_case_study()
+
+    print("### Figure 7 — the switch event in Grafana")
+    print(result.fig7_table)
+    print("\nevent line:", result.fig7_event_line)
+    print("pattern-extracted labels:", result.pattern_extracted)
+
+    print("\n### Figure 8 — the alerting rule")
+    for key, value in result.fig8_rule.items():
+        print(f"  {key}: {value}")
+
+    print("\n### Figure 9 — the Slack notification")
+    print(result.fig9_slack)
+
+    print("\n### Timeline")
+    t0 = result.timeline["fault_ns"]
+    for name, ts in result.timeline.items():
+        if ts is None:
+            continue
+        print(f"  {name:<22} {ns_to_iso8601(ts)}  (+{(ts - t0) / 1e9:.0f}s)")
+
+    if result.incident:
+        print(
+            f"\nServiceNow: {result.incident.number} "
+            f"P{result.incident.priority.value} — "
+            f"{result.incident.short_description}"
+        )
+
+
+if __name__ == "__main__":
+    main()

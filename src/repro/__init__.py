@@ -1,0 +1,19 @@
+"""repro — reproduction of "Shasta Log Aggregation, Monitoring and
+Alerting in HPC Environments with Grafana Loki and ServiceNow"
+(Bautista, Sukhija, Deng — IEEE CLUSTER 2022).
+
+The top-level convenience import gives you the assembled pipeline::
+
+    from repro import MonitoringFramework
+    fw = MonitoringFramework()
+    fw.start()
+
+See README.md for the tour, DESIGN.md for the system inventory, and
+EXPERIMENTS.md for the paper-vs-measured results.
+"""
+
+from repro.core.framework import FrameworkConfig, MonitoringFramework
+
+__version__ = "1.0.0"
+
+__all__ = ["FrameworkConfig", "MonitoringFramework", "__version__"]

@@ -1,0 +1,36 @@
+"""Alertmanager-compatible alerting plane.
+
+Paper §IV workflow: "Alertmanager receives events, groups them by
+priority, category, source, etc. and sends alert messages to Slack or
+ServiceNow."
+
+* :mod:`repro.alerting.events` — the alert event contract shared by the
+  Loki Ruler and vmalert.
+* :mod:`repro.alerting.alertmanager` — grouping, routing tree, silences,
+  inhibition, receiver dispatch with group_wait/group_interval/
+  repeat_interval semantics.
+* :mod:`repro.alerting.receivers` — receiver protocol plus in-memory
+  receivers used by tests (Slack and ServiceNow adapters live in their
+  own packages).
+"""
+
+from repro.alerting.events import AlertEvent, AlertState
+from repro.alerting.alertmanager import (
+    Alertmanager,
+    Route,
+    Silence,
+    InhibitRule,
+)
+from repro.alerting.receivers import Receiver, Notification, MemoryReceiver
+
+__all__ = [
+    "AlertEvent",
+    "AlertState",
+    "Alertmanager",
+    "Route",
+    "Silence",
+    "InhibitRule",
+    "Receiver",
+    "Notification",
+    "MemoryReceiver",
+]

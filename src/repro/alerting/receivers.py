@@ -1,0 +1,62 @@
+"""Receiver protocol and grouped notifications.
+
+A *notification* is one delivery to one receiver carrying every alert of
+an aggregation group — the noise-reduction mechanism the paper's §I calls
+"the reduction in noise caused by multiple alerts from the same events".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Protocol, runtime_checkable
+
+from repro.common.labels import LabelSet
+from repro.alerting.events import AlertEvent, AlertState
+
+
+@dataclass(frozen=True)
+class Notification:
+    """One grouped delivery to a receiver."""
+
+    receiver: str
+    group_key: LabelSet
+    alerts: tuple[AlertEvent, ...]
+    timestamp_ns: int
+
+    @property
+    def firing(self) -> tuple[AlertEvent, ...]:
+        return tuple(a for a in self.alerts if a.state is AlertState.FIRING)
+
+    @property
+    def resolved(self) -> tuple[AlertEvent, ...]:
+        return tuple(a for a in self.alerts if a.state is AlertState.RESOLVED)
+
+    @property
+    def status(self) -> str:
+        return "firing" if self.firing else "resolved"
+
+
+@runtime_checkable
+class Receiver(Protocol):
+    """Anything Alertmanager can deliver to (Slack, ServiceNow, memory)."""
+
+    name: str
+
+    def notify(self, notification: Notification) -> None: ...
+
+
+@dataclass
+class MemoryReceiver:
+    """Records notifications; the test/benchmark receiver."""
+
+    name: str = "memory"
+    notifications: list[Notification] = field(default_factory=list)
+
+    def notify(self, notification: Notification) -> None:
+        self.notifications.append(notification)
+
+    def alert_count(self) -> int:
+        return sum(len(n.alerts) for n in self.notifications)
+
+    def last(self) -> Notification | None:
+        return self.notifications[-1] if self.notifications else None

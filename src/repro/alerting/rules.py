@@ -1,0 +1,190 @@
+"""Shared alerting-rule state machine.
+
+"Loki Ruler alerting rules share the same format as Prometheus alerting
+rules" (paper §IV.A) — so the pending→firing→resolved lifecycle is
+implemented once here and specialised by the Loki Ruler (LogQL queries)
+and vmalert (PromQL queries).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.common.durations import parse_duration_ns
+from repro.common.errors import ValidationError
+from repro.common.labels import LabelSet
+from repro.common.simclock import SimClock
+from repro.common.vector import Sample
+from repro.alerting.events import (
+    ALERTNAME_LABEL,
+    AlertEvent,
+    AlertSeriesState,
+    AlertState,
+)
+
+
+@dataclass(frozen=True)
+class RuleSpec:
+    """Prometheus-format alerting rule (shared by Ruler and vmalert).
+
+    ``annotations`` may use ``{{ $labels.<name> }}`` and ``{{ $value }}``.
+    """
+
+    name: str
+    expr: str
+    for_: str = "0s"
+    labels: dict[str, str] = field(default_factory=dict)
+    annotations: dict[str, str] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValidationError("rule needs a name")
+        parse_duration_ns(self.for_)  # validate eagerly
+
+    @property
+    def for_ns(self) -> int:
+        return parse_duration_ns(self.for_)
+
+
+def render_template(template: str, labels: LabelSet, value: float) -> str:
+    """Render the ``{{ $labels.x }}`` / ``{{ $value }}`` template subset."""
+    out = template.replace("{{ $value }}", format_value(value))
+    out = out.replace("{{$value}}", format_value(value))
+    for name, val in labels.items():
+        out = out.replace("{{ $labels." + name + " }}", val)
+        out = out.replace("{{$labels." + name + "}}", val)
+    return out
+
+
+def format_value(value: float) -> str:
+    return str(int(value)) if float(value).is_integer() else f"{value:g}"
+
+
+class RuleEvaluator:
+    """Periodic evaluator with per-series pending/firing tracking.
+
+    Subclasses provide ``_query(expr, time_ns)``; every returned sample is
+    an active series.  A series fires once it has been continuously active
+    for the rule's ``for`` duration, and resolves when it disappears.
+    """
+
+    def __init__(
+        self,
+        clock: SimClock,
+        notifier: Callable[[AlertEvent], None],
+        generator: str,
+    ) -> None:
+        self._clock = clock
+        self._notifier = notifier
+        self._generator = generator
+        self._rules: list[RuleSpec] = []
+        self._state: dict[tuple[str, LabelSet], AlertSeriesState] = {}
+        self.evaluations = 0
+
+    # -- to be provided by subclasses --------------------------------------
+    def _query(self, expr: str, time_ns: int) -> list[Sample]:
+        raise NotImplementedError
+
+    def _validate_expr(self, expr: str) -> None:
+        """Subclasses validate the expression at rule-add time."""
+        raise NotImplementedError
+
+    # -- configuration ------------------------------------------------------
+    def add_rule(self, rule: RuleSpec) -> None:
+        if any(r.name == rule.name for r in self._rules):
+            raise ValidationError(f"duplicate rule name: {rule.name}")
+        self._validate_expr(rule.expr)
+        self._rules.append(rule)
+
+    def rules(self) -> list[RuleSpec]:
+        return list(self._rules)
+
+    def run_periodic(self, interval_ns: int) -> None:
+        self._clock.every(interval_ns, self.evaluate_all)
+
+    # -- evaluation ----------------------------------------------------------
+    def evaluate_all(self) -> list[AlertEvent]:
+        events: list[AlertEvent] = []
+        for rule in self._rules:
+            events.extend(self._evaluate_rule(rule))
+        self.evaluations += 1
+        return events
+
+    def _evaluate_rule(self, rule: RuleSpec) -> list[AlertEvent]:
+        now = self._clock.now_ns
+        samples = self._query(rule.expr, now)
+        active: dict[LabelSet, Sample] = {s.labels: s for s in samples}
+        events: list[AlertEvent] = []
+
+        for labels, sample in active.items():
+            key = (rule.name, labels)
+            state = self._state.setdefault(key, AlertSeriesState())
+            state.last_value = sample.value
+            if state.pending_since_ns is None:
+                state.pending_since_ns = now
+            if not state.firing and now - state.pending_since_ns >= rule.for_ns:
+                state.firing = True
+                state.fired_count += 1
+                events.append(self._make_event(rule, labels, sample.value, state, now))
+
+        for (rule_name, labels), state in list(self._state.items()):
+            if rule_name != rule.name or labels in active:
+                continue
+            if state.firing:
+                state.firing = False
+                state.resolved_count += 1
+                events.append(
+                    self._make_event(
+                        rule, labels, state.last_value, state, now, resolved=True
+                    )
+                )
+            state.pending_since_ns = None
+
+        for event in events:
+            self._notifier(event)
+        return events
+
+    def _make_event(
+        self,
+        rule: RuleSpec,
+        series_labels: LabelSet,
+        value: float,
+        state: AlertSeriesState,
+        now_ns: int,
+        resolved: bool = False,
+    ) -> AlertEvent:
+        # Prometheus drops the metric name when building alert labels.
+        labels = series_labels.without("__name__").with_labels(
+            **rule.labels, **{ALERTNAME_LABEL: rule.name}
+        )
+        annotations = {
+            key: render_template(tmpl, labels, value)
+            for key, tmpl in rule.annotations.items()
+        }
+        return AlertEvent(
+            labels=labels,
+            annotations=annotations,
+            state=AlertState.RESOLVED if resolved else AlertState.FIRING,
+            value=value,
+            started_at_ns=state.pending_since_ns or now_ns,
+            fired_at_ns=now_ns,
+            generator=self._generator,
+        )
+
+    # -- introspection --------------------------------------------------------
+    def firing_series(self) -> list[tuple[str, LabelSet]]:
+        return sorted(
+            (key for key, st in self._state.items() if st.firing),
+            key=lambda k: (k[0], k[1].items_tuple()),
+        )
+
+    def pending_series(self) -> list[tuple[str, LabelSet]]:
+        return sorted(
+            (
+                key
+                for key, st in self._state.items()
+                if st.pending_since_ns is not None and not st.firing
+            ),
+            key=lambda k: (k[0], k[1].items_tuple()),
+        )

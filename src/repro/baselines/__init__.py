@@ -1,0 +1,22 @@
+"""Comparison baselines.
+
+The paper motivates Loki's design by contrast: "In contrast with other
+logging platforms, Loki does not index the text of the logs ... a small
+index and compressed chunks significantly reduce the costs for storage
+and the log query times" (§III.A), and motivates the automation by
+contrast with manual monitoring: "A person would be spending their time
+physically looking through the HPE tools ... read it line by line"
+(§IV.A).  Both contrasts are implemented so benches C3 and C5 can measure
+them:
+
+* :mod:`repro.baselines.fulltext` — an Elasticsearch-style inverted
+  full-text index over log content;
+* :mod:`repro.baselines.grepstore` — the no-index linear-scan store;
+* :mod:`repro.baselines.manual` — the human-polling detection model.
+"""
+
+from repro.baselines.fulltext import FullTextLogStore
+from repro.baselines.grepstore import GrepLogStore
+from repro.baselines.manual import ManualMonitoringModel
+
+__all__ = ["FullTextLogStore", "GrepLogStore", "ManualMonitoringModel"]

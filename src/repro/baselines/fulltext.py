@@ -1,0 +1,112 @@
+"""Elasticsearch-style full-text indexed log store.
+
+Every token of every line goes into an inverted index, which is what
+Loki's design explicitly avoids.  The trade-off bench (C3) measures both
+sides: this store pays a much larger index and slower ingest, but answers
+arbitrary content queries without scanning.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Mapping
+
+from repro.common.errors import ValidationError
+from repro.common.labels import LabelSet
+from repro.loki.model import LogEntry
+
+_TOKEN_RE = re.compile(r"[A-Za-z0-9_]+")
+
+
+class FullTextLogStore:
+    """Documents + inverted token index + label postings."""
+
+    def __init__(self) -> None:
+        #: doc id -> (timestamp, labels, line)
+        self._docs: list[tuple[int, LabelSet, str]] = []
+        self._token_postings: dict[str, list[int]] = {}
+        self._label_postings: dict[tuple[str, str], list[int]] = {}
+
+    # ------------------------------------------------------------------
+    # Ingest
+    # ------------------------------------------------------------------
+    def ingest(
+        self, labels: Mapping[str, str] | LabelSet, timestamp_ns: int, line: str
+    ) -> int:
+        """Index one document; returns its doc id."""
+        labelset = labels if isinstance(labels, LabelSet) else LabelSet(labels)
+        doc_id = len(self._docs)
+        self._docs.append((timestamp_ns, labelset, line))
+        for token in set(_TOKEN_RE.findall(line.lower())):
+            self._token_postings.setdefault(token, []).append(doc_id)
+        for pair in labelset.items_tuple():
+            self._label_postings.setdefault(pair, []).append(doc_id)
+        return doc_id
+
+    # ------------------------------------------------------------------
+    # Query
+    # ------------------------------------------------------------------
+    def search(
+        self,
+        tokens: list[str],
+        label_equals: Mapping[str, str] | None = None,
+        start_ns: int = 0,
+        end_ns: int | None = None,
+    ) -> list[tuple[int, LabelSet, str]]:
+        """Docs containing every token (AND), optionally label-filtered."""
+        if not tokens:
+            raise ValidationError("full-text search needs at least one token")
+        posting_lists = []
+        for token in tokens:
+            postings = self._token_postings.get(token.lower())
+            if not postings:
+                return []
+            posting_lists.append(postings)
+        if label_equals:
+            for name, value in label_equals.items():
+                postings = self._label_postings.get((name, value))
+                if not postings:
+                    return []
+                posting_lists.append(postings)
+        # Intersect smallest-first.
+        posting_lists.sort(key=len)
+        result = set(posting_lists[0])
+        for postings in posting_lists[1:]:
+            result &= set(postings)
+            if not result:
+                return []
+        out = []
+        for doc_id in sorted(result):
+            ts, labels, line = self._docs[doc_id]
+            if ts < start_ns:
+                continue
+            if end_ns is not None and ts >= end_ns:
+                continue
+            out.append((ts, labels, line))
+        return out
+
+    # ------------------------------------------------------------------
+    # Accounting (the C3 comparison axes)
+    # ------------------------------------------------------------------
+    def index_bytes(self) -> int:
+        """Resident inverted-index size (tokens + postings + labels)."""
+        total = 0
+        for token, postings in self._token_postings.items():
+            total += len(token.encode()) + 8 * len(postings)
+        for (name, value), postings in self._label_postings.items():
+            total += len(name.encode()) + len(value.encode()) + 8 * len(postings)
+        return total
+
+    def stored_bytes(self) -> int:
+        """Raw document bytes (ES stores _source uncompressed-ish)."""
+        return sum(len(line.encode()) for _, _, line in self._docs)
+
+    def doc_count(self) -> int:
+        return len(self._docs)
+
+    def unique_tokens(self) -> int:
+        return len(self._token_postings)
+
+    @staticmethod
+    def entries_of(results: list[tuple[int, LabelSet, str]]) -> list[LogEntry]:
+        return [LogEntry(ts, line) for ts, _, line in results]

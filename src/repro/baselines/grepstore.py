@@ -1,0 +1,55 @@
+"""The no-index baseline: append everything, scan everything.
+
+This is "a person reading line by line", mechanised — and also roughly
+what querying raw files with grep costs.  Zero index bytes, O(corpus)
+per query.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from repro.common.labels import LabelSet
+
+
+class GrepLogStore:
+    """Flat list of lines; every query is a full scan."""
+
+    def __init__(self) -> None:
+        self._docs: list[tuple[int, LabelSet, str]] = []
+
+    def ingest(
+        self, labels: Mapping[str, str] | LabelSet, timestamp_ns: int, line: str
+    ) -> int:
+        labelset = labels if isinstance(labels, LabelSet) else LabelSet(labels)
+        self._docs.append((timestamp_ns, labelset, line))
+        return len(self._docs) - 1
+
+    def grep(
+        self,
+        needle: str,
+        label_equals: Mapping[str, str] | None = None,
+        start_ns: int = 0,
+        end_ns: int | None = None,
+    ) -> list[tuple[int, LabelSet, str]]:
+        out = []
+        for ts, labels, line in self._docs:
+            if ts < start_ns or (end_ns is not None and ts >= end_ns):
+                continue
+            if needle not in line:
+                continue
+            if label_equals and any(
+                labels.get(k, "") != v for k, v in label_equals.items()
+            ):
+                continue
+            out.append((ts, labels, line))
+        return out
+
+    def index_bytes(self) -> int:
+        return 0  # the whole point
+
+    def stored_bytes(self) -> int:
+        return sum(len(line.encode()) for _, _, line in self._docs)
+
+    def doc_count(self) -> int:
+        return len(self._docs)

@@ -1,0 +1,19 @@
+"""In-process Kafka-like message bus.
+
+The Shasta telemetry plane stores sensor data, Redfish events, syslog and
+container logs in Kafka topics; the Telemetry API then serves them to
+consumers (paper §IV workflow steps).  This package provides the minimal
+broker semantics that pipeline depends on:
+
+* named **topics** split into **partitions**,
+* per-partition monotonically increasing **offsets**,
+* key-based partition assignment (same key → same partition → ordering),
+* **consumer groups** with committed offsets and lag accounting,
+* time-based **retention** that advances the log start offset.
+
+Everything is synchronous and deterministic; no threads.
+"""
+
+from repro.bus.broker import Broker, Record, TopicConfig, ConsumerGroup
+
+__all__ = ["Broker", "Record", "TopicConfig", "ConsumerGroup"]

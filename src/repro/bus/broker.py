@@ -1,0 +1,275 @@
+"""The broker: topics, partitions, consumer groups, retention.
+
+Modeled after the subset of Apache Kafka the paper's pipeline uses.  The
+HMS collector produces Redfish events into topics; rsyslog aggregators
+produce syslog; the Telemetry API consumes on behalf of clients.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable
+
+from repro.common.errors import NotFoundError, StateError, ValidationError
+from repro.common.simclock import SimClock
+
+
+@dataclass(frozen=True)
+class Record:
+    """A single message in a topic partition."""
+
+    topic: str
+    partition: int
+    offset: int
+    timestamp_ns: int
+    key: str | None
+    value: str
+
+    def size_bytes(self) -> int:
+        """Approximate wire size (key + value, UTF-8)."""
+        return len(self.value.encode()) + (len(self.key.encode()) if self.key else 0)
+
+
+@dataclass
+class TopicConfig:
+    """Creation-time configuration for a topic."""
+
+    partitions: int = 4
+    retention_ns: int | None = None  # None = keep forever
+
+    def __post_init__(self) -> None:
+        if self.partitions < 1:
+            raise ValidationError("topic needs at least one partition")
+        if self.retention_ns is not None and self.retention_ns <= 0:
+            raise ValidationError("retention must be positive or None")
+
+
+class _Partition:
+    """One partition: an append-only list plus a log-start offset.
+
+    Records before ``start_offset`` have been deleted by retention; the
+    list only holds ``records[start_offset:]``.
+    """
+
+    __slots__ = ("records", "start_offset")
+
+    def __init__(self) -> None:
+        self.records: list[Record] = []
+        self.start_offset = 0
+
+    @property
+    def end_offset(self) -> int:
+        """Offset that the *next* record will receive."""
+        return self.start_offset + len(self.records)
+
+    def append(self, record: Record) -> None:
+        self.records.append(record)
+
+    def read_from(self, offset: int, max_records: int) -> list[Record]:
+        offset = max(offset, self.start_offset)
+        idx = offset - self.start_offset
+        return self.records[idx : idx + max_records]
+
+    def expire_before(self, cutoff_ns: int) -> int:
+        """Drop records older than ``cutoff_ns``; return how many were dropped."""
+        drop = 0
+        for rec in self.records:
+            if rec.timestamp_ns < cutoff_ns:
+                drop += 1
+            else:
+                break
+        if drop:
+            del self.records[:drop]
+            self.start_offset += drop
+        return drop
+
+
+class _Topic:
+    def __init__(self, name: str, config: TopicConfig) -> None:
+        self.name = name
+        self.config = config
+        self.partitions = [_Partition() for _ in range(config.partitions)]
+        self.total_produced = 0
+        self.total_bytes = 0
+
+
+@dataclass
+class ConsumerGroup:
+    """Committed offsets for one consumer group on one topic."""
+
+    group_id: str
+    topic: str
+    offsets: dict[int, int] = field(default_factory=dict)
+
+
+class Broker:
+    """A deterministic single-process message broker.
+
+    Parameters
+    ----------
+    clock:
+        Simulated clock used to timestamp records and drive retention.
+    """
+
+    def __init__(self, clock: SimClock) -> None:
+        self._clock = clock
+        self._topics: dict[str, _Topic] = {}
+        self._groups: dict[tuple[str, str], ConsumerGroup] = {}
+
+    # ------------------------------------------------------------------
+    # Topic management
+    # ------------------------------------------------------------------
+    def create_topic(self, name: str, config: TopicConfig | None = None) -> None:
+        """Create ``name``; idempotent only if the topic does not exist yet."""
+        if not name:
+            raise ValidationError("topic name cannot be empty")
+        if name in self._topics:
+            raise StateError(f"topic already exists: {name}")
+        self._topics[name] = _Topic(name, config or TopicConfig())
+
+    def ensure_topic(self, name: str, config: TopicConfig | None = None) -> None:
+        """Create ``name`` if missing; no-op if it already exists."""
+        if name not in self._topics:
+            self.create_topic(name, config)
+
+    def topics(self) -> list[str]:
+        return sorted(self._topics)
+
+    def _topic(self, name: str) -> _Topic:
+        try:
+            return self._topics[name]
+        except KeyError:
+            raise NotFoundError(f"no such topic: {name}") from None
+
+    # ------------------------------------------------------------------
+    # Producing
+    # ------------------------------------------------------------------
+    def produce(
+        self,
+        topic: str,
+        value: str,
+        key: str | None = None,
+        timestamp_ns: int | None = None,
+    ) -> Record:
+        """Append a message; keyed messages land deterministically on one
+        partition so per-key ordering holds (per-sensor, per-xname...)."""
+        t = self._topic(topic)
+        if key is None:
+            # Round-robin for un-keyed records.
+            partition = t.total_produced % len(t.partitions)
+        else:
+            partition = _stable_hash(key) % len(t.partitions)
+        part = t.partitions[partition]
+        record = Record(
+            topic=topic,
+            partition=partition,
+            offset=part.end_offset,
+            timestamp_ns=timestamp_ns if timestamp_ns is not None else self._clock.now_ns,
+            key=key,
+            value=value,
+        )
+        part.append(record)
+        t.total_produced += 1
+        t.total_bytes += record.size_bytes()
+        return record
+
+    def produce_batch(
+        self, topic: str, values: Iterable[str], key: str | None = None
+    ) -> int:
+        """Produce many values; returns the count."""
+        n = 0
+        for v in values:
+            self.produce(topic, v, key=key)
+            n += 1
+        return n
+
+    # ------------------------------------------------------------------
+    # Consuming
+    # ------------------------------------------------------------------
+    def _group(self, group_id: str, topic: str) -> ConsumerGroup:
+        key = (group_id, topic)
+        if key not in self._groups:
+            t = self._topic(topic)
+            self._groups[key] = ConsumerGroup(
+                group_id,
+                topic,
+                {p: t.partitions[p].start_offset for p in range(len(t.partitions))},
+            )
+        return self._groups[key]
+
+    def poll(self, group_id: str, topic: str, max_records: int = 500) -> list[Record]:
+        """Fetch up to ``max_records`` new records for ``group_id`` and
+        auto-commit the advanced offsets (the pipeline's at-most-once mode,
+        adequate for telemetry streams)."""
+        if max_records < 1:
+            raise ValidationError("max_records must be positive")
+        t = self._topic(topic)
+        group = self._group(group_id, topic)
+        out: list[Record] = []
+        budget = max_records
+        for pidx, part in enumerate(t.partitions):
+            if budget <= 0:
+                break
+            current = max(group.offsets.get(pidx, 0), part.start_offset)
+            batch = part.read_from(current, budget)
+            if batch:
+                out.extend(batch)
+                group.offsets[pidx] = batch[-1].offset + 1
+                budget -= len(batch)
+        out.sort(key=lambda r: (r.timestamp_ns, r.partition, r.offset))
+        return out
+
+    def lag(self, group_id: str, topic: str) -> int:
+        """Total records the group has not yet consumed."""
+        t = self._topic(topic)
+        group = self._group(group_id, topic)
+        total = 0
+        for pidx, part in enumerate(t.partitions):
+            committed = max(group.offsets.get(pidx, 0), part.start_offset)
+            total += part.end_offset - committed
+        return total
+
+    def seek_to_beginning(self, group_id: str, topic: str) -> None:
+        """Rewind a group to the log start offsets (replay)."""
+        t = self._topic(topic)
+        group = self._group(group_id, topic)
+        for pidx, part in enumerate(t.partitions):
+            group.offsets[pidx] = part.start_offset
+
+    # ------------------------------------------------------------------
+    # Retention & stats
+    # ------------------------------------------------------------------
+    def enforce_retention(self) -> int:
+        """Apply per-topic time retention; returns total records expired."""
+        expired = 0
+        now = self._clock.now_ns
+        for t in self._topics.values():
+            if t.config.retention_ns is None:
+                continue
+            cutoff = now - t.config.retention_ns
+            for part in t.partitions:
+                expired += part.expire_before(cutoff)
+        return expired
+
+    def topic_stats(self, topic: str) -> dict[str, int]:
+        """Counters consumed by the kafka-exporter."""
+        t = self._topic(topic)
+        return {
+            "partitions": len(t.partitions),
+            "total_produced": t.total_produced,
+            "total_bytes": t.total_bytes,
+            "retained_records": sum(len(p.records) for p in t.partitions),
+            "log_start_offset_sum": sum(p.start_offset for p in t.partitions),
+        }
+
+    def group_ids(self) -> list[tuple[str, str]]:
+        return sorted(self._groups)
+
+
+def _stable_hash(key: str) -> int:
+    """FNV-1a — deterministic across processes, unlike ``hash()``."""
+    h = 0xCBF29CE484222325
+    for byte in key.encode():
+        h ^= byte
+        h = (h * 0x100000001B3) & 0xFFFFFFFFFFFFFFFF
+    return h

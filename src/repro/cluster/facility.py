@@ -1,0 +1,179 @@
+"""Facility/environment model: the building around the machine.
+
+Paper §III.C: OMNI's operational data includes "time series data from
+the environment (e.g., temperature, power, humidity levels, and particle
+levels)".  This module models the facility plant that produces those
+series: cooling distribution units (CDUs) serving cabinet groups, power
+distribution units (PDUs), and room-level environment sensors including
+particle counters.
+
+Everything is seeded and fault-injectable (a CDU pump degradation warms
+every cabinet it serves — the cross-layer correlation OMNI exists to
+surface).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.common.errors import NotFoundError, ValidationError
+
+
+@dataclass
+class Cdu:
+    """One cooling distribution unit serving a set of cabinets."""
+
+    name: str
+    cabinets: list[str]
+    pump_healthy: bool = True
+    #: 0..1, scales cooling capacity when degraded
+    capacity_factor: float = 1.0
+
+
+@dataclass
+class Pdu:
+    """One power distribution unit."""
+
+    name: str
+    capacity_kw: float = 400.0
+    breaker_open: bool = False
+
+
+@dataclass(frozen=True)
+class FacilitySample:
+    """One snapshot of every facility series."""
+
+    timestamp_ns: int
+    room_temp_c: float
+    room_humidity_pct: float
+    particle_count_m3: float
+    cdu_supply_temp_c: dict[str, float] = field(default_factory=dict)
+    cdu_flow_lpm: dict[str, float] = field(default_factory=dict)
+    pdu_load_kw: dict[str, float] = field(default_factory=dict)
+
+    def flat_metrics(self) -> list[tuple[str, dict[str, str], float]]:
+        """``(metric_name, labels, value)`` triples for warehouse ingest."""
+        out: list[tuple[str, dict[str, str], float]] = [
+            ("facility_room_temp_celsius", {}, self.room_temp_c),
+            ("facility_room_humidity_percent", {}, self.room_humidity_pct),
+            ("facility_particle_count_m3", {}, self.particle_count_m3),
+        ]
+        for name, value in self.cdu_supply_temp_c.items():
+            out.append(("facility_cdu_supply_temp_celsius", {"cdu": name}, value))
+        for name, value in self.cdu_flow_lpm.items():
+            out.append(("facility_cdu_flow_lpm", {"cdu": name}, value))
+        for name, value in self.pdu_load_kw.items():
+            out.append(("facility_pdu_load_kw", {"pdu": name}, value))
+        return out
+
+
+class FacilityModel:
+    """Seeded facility dynamics with fault injection."""
+
+    def __init__(
+        self,
+        cabinet_names: list[str],
+        cabinets_per_cdu: int = 2,
+        pdus: int = 2,
+        seed: int = 0,
+    ) -> None:
+        if not cabinet_names:
+            raise ValidationError("facility needs cabinets to serve")
+        if cabinets_per_cdu < 1:
+            raise ValidationError("cabinets per CDU must be >= 1")
+        if pdus < 1:
+            raise ValidationError("need at least one PDU")
+        self._rng = np.random.default_rng(seed)
+        self.cdus: dict[str, Cdu] = {}
+        for i in range(0, len(cabinet_names), cabinets_per_cdu):
+            name = f"cdu-{i // cabinets_per_cdu}"
+            self.cdus[name] = Cdu(name, cabinet_names[i : i + cabinets_per_cdu])
+        self.pdus: dict[str, Pdu] = {
+            f"pdu-{i}": Pdu(f"pdu-{i}") for i in range(pdus)
+        }
+        self._room_temp = 22.0
+        self._humidity = 45.0
+        self._particles = 2500.0
+
+    # ------------------------------------------------------------------
+    # Faults
+    # ------------------------------------------------------------------
+    def degrade_cdu(self, name: str, capacity_factor: float = 0.4) -> None:
+        cdu = self._cdu(name)
+        if not 0.0 <= capacity_factor <= 1.0:
+            raise ValidationError("capacity factor must be in [0, 1]")
+        cdu.pump_healthy = False
+        cdu.capacity_factor = capacity_factor
+
+    def repair_cdu(self, name: str) -> None:
+        cdu = self._cdu(name)
+        cdu.pump_healthy = True
+        cdu.capacity_factor = 1.0
+
+    def trip_pdu_breaker(self, name: str, open_: bool = True) -> None:
+        self._pdu(name).breaker_open = open_
+
+    def cdu_for_cabinet(self, cabinet: str) -> Cdu:
+        for cdu in self.cdus.values():
+            if cabinet in cdu.cabinets:
+                return cdu
+        raise NotFoundError(f"no CDU serves cabinet {cabinet}")
+
+    def _cdu(self, name: str) -> Cdu:
+        try:
+            return self.cdus[name]
+        except KeyError:
+            raise NotFoundError(f"no such CDU: {name}") from None
+
+    def _pdu(self, name: str) -> Pdu:
+        try:
+            return self.pdus[name]
+        except KeyError:
+            raise NotFoundError(f"no such PDU: {name}") from None
+
+    # ------------------------------------------------------------------
+    # Sampling
+    # ------------------------------------------------------------------
+    def sample(self, timestamp_ns: int) -> FacilitySample:
+        """Advance the facility one tick and snapshot every series."""
+        rng = self._rng
+        self._room_temp += 0.1 * (22.0 - self._room_temp) + 0.2 * rng.standard_normal()
+        self._humidity += 0.05 * (45.0 - self._humidity) + 0.4 * rng.standard_normal()
+        self._particles = max(
+            0.0,
+            self._particles
+            + 0.1 * (2500.0 - self._particles)
+            + 120.0 * rng.standard_normal(),
+        )
+        cdu_temp = {}
+        cdu_flow = {}
+        for name, cdu in self.cdus.items():
+            # Degraded pumps: supply water warms and flow drops.
+            base_temp = 18.0 + (1.0 - cdu.capacity_factor) * 14.0
+            base_flow = 400.0 * cdu.capacity_factor
+            cdu_temp[name] = base_temp + 0.5 * rng.standard_normal()
+            cdu_flow[name] = max(0.0, base_flow + 8.0 * rng.standard_normal())
+        pdu_load = {}
+        for name, pdu in self.pdus.items():
+            if pdu.breaker_open:
+                pdu_load[name] = 0.0
+            else:
+                pdu_load[name] = max(
+                    0.0, 0.65 * pdu.capacity_kw + 15.0 * rng.standard_normal()
+                )
+        return FacilitySample(
+            timestamp_ns=timestamp_ns,
+            room_temp_c=self._room_temp,
+            room_humidity_pct=self._humidity,
+            particle_count_m3=self._particles,
+            cdu_supply_temp_c=cdu_temp,
+            cdu_flow_lpm=cdu_flow,
+            pdu_load_kw=pdu_load,
+        )
+
+    def cabinet_heat_offset_c(self, cabinet: str) -> float:
+        """Extra heat a cabinet sees from its (possibly degraded) CDU."""
+        cdu = self.cdu_for_cabinet(cabinet)
+        return (1.0 - cdu.capacity_factor) * 20.0

@@ -1,0 +1,151 @@
+"""Fault injection for the synthetic cluster.
+
+The paper's two case studies are triggered by physical faults: a coolant
+leak in a cabinet zone (§IV.A) and a Rosetta switch leaving the ONLINE
+state (§IV.B).  The injector schedules such faults on the simulated clock,
+mutates cluster state when they begin/end, and records ground truth so the
+MTTR study (bench C5) can compare *fault time* against *alert time*.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.common.errors import ValidationError
+from repro.common.simclock import SimClock
+from repro.common.xname import XName
+from repro.cluster.sensors import SensorBank, SensorId, SensorKind
+from repro.cluster.topology import Cluster, NodeState, SwitchState
+
+
+class FaultKind(enum.Enum):
+    CABINET_LEAK = "cabinet_leak"
+    SWITCH_OFFLINE = "switch_offline"
+    SWITCH_UNKNOWN = "switch_unknown"
+    NODE_DOWN = "node_down"
+    THERMAL_EXCURSION = "thermal_excursion"
+    GPFS_DEGRADED = "gpfs_degraded"
+
+
+@dataclass
+class Fault:
+    """One injected fault with ground-truth timing."""
+
+    kind: FaultKind
+    target: XName
+    start_ns: int
+    end_ns: int | None  # None = until repaired
+    detail: dict[str, object] = field(default_factory=dict)
+    active: bool = False
+    repaired_ns: int | None = None
+
+
+class FaultInjector:
+    """Schedules faults and applies them to cluster/sensor state."""
+
+    def __init__(
+        self,
+        cluster: Cluster,
+        clock: SimClock,
+        sensors: SensorBank | None = None,
+    ) -> None:
+        self._cluster = cluster
+        self._clock = clock
+        self._sensors = sensors
+        self.faults: list[Fault] = []
+
+    # ------------------------------------------------------------------
+    # Scheduling
+    # ------------------------------------------------------------------
+    def schedule(
+        self,
+        kind: FaultKind,
+        target: XName | str,
+        delay_ns: int = 0,
+        duration_ns: int | None = None,
+        **detail: object,
+    ) -> Fault:
+        """Schedule a fault ``delay_ns`` from now, lasting ``duration_ns``
+        (or until :meth:`repair`)."""
+        if delay_ns < 0:
+            raise ValidationError("delay must be non-negative")
+        x = XName.parse(target) if isinstance(target, str) else target
+        start = self._clock.now_ns + delay_ns
+        end = start + duration_ns if duration_ns is not None else None
+        fault = Fault(kind=kind, target=x, start_ns=start, end_ns=end, detail=detail)
+        self.faults.append(fault)
+        self._clock.call_at(start, lambda: self._begin(fault))
+        if end is not None:
+            self._clock.call_at(end, lambda: self._end(fault))
+        return fault
+
+    def repair(self, fault: Fault) -> None:
+        """Explicitly repair an open-ended fault now."""
+        if fault.active:
+            self._end(fault)
+        fault.repaired_ns = self._clock.now_ns
+
+    # ------------------------------------------------------------------
+    # Application
+    # ------------------------------------------------------------------
+    def _begin(self, fault: Fault) -> None:
+        fault.active = True
+        kind, target, detail = fault.kind, fault.target, fault.detail
+        if kind is FaultKind.CABINET_LEAK:
+            zone = str(detail.get("zone", "Front"))
+            sensor = str(detail.get("sensor", "A"))
+            self._cluster.set_leak(target.cabinet_xname(), zone, sensor, True)
+        elif kind is FaultKind.SWITCH_OFFLINE:
+            self._cluster.set_switch_state(target, SwitchState.OFFLINE)
+        elif kind is FaultKind.SWITCH_UNKNOWN:
+            self._cluster.set_switch_state(target, SwitchState.UNKNOWN)
+        elif kind is FaultKind.NODE_DOWN:
+            self._cluster.set_node_state(target, NodeState.DOWN)
+        elif kind is FaultKind.THERMAL_EXCURSION:
+            if self._sensors is None:
+                raise ValidationError("thermal fault requires a sensor bank")
+            delta = float(detail.get("delta_c", 25.0))  # type: ignore[arg-type]
+            self._sensors.set_offset(
+                SensorId(target, SensorKind.TEMPERATURE_C), delta
+            )
+        elif kind is FaultKind.GPFS_DEGRADED:
+            # Recorded as ground truth; the GPFS health model polls it.
+            pass
+        else:  # pragma: no cover - exhaustive over enum
+            raise ValidationError(f"unhandled fault kind {kind}")
+
+    def _end(self, fault: Fault) -> None:
+        if not fault.active:
+            return
+        fault.active = False
+        kind, target, detail = fault.kind, fault.target, fault.detail
+        if kind is FaultKind.CABINET_LEAK:
+            zone = str(detail.get("zone", "Front"))
+            sensor = str(detail.get("sensor", "A"))
+            self._cluster.set_leak(target.cabinet_xname(), zone, sensor, False)
+        elif kind in (FaultKind.SWITCH_OFFLINE, FaultKind.SWITCH_UNKNOWN):
+            self._cluster.set_switch_state(target, SwitchState.ONLINE)
+        elif kind is FaultKind.NODE_DOWN:
+            self._cluster.set_node_state(target, NodeState.UP)
+        elif kind is FaultKind.THERMAL_EXCURSION:
+            if self._sensors is not None:
+                self._sensors.set_offset(
+                    SensorId(target, SensorKind.TEMPERATURE_C), 0.0
+                )
+
+    # ------------------------------------------------------------------
+    # Ground truth
+    # ------------------------------------------------------------------
+    def active_faults(self) -> list[Fault]:
+        return [f for f in self.faults if f.active]
+
+    def faults_of_kind(self, kind: FaultKind) -> list[Fault]:
+        return [f for f in self.faults if f.kind is kind]
+
+    def is_degraded(self, kind: FaultKind, target: XName) -> bool:
+        """Whether an active fault of ``kind`` covers ``target``."""
+        return any(
+            f.active and f.kind is kind and f.target.contains(target)
+            for f in self.faults
+        )

@@ -1,0 +1,107 @@
+"""Synthetic GPFS health model (paper §V future work).
+
+The paper's stated next step is "a mechanism for monitoring the health
+status and performance for the General Parallel File System (GPFS)".
+This module provides that substrate: a small GPFS cluster model exposing
+per-filesystem health metrics (disk write speed, I/O ops, CRC errors —
+the very examples §III.C lists as OMNI monitoring data) that the
+monitoring pipeline scrapes and alerts on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.common.errors import NotFoundError, ValidationError
+
+
+@dataclass
+class GpfsFilesystem:
+    """One GPFS filesystem with NSD (network shared disk) servers."""
+
+    name: str
+    nsd_servers: int = 8
+    degraded: bool = False
+    #: fraction of NSD servers currently unhealthy, 0..1
+    degraded_fraction: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.nsd_servers < 1:
+            raise ValidationError("filesystem needs at least one NSD server")
+
+
+@dataclass
+class GpfsHealthSample:
+    """One health snapshot of one filesystem."""
+
+    fs_name: str
+    write_mb_s: float
+    read_mb_s: float
+    iops: float
+    crc_errors: int
+    unhealthy_nsds: int
+    healthy: bool
+    fields: dict[str, float] = field(default_factory=dict)
+
+
+class GpfsModel:
+    """Seeded GPFS performance/health generator.
+
+    Baseline throughput follows a mean-reverting walk; degradation scales
+    throughput down by the degraded fraction and starts producing CRC
+    errors — the signature the alerting rules look for.
+    """
+
+    def __init__(self, filesystems: list[GpfsFilesystem], seed: int = 0) -> None:
+        if not filesystems:
+            raise ValidationError("need at least one filesystem")
+        names = [fs.name for fs in filesystems]
+        if len(set(names)) != len(names):
+            raise ValidationError("duplicate filesystem names")
+        self._fs = {fs.name: fs for fs in filesystems}
+        self._rng = np.random.default_rng(seed)
+        self._write_base = {fs.name: 4000.0 for fs in filesystems}  # MB/s
+
+    def filesystems(self) -> list[str]:
+        return sorted(self._fs)
+
+    def set_degraded(self, name: str, degraded: bool, fraction: float = 0.25) -> None:
+        fs = self._get(name)
+        if not 0.0 <= fraction <= 1.0:
+            raise ValidationError("degraded fraction must be in [0, 1]")
+        fs.degraded = degraded
+        fs.degraded_fraction = fraction if degraded else 0.0
+
+    def _get(self, name: str) -> GpfsFilesystem:
+        try:
+            return self._fs[name]
+        except KeyError:
+            raise NotFoundError(f"no such filesystem: {name}") from None
+
+    def sample(self, name: str) -> GpfsHealthSample:
+        """Produce one health snapshot for ``name``."""
+        fs = self._get(name)
+        base = self._write_base[name]
+        # Mean-reverting wander of the baseline.
+        base += 0.1 * (4000.0 - base) + 80.0 * self._rng.standard_normal()
+        self._write_base[name] = base
+        scale = 1.0 - 0.8 * fs.degraded_fraction
+        write = max(0.0, base * scale)
+        read = max(0.0, base * 1.4 * scale + 50.0 * self._rng.standard_normal())
+        iops = max(0.0, write * 25.0 + 500.0 * self._rng.standard_normal())
+        unhealthy = int(round(fs.nsd_servers * fs.degraded_fraction))
+        crc = int(self._rng.poisson(8.0)) if fs.degraded else 0
+        return GpfsHealthSample(
+            fs_name=name,
+            write_mb_s=write,
+            read_mb_s=read,
+            iops=iops,
+            crc_errors=crc,
+            unhealthy_nsds=unhealthy,
+            healthy=not fs.degraded,
+        )
+
+    def sample_all(self) -> list[GpfsHealthSample]:
+        return [self.sample(name) for name in self.filesystems()]

@@ -1,0 +1,60 @@
+"""Prometheus-style duration strings (``5m``, ``1h30m``, ``90s``...).
+
+LogQL range selectors (``[60m]``), rule ``for:`` clauses and Alertmanager
+``group_wait``/``repeat_interval`` settings all use this format.
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.common.errors import ValidationError
+from repro.common.simclock import (
+    NANOS_PER_DAY,
+    NANOS_PER_HOUR,
+    NANOS_PER_MINUTE,
+    NANOS_PER_SECOND,
+)
+
+_UNIT_NS = {
+    "ms": NANOS_PER_SECOND // 1000,
+    "s": NANOS_PER_SECOND,
+    "m": NANOS_PER_MINUTE,
+    "h": NANOS_PER_HOUR,
+    "d": NANOS_PER_DAY,
+    "w": 7 * NANOS_PER_DAY,
+    "y": 365 * NANOS_PER_DAY,
+}
+
+_TOKEN_RE = re.compile(r"(\d+)(ms|s|m|h|d|w|y)")
+
+
+def parse_duration_ns(text: str) -> int:
+    """Parse ``"1h30m"`` → nanoseconds. Raises on empty/garbage input."""
+    if not text:
+        raise ValidationError("empty duration")
+    pos = 0
+    total = 0
+    for m in _TOKEN_RE.finditer(text):
+        if m.start() != pos:
+            raise ValidationError(f"invalid duration: {text!r}")
+        total += int(m.group(1)) * _UNIT_NS[m.group(2)]
+        pos = m.end()
+    if pos != len(text):
+        raise ValidationError(f"invalid duration: {text!r}")
+    return total
+
+
+def format_duration_ns(ns: int) -> str:
+    """Format nanoseconds as the shortest Prometheus duration string."""
+    if ns < 0:
+        raise ValidationError("negative duration")
+    if ns == 0:
+        return "0s"
+    parts = []
+    for unit in ("y", "w", "d", "h", "m", "s", "ms"):
+        size = _UNIT_NS[unit]
+        if ns >= size:
+            count, ns = divmod(ns, size)
+            parts.append(f"{count}{unit}")
+    return "".join(parts) if parts else "0s"

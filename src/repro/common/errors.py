@@ -1,0 +1,40 @@
+"""Exception hierarchy for the reproduction stack.
+
+Every subsystem raises subclasses of :class:`ReproError` so callers can
+catch stack-wide failures with a single ``except`` clause while still
+discriminating on the specific failure mode.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class ValidationError(ReproError):
+    """Input failed structural or semantic validation."""
+
+
+class QueryError(ReproError):
+    """A LogQL/PromQL query could not be parsed or evaluated."""
+
+
+class AuthError(ReproError):
+    """Telemetry API authentication or authorization failure."""
+
+
+class NotFoundError(ReproError):
+    """A named entity (topic, stream, CI, dashboard, ...) does not exist."""
+
+
+class RetentionError(ReproError):
+    """Requested data falls outside the retention window and is not archived."""
+
+
+class CapacityError(ReproError):
+    """A bounded component (chunk, partition, queue) refused more data."""
+
+
+class StateError(ReproError):
+    """Operation is invalid for the component's current lifecycle state."""

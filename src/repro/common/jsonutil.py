@@ -1,0 +1,89 @@
+"""Strict JSON helpers for telemetry payloads.
+
+The Telemetry API publishes Redfish events as nested JSON (paper Fig. 2);
+the transformation in §IV.A flattens that into Loki's push format (Fig. 3).
+These helpers centralise the fiddly parts: compact canonical encoding,
+nested-path extraction for the LogQL ``json`` parser, and ISO-8601 ↔
+nanosecond-epoch conversion.
+"""
+
+from __future__ import annotations
+
+import datetime as _dt
+import json
+from typing import Any, Iterator
+
+from repro.common.errors import ValidationError
+from repro.common.simclock import NANOS_PER_SECOND
+
+
+def dumps_compact(obj: Any) -> str:
+    """Canonical compact JSON (no spaces, sorted keys) for stable payloads."""
+    return json.dumps(obj, separators=(",", ":"), sort_keys=True)
+
+
+def loads(text: str) -> Any:
+    """Parse JSON, converting failures into :class:`ValidationError`."""
+    try:
+        return json.loads(text)
+    except (json.JSONDecodeError, TypeError) as exc:
+        raise ValidationError(f"invalid JSON: {exc}") from exc
+
+
+def iso8601_to_ns(text: str) -> int:
+    """Convert an ISO-8601 timestamp (e.g. ``2022-03-03T01:47:57+00:00``)
+    to integer nanoseconds since the Unix epoch.
+
+    Redfish event timestamps arrive in this format; Loki wants nanoseconds.
+    """
+    try:
+        dt = _dt.datetime.fromisoformat(text)
+    except ValueError as exc:
+        raise ValidationError(f"invalid ISO-8601 timestamp: {text!r}") from exc
+    if dt.tzinfo is None:
+        dt = dt.replace(tzinfo=_dt.timezone.utc)
+    return int(dt.timestamp() * NANOS_PER_SECOND)
+
+
+def ns_to_iso8601(ts_ns: int) -> str:
+    """Inverse of :func:`iso8601_to_ns` (UTC, second precision)."""
+    dt = _dt.datetime.fromtimestamp(ts_ns / NANOS_PER_SECOND, tz=_dt.timezone.utc)
+    return dt.isoformat(timespec="seconds")
+
+
+def flatten_json(obj: Any, prefix: str = "") -> Iterator[tuple[str, str]]:
+    """Yield ``(flattened_key, string_value)`` pairs from nested JSON.
+
+    This implements the extraction semantics of LogQL's ``| json`` stage:
+    nested keys are joined with ``_``, array indices with ``_<i>_``-style
+    suffixes, and scalar values are stringified.  Keys are sanitised to be
+    legal label names (non-alphanumerics become ``_``).
+    """
+    if isinstance(obj, dict):
+        for key, value in obj.items():
+            clean = _sanitize_key(key)
+            new_prefix = f"{prefix}_{clean}" if prefix else clean
+            yield from flatten_json(value, new_prefix)
+    elif isinstance(obj, list):
+        for i, value in enumerate(obj):
+            new_prefix = f"{prefix}_{i}" if prefix else str(i)
+            yield from flatten_json(value, new_prefix)
+    else:
+        if isinstance(obj, bool):
+            yield prefix, "true" if obj else "false"
+        elif obj is None:
+            yield prefix, ""
+        elif isinstance(obj, float) and obj.is_integer():
+            yield prefix, str(int(obj))
+        else:
+            yield prefix, str(obj)
+
+
+def _sanitize_key(key: str) -> str:
+    out = []
+    for ch in key:
+        out.append(ch if (ch.isalnum() or ch == "_") else "_")
+    clean = "".join(out)
+    if clean and clean[0].isdigit():
+        clean = "_" + clean
+    return clean or "_"

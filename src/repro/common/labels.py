@@ -1,0 +1,179 @@
+"""Label sets and label matchers — the Prometheus/Loki data model core.
+
+A *label set* is an immutable mapping of label name → value.  In Loki a
+unique combination of labels identifies a **log stream**; in the TSDB a
+metric name plus labels identifies a **time series**.  Both subsystems
+share this implementation so the "logs become metrics" conversion the
+paper leans on (LogQL ``count_over_time`` + ``sum by``) is a natural
+operation rather than a format shim.
+
+Label *matchers* implement the four Prometheus selector operators
+(``=``, ``!=``, ``=~``, ``!~``) used by both query languages.
+"""
+
+from __future__ import annotations
+
+import enum
+import re
+from typing import Iterable, Iterator, Mapping
+
+from repro.common.errors import ValidationError
+
+_LABEL_NAME_RE = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+
+#: Reserved label carrying the metric name in the TSDB, as in Prometheus.
+METRIC_NAME_LABEL = "__name__"
+
+
+def validate_label_name(name: str) -> str:
+    """Return ``name`` if it is a legal label name, else raise."""
+    if not _LABEL_NAME_RE.match(name):
+        raise ValidationError(f"invalid label name: {name!r}")
+    return name
+
+
+class LabelSet(Mapping[str, str]):
+    """Immutable, hashable set of ``name=value`` labels.
+
+    Instances are canonicalised (sorted by name) so that equal mappings
+    always hash equally — the property stream identity depends on.
+    """
+
+    __slots__ = ("_items", "_hash")
+
+    def __init__(self, labels: Mapping[str, str] | Iterable[tuple[str, str]] = ()):
+        if isinstance(labels, Mapping):
+            pairs = list(labels.items())
+        else:
+            pairs = list(labels)
+        for name, value in pairs:
+            validate_label_name(name)
+            if not isinstance(value, str):
+                raise ValidationError(
+                    f"label {name!r} value must be str, got {type(value).__name__}"
+                )
+        items = tuple(sorted(pairs))
+        names = [n for n, _ in items]
+        if len(set(names)) != len(names):
+            raise ValidationError(f"duplicate label names in {names}")
+        self._items: tuple[tuple[str, str], ...] = items
+        self._hash = hash(items)
+
+    # -- Mapping protocol ------------------------------------------------
+    def __getitem__(self, key: str) -> str:
+        for name, value in self._items:
+            if name == key:
+                return value
+        raise KeyError(key)
+
+    def __iter__(self) -> Iterator[str]:
+        return (name for name, _ in self._items)
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, LabelSet):
+            return self._items == other._items
+        if isinstance(other, Mapping):
+            return dict(self._items) == dict(other)
+        return NotImplemented
+
+    def __repr__(self) -> str:
+        inner = ", ".join(f'{n}="{v}"' for n, v in self._items)
+        return "{" + inner + "}"
+
+    # -- Operations ------------------------------------------------------
+    def with_labels(self, **extra: str) -> "LabelSet":
+        """Return a new set with ``extra`` labels added/overridden."""
+        merged = dict(self._items)
+        merged.update(extra)
+        return LabelSet(merged)
+
+    def without(self, *names: str) -> "LabelSet":
+        """Return a new set dropping the given label names."""
+        drop = set(names)
+        return LabelSet({n: v for n, v in self._items if n not in drop})
+
+    def project(self, names: Iterable[str]) -> "LabelSet":
+        """Return a new set keeping only the given label names (``by`` clause)."""
+        keep = set(names)
+        return LabelSet({n: v for n, v in self._items if n in keep})
+
+    def items_tuple(self) -> tuple[tuple[str, str], ...]:
+        """The canonical sorted ``(name, value)`` tuple (cheap identity key)."""
+        return self._items
+
+    def to_dict(self) -> dict[str, str]:
+        return dict(self._items)
+
+
+EMPTY_LABELS = LabelSet()
+
+
+class MatchOp(enum.Enum):
+    """The four Prometheus/Loki label-matching operators."""
+
+    EQ = "="
+    NEQ = "!="
+    RE = "=~"
+    NRE = "!~"
+
+
+class Matcher:
+    """A single label matcher, e.g. ``cluster=~"perl.*"``."""
+
+    __slots__ = ("name", "op", "value", "_regex")
+
+    def __init__(self, name: str, op: MatchOp, value: str) -> None:
+        validate_label_name(name)
+        self.name = name
+        self.op = op
+        self.value = value
+        if op in (MatchOp.RE, MatchOp.NRE):
+            try:
+                # Prometheus fully anchors selector regexes.
+                self._regex = re.compile(r"(?:" + value + r")\Z")
+            except re.error as exc:
+                raise ValidationError(f"bad regex in matcher {name}: {exc}") from exc
+        else:
+            self._regex = None
+
+    def matches(self, labels: Mapping[str, str]) -> bool:
+        """Whether ``labels`` satisfies this matcher.
+
+        As in Prometheus, a missing label is treated as the empty string, so
+        ``foo!="bar"`` matches series without a ``foo`` label.
+        """
+        actual = labels.get(self.name, "")
+        if self.op is MatchOp.EQ:
+            return actual == self.value
+        if self.op is MatchOp.NEQ:
+            return actual != self.value
+        assert self._regex is not None
+        hit = self._regex.match(actual) is not None
+        return hit if self.op is MatchOp.RE else not hit
+
+    def __repr__(self) -> str:
+        return f'{self.name}{self.op.value}"{self.value}"'
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Matcher):
+            return NotImplemented
+        return (self.name, self.op, self.value) == (other.name, other.op, other.value)
+
+    def __hash__(self) -> int:
+        return hash((self.name, self.op, self.value))
+
+
+def label_matcher(name: str, op: str, value: str) -> Matcher:
+    """Convenience constructor taking the operator as its literal string."""
+    return Matcher(name, MatchOp(op), value)
+
+
+def matches_all(labels: Mapping[str, str], matchers: Iterable[Matcher]) -> bool:
+    """Whether ``labels`` satisfies every matcher in ``matchers``."""
+    return all(m.matches(labels) for m in matchers)

@@ -1,0 +1,39 @@
+"""Shared instant-vector / range-series result types.
+
+Both query engines — LogQL (:mod:`repro.loki.logql`) and the PromQL subset
+(:mod:`repro.tsdb.promql`) — produce the same result shapes, which is what
+lets Grafana and the alert rulers treat "logs turned into metrics" exactly
+like native metrics (the paper's central trick).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.common.labels import LabelSet
+
+
+@dataclass(frozen=True)
+class Sample:
+    """One (labels, value) pair of an instant vector at an evaluation time."""
+
+    labels: LabelSet
+    value: float
+    timestamp_ns: int
+
+    def with_value(self, value: float) -> "Sample":
+        return Sample(self.labels, value, self.timestamp_ns)
+
+
+@dataclass(frozen=True)
+class Series:
+    """One labelled series of a range query: ``[(ts_ns, value), ...]``."""
+
+    labels: LabelSet
+    points: tuple[tuple[int, float], ...]
+
+    def values(self) -> list[float]:
+        return [v for _, v in self.points]
+
+    def timestamps(self) -> list[int]:
+        return [t for t, _ in self.points]

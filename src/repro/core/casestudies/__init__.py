@@ -1,0 +1,17 @@
+"""The paper's §IV case studies, scripted end to end.
+
+Each study builds a framework sized so the paper's exact xnames exist
+(``x1203c1b0`` for the leak context, ``x1002c1r7b0`` for the switch),
+injects the physical fault, advances simulated time, and returns every
+artifact the paper's figures show plus the ground-truth timeline.
+"""
+
+from repro.core.casestudies.leak import LeakCaseResult, run_leak_case_study
+from repro.core.casestudies.switch import SwitchCaseResult, run_switch_case_study
+
+__all__ = [
+    "LeakCaseResult",
+    "run_leak_case_study",
+    "SwitchCaseResult",
+    "run_switch_case_study",
+]

@@ -1,0 +1,135 @@
+"""Case study A: leak detection and alerting (paper §IV.A).
+
+A coolant leak in cabinet x1203's 'Front' zone trips redundant sensor 'A'.
+The Redfish endpoint reports it (Figure 2), the k3s consumer cleans and
+pushes it to Loki (Figure 3), Grafana shows the event (Figure 4) and the
+LogQL-derived metric stepping 0→1 (Figure 5), the Ruler fires after one
+sustained minute, and Alertmanager posts to Slack (Figure 6) and opens a
+ServiceNow incident.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.common.jsonutil import loads
+from repro.common.simclock import minutes
+from repro.common.vector import Series
+from repro.cluster.faults import FaultKind
+from repro.cluster.topology import ClusterSpec
+from repro.core.framework import (
+    FrameworkConfig,
+    LEAK_QUERY,
+    MonitoringFramework,
+)
+from repro.core.transform import redfish_payload_to_push
+from repro.grafana.render import render_chart, render_log_table
+from repro.servicenow.incidents import Incident
+from repro.shasta.hms import TOPIC_REDFISH_EVENTS
+
+
+@dataclass
+class LeakCaseResult:
+    """Everything §IV.A shows, as data."""
+
+    fig2_payload: dict[str, Any]
+    fig3_payload: dict[str, Any]
+    fig4_table: str
+    fig5_series: list[Series]
+    fig5_chart: str
+    fig6_slack: str | None
+    timeline: dict[str, int | None] = field(default_factory=dict)
+    incident: Incident | None = None
+    framework: MonitoringFramework | None = None
+
+
+def leak_case_config(seed: int = 0) -> FrameworkConfig:
+    """A machine sized so the paper's reporting context x1203c1b0 exists."""
+    return FrameworkConfig(
+        cluster_spec=ClusterSpec(
+            cabinets=1,
+            chassis_per_cabinet=2,
+            slots_per_chassis=8,
+            nodes_per_slot=2,
+            first_cabinet=1203,
+        ),
+        seed=seed,
+    )
+
+
+def run_leak_case_study(
+    config: FrameworkConfig | None = None,
+    leak_after_ns: int = minutes(2),
+    observe_ns: int = minutes(20),
+) -> LeakCaseResult:
+    """Run the full §IV.A scenario; returns figures + timeline."""
+    fw = MonitoringFramework(config or leak_case_config())
+    fw.start()
+    fault = fw.faults.schedule(
+        FaultKind.CABINET_LEAK,
+        f"x{fw.config.cluster_spec.first_cabinet}",
+        delay_ns=leak_after_ns,
+        zone="Front",
+        sensor="A",
+    )
+    fw.run_for(observe_ns)
+
+    # --- Figure 2: the raw Telemetry-API payload from the Kafka topic ---
+    records = fw.broker.poll("figure-2-reader", TOPIC_REDFISH_EVENTS, 10)
+    fig2 = loads(records[0].value) if records else {}
+
+    # --- Figure 3: the cleaned Loki push payload -------------------------
+    fig3 = redfish_payload_to_push(fig2).to_json_obj() if fig2 else {}
+
+    # --- Figure 4: the event in Grafana ---------------------------------------
+    window_start = fw.clock.now_ns - observe_ns
+    fig4 = render_log_table(
+        fw.logql.query_logs(
+            '{data_type="redfish_event"} |= "CabinetLeakDetected"',
+            window_start,
+            fw.clock.now_ns + 1,
+        )
+    )
+
+    # --- Figure 5: the LogQL metric stepping 0 → 1 -----------------------------
+    fig5_series = fw.logql.query_range(
+        LEAK_QUERY, window_start, fw.clock.now_ns, minutes(1)
+    )
+    fig5_chart = render_chart(
+        fig5_series, title="sum(count_over_time(... CabinetLeakDetected ... [60m]))"
+    )
+
+    # --- Figure 6: the Slack alert -----------------------------------------------
+    leak_slack = [
+        m for m in fw.slack.messages if "PerlmutterCabinetLeak" in m.text
+    ]
+    fig6 = leak_slack[0].text if leak_slack else None
+
+    # --- timeline + incident ---------------------------------------------------------
+    incidents = [
+        i
+        for i in fw.servicenow.incidents()
+        if "PerlmutterCabinetLeak" in i.short_description
+    ]
+    incident = incidents[0] if incidents else None
+    event_ts = None
+    if fig3:
+        event_ts = int(fig3["streams"][0]["values"][0][0])
+    timeline: dict[str, int | None] = {
+        "fault_ns": fault.start_ns,
+        "redfish_event_ns": event_ts,
+        "slack_ns": leak_slack[0].timestamp_ns if leak_slack else None,
+        "incident_opened_ns": incident.opened_at_ns if incident else None,
+    }
+    return LeakCaseResult(
+        fig2_payload=fig2,
+        fig3_payload=fig3,
+        fig4_table=fig4,
+        fig5_series=fig5_series,
+        fig5_chart=fig5_chart,
+        fig6_slack=fig6,
+        timeline=timeline,
+        incident=incident,
+        framework=fw,
+    )

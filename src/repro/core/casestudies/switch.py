@@ -1,0 +1,145 @@
+"""Case study B: switch offline detection and alerting (paper §IV.B).
+
+Rosetta switch x1002c1r7b0 leaves the ONLINE state; the NERSC fabric
+manager monitor notices on its next poll and emits
+
+    [critical] problem:fm_switch_offline, xname:x1002c1r7b0, state:UNKNOWN
+
+to Loki (Figure 7's event).  The Figure-8 rule converts matching events
+to a metric via the pattern parser and alerts; AlertManager notifies
+Slack (Figure 9).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.common.simclock import minutes
+from repro.common.vector import Series
+from repro.cluster.faults import FaultKind
+from repro.cluster.topology import ClusterSpec
+from repro.core.framework import (
+    FrameworkConfig,
+    MonitoringFramework,
+    SWITCH_PATTERN,
+    SWITCH_RULE_QUERY,
+)
+from repro.grafana.render import render_log_table
+from repro.servicenow.incidents import Incident
+
+#: The paper's sample switch xname.
+PAPER_SWITCH = "x1002c1r7b0"
+
+
+@dataclass
+class SwitchCaseResult:
+    """Everything §IV.B shows, as data."""
+
+    fig7_table: str
+    fig7_event_line: str | None
+    fig8_rule: dict[str, str]
+    fig9_slack: str | None
+    pattern_extracted: dict[str, str] = field(default_factory=dict)
+    rule_series: list[Series] = field(default_factory=list)
+    timeline: dict[str, int | None] = field(default_factory=dict)
+    incident: Incident | None = None
+    framework: MonitoringFramework | None = None
+
+
+def switch_case_config(seed: int = 0) -> FrameworkConfig:
+    """A machine where the paper's x1002c1r7b0 switch exists (needs eight
+    Rosetta switches per chassis → 64 nodes per chassis)."""
+    return FrameworkConfig(
+        cluster_spec=ClusterSpec(
+            cabinets=1,
+            chassis_per_cabinet=2,
+            slots_per_chassis=16,
+            nodes_per_slot=4,
+            first_cabinet=1002,
+        ),
+        seed=seed,
+    )
+
+
+def run_switch_case_study(
+    config: FrameworkConfig | None = None,
+    offline_after_ns: int = minutes(2),
+    observe_ns: int = minutes(20),
+) -> SwitchCaseResult:
+    """Run the full §IV.B scenario; returns figures + timeline."""
+    fw = MonitoringFramework(config or switch_case_config())
+    fw.start()
+    # The switch state becomes UNKNOWN, matching the paper's sample event.
+    fault = fw.faults.schedule(
+        FaultKind.SWITCH_UNKNOWN, PAPER_SWITCH.removesuffix("b0") + "b0",
+        delay_ns=offline_after_ns,
+    )
+    fw.run_for(observe_ns)
+
+    window_start = fw.clock.now_ns - observe_ns
+    logs = fw.logql.query_logs(
+        '{app="fabric_manager_monitor"} |= "fm_switch_offline"',
+        window_start,
+        fw.clock.now_ns + 1,
+    )
+    fig7 = render_log_table(logs)
+    event_line = None
+    event_ts = None
+    for _labels, entries in logs:
+        for entry in entries:
+            if PAPER_SWITCH in entry.line:
+                event_line = entry.line
+                event_ts = entry.timestamp_ns
+                break
+
+    # The Figure-8 rule, as configured in the framework's Ruler.
+    rule = next(r for r in fw.ruler.rules() if r.name == "SwitchOffline")
+    fig8_rule = {
+        "alert": rule.name,
+        "expr": rule.expr,
+        "for": rule.for_,
+        "severity": rule.labels.get("severity", ""),
+    }
+
+    # Pattern extraction, shown explicitly (paper walks through it).
+    extracted: dict[str, str] = {}
+    metric_logs = fw.logql.query_logs(
+        '{app="fabric_manager_monitor"} |= "fm_switch_offline" '
+        f'| pattern "{SWITCH_PATTERN}"',
+        window_start,
+        fw.clock.now_ns + 1,
+    )
+    for labels, entries in metric_logs:
+        if labels.get("xname") == PAPER_SWITCH:
+            extracted = {
+                k: labels[k] for k in ("severity", "problem", "xname", "state")
+                if k in labels
+            }
+
+    rule_series = fw.logql.query_range(
+        SWITCH_RULE_QUERY, window_start, fw.clock.now_ns, minutes(1)
+    )
+
+    switch_slack = [m for m in fw.slack.messages if "SwitchOffline" in m.text]
+    fig9 = switch_slack[0].text if switch_slack else None
+    incidents = [
+        i for i in fw.servicenow.incidents() if "SwitchOffline" in i.short_description
+    ]
+    incident = incidents[0] if incidents else None
+    timeline: dict[str, int | None] = {
+        "fault_ns": fault.start_ns,
+        "monitor_event_ns": event_ts,
+        "slack_ns": switch_slack[0].timestamp_ns if switch_slack else None,
+        "incident_opened_ns": incident.opened_at_ns if incident else None,
+    }
+    return SwitchCaseResult(
+        fig7_table=fig7,
+        fig7_event_line=event_line,
+        fig8_rule=fig8_rule,
+        fig9_slack=fig9,
+        pattern_extracted=extracted,
+        rule_series=rule_series,
+        timeline=timeline,
+        incident=incident,
+        framework=fw,
+    )

@@ -1,0 +1,123 @@
+"""The "K3s python pods": Telemetry-API consumers feeding the stores.
+
+Paper §III: "K3s python pods ... are python-written clients running in a
+Kubernetes environment. They read data in different Kafka topics via the
+Telemetry API and send them to either Victoriametrics or Loki."
+
+Each consumer owns one subscription and a ``pump()`` that drains the next
+batch; the framework registers the pumps on the simulated clock.
+"""
+
+from __future__ import annotations
+
+from repro.common.errors import ValidationError
+from repro.common.jsonutil import loads
+from repro.omni.warehouse import OmniWarehouse
+from repro.shasta.telemetry_api import Subscription, TelemetryAPI
+from repro.core.transform import redfish_payload_to_push
+
+
+class _BaseConsumer:
+    """Shared subscription plumbing."""
+
+    def __init__(
+        self, api: TelemetryAPI, token: str, topic: str, warehouse: OmniWarehouse
+    ) -> None:
+        self._api = api
+        self._warehouse = warehouse
+        self._sub: Subscription = api.subscribe(token, topic)
+        self.records_processed = 0
+        self.records_failed = 0
+
+    def pump(self, max_records: int = 1000) -> int:
+        """Drain one batch; returns records successfully processed."""
+        records = self._api.fetch(self._sub, max_records)
+        done = 0
+        for record in records:
+            try:
+                self._handle(record.value, record.timestamp_ns)
+                done += 1
+            except ValidationError:
+                self.records_failed += 1
+        self.records_processed += done
+        return done
+
+    def _handle(self, value: str, timestamp_ns: int) -> None:
+        raise NotImplementedError
+
+
+class RedfishEventConsumer(_BaseConsumer):
+    """Redfish events: Fig.-2 payloads → §IV.A transform → Loki."""
+
+    def __init__(
+        self,
+        api: TelemetryAPI,
+        token: str,
+        topic: str,
+        warehouse: OmniWarehouse,
+        cluster: str = "perlmutter",
+    ) -> None:
+        super().__init__(api, token, topic, warehouse)
+        self._cluster = cluster
+
+    def _handle(self, value: str, timestamp_ns: int) -> None:
+        payload = loads(value)
+        push = redfish_payload_to_push(payload, cluster=self._cluster)
+        self._warehouse.ingest_logs(push)
+
+
+class SensorMetricConsumer(_BaseConsumer):
+    """Sensor telemetry: per-sample JSON → VictoriaMetrics.
+
+    The metric name is derived from the sensor's physical context, e.g.
+    ``shasta_temperature_celsius``.
+    """
+
+    def __init__(
+        self,
+        api: TelemetryAPI,
+        token: str,
+        topic: str,
+        warehouse: OmniWarehouse,
+        cluster: str = "perlmutter",
+    ) -> None:
+        super().__init__(api, token, topic, warehouse)
+        self._cluster = cluster
+
+    def _handle(self, value: str, timestamp_ns: int) -> None:
+        sample = loads(value)
+        try:
+            context = sample["Context"]
+            physical = sample["PhysicalContext"]
+            reading = float(sample["Value"])
+            ts = int(sample["Timestamp"])
+        except (KeyError, TypeError, ValueError):
+            raise ValidationError(f"malformed sensor sample: {value[:80]}") from None
+        self._warehouse.ingest_metric(
+            f"shasta_{physical}",
+            {
+                "xname": context,
+                "cluster": self._cluster,
+                "index": str(sample.get("Index", 0)),
+            },
+            reading,
+            ts,
+        )
+
+
+class LogLineConsumer(_BaseConsumer):
+    """Syslog / container logs: JSON-envelope lines → Loki.
+
+    The rsyslog aggregators and container runtimes produce envelopes of
+    the form ``{"labels": {...}, "ts": 123, "line": "..."}``.
+    """
+
+    def _handle(self, value: str, timestamp_ns: int) -> None:
+        envelope = loads(value)
+        try:
+            labels = envelope["labels"]
+            ts = int(envelope["ts"])
+            line = envelope["line"]
+        except (KeyError, TypeError, ValueError):
+            raise ValidationError(f"malformed log envelope: {value[:80]}") from None
+        self._warehouse.ingest_log(labels, ts, line)

@@ -1,0 +1,228 @@
+"""Automated root-cause analysis over correlated alerts.
+
+Paper §I/§V: the framework enables "real-time automated root cause
+analysis" by "the correlation of all events".  This module implements
+that correlation: given the set of currently-active alerts, it uses the
+physical topology (which Rosetta switch serves which nodes, which CDU
+cools which cabinets, which chassis contains what) to partition alerts
+into *root causes* and their *consequences*.
+
+Heuristics, in precedence order:
+
+1. **Switch fan-out** — a switch alert explains compute alerts on every
+   node that switch serves (the paper's §IV.B motivation: "If one switch
+   goes offline, the connection of the group of eight compute nodes goes
+   down").
+2. **Cooling fan-out** — a CDU alert explains thermal alerts on every
+   component inside the cabinets that CDU cools.
+3. **Containment** — an alert on an enclosing component (cabinet,
+   chassis) explains alerts on components inside it.
+
+Unexplained alerts are their own roots.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.common.errors import ValidationError
+from repro.common.xname import XName
+from repro.alerting.events import AlertEvent
+from repro.cluster.facility import FacilityModel
+from repro.cluster.topology import Cluster
+
+#: Labels inspected (in order) to locate an alert on the machine.
+_LOCATION_LABELS = ("xname", "Context", "hostname")
+
+
+@dataclass
+class CauseGroup:
+    """One root alert and the alerts it explains."""
+
+    root: AlertEvent
+    consequences: list[AlertEvent] = field(default_factory=list)
+    rule: str = ""  # which heuristic linked them
+
+    @property
+    def size(self) -> int:
+        return 1 + len(self.consequences)
+
+
+@dataclass
+class RcaReport:
+    """The analysis result: cause groups, largest first."""
+
+    groups: list[CauseGroup]
+
+    @property
+    def alert_count(self) -> int:
+        return sum(g.size for g in self.groups)
+
+    @property
+    def root_count(self) -> int:
+        return len(self.groups)
+
+    def compression_factor(self) -> float:
+        """Alerts per root cause — how much triage work correlation saves."""
+        if not self.groups:
+            return 0.0
+        return self.alert_count / len(self.groups)
+
+    def render(self) -> str:
+        if not self.groups:
+            return "(no active alerts)"
+        lines = [
+            f"{self.alert_count} active alert(s) -> "
+            f"{self.root_count} probable root cause(s)"
+        ]
+        for group in self.groups:
+            root = group.root
+            lines.append(
+                f"ROOT  {root.name} @ {_location(root) or '?'} "
+                f"[{root.severity}]"
+            )
+            for alert in group.consequences:
+                lines.append(
+                    f"  └─ {alert.name} @ {_location(alert) or '?'} "
+                    f"(via {group.rule})"
+                )
+        return "\n".join(lines)
+
+
+def _location(alert: AlertEvent) -> str | None:
+    for name in _LOCATION_LABELS:
+        value = alert.labels.get(name)
+        if value:
+            return value
+    for name in ("cdu", "pdu", "fs"):
+        value = alert.labels.get(name)
+        if value:
+            return value
+    return None
+
+
+class RootCauseAnalyzer:
+    """Correlates active alerts against the machine topology."""
+
+    def __init__(
+        self, cluster: Cluster, facility: FacilityModel | None = None
+    ) -> None:
+        self._cluster = cluster
+        self._facility = facility
+        # node xname (str) -> serving switch xname (str)
+        self._switch_of: dict[str, str] = {}
+        for sw_x, switch in cluster.switches.items():
+            for node_x in switch.nodes:
+                self._switch_of[str(node_x)] = str(sw_x)
+
+    def analyze(self, alerts: list[AlertEvent]) -> RcaReport:
+        """Partition ``alerts`` into cause groups (largest first)."""
+        if any(not isinstance(a, AlertEvent) for a in alerts):
+            raise ValidationError("analyze() takes AlertEvent instances")
+        remaining = list(alerts)
+        groups: list[CauseGroup] = []
+
+        # Pass 1: switch roots absorb node-level alerts they serve.
+        switch_alerts = [a for a in remaining if self._is_switch_alert(a)]
+        for root in switch_alerts:
+            root_switch = _location(root)
+            consequences = [
+                a
+                for a in remaining
+                if a is not root
+                and self._switch_of.get(_location(a) or "") == root_switch
+            ]
+            if consequences or root in remaining:
+                groups.append(
+                    CauseGroup(root, consequences, rule="switch fan-out")
+                )
+                remaining = [
+                    a for a in remaining if a is not root and a not in consequences
+                ]
+
+        # Pass 2: CDU roots absorb thermal/compute alerts in served cabinets.
+        if self._facility is not None:
+            cdu_alerts = [a for a in remaining if a.labels.get("cdu")]
+            for root in cdu_alerts:
+                cdu = self._facility.cdus.get(root.labels["cdu"])
+                if cdu is None:
+                    continue
+                served = set(cdu.cabinets)
+                consequences = [
+                    a
+                    for a in remaining
+                    if a is not root and self._cabinet_of(a) in served
+                ]
+                groups.append(
+                    CauseGroup(root, consequences, rule="cooling fan-out")
+                )
+                remaining = [
+                    a for a in remaining if a is not root and a not in consequences
+                ]
+
+        # Pass 3: containment — enclosing components explain inner alerts.
+        located = [(a, self._parse_location(a)) for a in remaining]
+        located.sort(key=lambda pair: _depth(pair[1]))
+        used: set[int] = set()
+        for i, (root, root_x) in enumerate(located):
+            if i in used or root_x is None:
+                continue
+            consequences = []
+            for j in range(i + 1, len(located)):
+                if j in used:
+                    continue
+                inner, inner_x = located[j]
+                if inner_x is not None and root_x != inner_x and root_x.contains(inner_x):
+                    consequences.append(inner)
+                    used.add(j)
+            if consequences:
+                groups.append(CauseGroup(root, consequences, rule="containment"))
+                used.add(i)
+
+        # Whatever is left stands alone.
+        for i, (alert, _) in enumerate(located):
+            if i not in used:
+                groups.append(CauseGroup(alert, [], rule="standalone"))
+        # Un-locatable leftovers from passes 1-2 (no labels at all).
+        for alert in remaining:
+            if all(alert is not g.root and alert not in g.consequences
+                   for g in groups):
+                groups.append(CauseGroup(alert, [], rule="standalone"))
+
+        groups.sort(key=lambda g: (-g.size, g.root.name))
+        return RcaReport(groups)
+
+    # -- helpers ------------------------------------------------------------
+    def _is_switch_alert(self, alert: AlertEvent) -> bool:
+        loc = _location(alert)
+        if not loc:
+            return False
+        try:
+            x = XName.parse(loc)
+        except Exception:
+            return False
+        return x.is_switch
+
+    def _cabinet_of(self, alert: AlertEvent) -> str | None:
+        x = self._parse_location(alert)
+        return f"x{x.cabinet}" if x is not None else None
+
+    @staticmethod
+    def _parse_location(alert: AlertEvent) -> XName | None:
+        loc = _location(alert)
+        if not loc:
+            return None
+        try:
+            return XName.parse(loc)
+        except Exception:
+            return None
+
+
+def _depth(x: XName | None) -> int:
+    if x is None:
+        return 99
+    depth = 1
+    for level in (x.chassis, x.slot, x.switch, x.bmc, x.node):
+        if level is not None:
+            depth += 1
+    return depth

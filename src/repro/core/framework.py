@@ -1,0 +1,628 @@
+"""The integrated monitoring framework — the paper's Figure 1, assembled.
+
+One object wires the full pipeline:
+
+  sensors/Redfish/FM → HMS collector → Kafka → Telemetry API → k3s pods
+  → { Loki (logs), VictoriaMetrics (metrics) } inside OMNI
+  → { Ruler, vmalert } → Alertmanager → { Slack, ServiceNow }
+  → Grafana dashboards over both stores.
+
+Everything runs on one simulated clock; ``run_for`` advances the world.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.common.errors import ValidationError
+from repro.common.labels import Matcher, MatchOp
+from repro.common.simclock import SimClock, minutes, seconds
+from repro.alerting.alertmanager import Alertmanager, Route
+from repro.alerting.rules import RuleSpec
+from repro.bus.broker import Broker
+from repro.cluster.facility import FacilityModel
+from repro.cluster.faults import FaultInjector
+from repro.cluster.gpfs import GpfsFilesystem, GpfsModel
+from repro.cluster.sensors import build_standard_bank
+from repro.cluster.topology import Cluster, ClusterSpec
+from repro.core.correlation import RootCauseAnalyzer
+from repro.core.consumers import (
+    LogLineConsumer,
+    RedfishEventConsumer,
+    SensorMetricConsumer,
+)
+from repro.exporters.aruba import ArubaExporter
+from repro.exporters.blackbox import BlackboxExporter, ProbeTarget
+from repro.exporters.kafka_exporter import KafkaExporter
+from repro.exporters.node import NodeExporter
+from repro.grafana.dashboard import Dashboard
+from repro.grafana.datasource import LokiDatasource, PrometheusDatasource
+from repro.grafana.panels import LogsPanel, StatPanel, TimeSeriesPanel, TopListPanel
+from repro.loki.logql.engine import LogQLEngine
+from repro.loki.ruler import Ruler
+from repro.omni.anomaly import EwmaDetector, ProactiveMonitor
+from repro.omni.eventstore import EventStore, record_from_alert
+from repro.omni.warehouse import OmniWarehouse
+from repro.servicenow.cmdb import build_from_cluster
+from repro.servicenow.platform import ServiceNowPlatform, ServiceNowReceiver
+from repro.servicenow.service_map import ServiceMap
+from repro.shasta.fabric_manager import (
+    FabricManager,
+    FabricManagerMonitor,
+    MONITOR_APP_LABEL,
+    SwitchEvent,
+)
+from repro.shasta.console import ConsoleCollector, TOPIC_CONSOLE_LOGS
+from repro.shasta.hms import (
+    HmsCollector,
+    TOPIC_CONTAINER_LOGS,
+    TOPIC_REDFISH_EVENTS,
+    TOPIC_SENSOR_TELEMETRY,
+    TOPIC_SYSLOG,
+)
+from repro.shasta.ldms import LdmsAggregator, LdmsConsumer
+from repro.shasta.redfish import RedfishEventSource
+from repro.shasta.telemetry_api import TelemetryAPI
+from repro.slackmock.webhook import SlackReceiver, SlackWebhook
+from repro.tsdb.promql import PromQLEngine
+from repro.tsdb.vmagent import ScrapeTarget, VMAgent
+from repro.tsdb.vmalert import VMAlert
+from repro.common.jsonutil import dumps_compact
+
+#: The paper's Figure-8 switch-offline pattern (§IV.B).
+SWITCH_PATTERN = "[<severity>] problem:<problem>, xname:<xname>, state:<state>"
+
+#: The paper's Figure-5 leak query, over the live-alerting window.
+LEAK_QUERY = (
+    'sum(count_over_time({data_type="redfish_event"} |= "CabinetLeakDetected" '
+    "| json [60m])) by (Severity, cluster, Context, MessageId, Message)"
+)
+#: Same shape with a short window, used for the alerting rule so alerts
+#: resolve promptly once the condition clears (the 60m figure window would
+#: hold the alert up for an hour).
+LEAK_RULE_QUERY = (
+    'sum(count_over_time({data_type="redfish_event"} |= "CabinetLeakDetected" '
+    "| json [5m])) by (Context, cluster)"
+)
+SWITCH_RULE_QUERY = (
+    'sum(count_over_time({app="fabric_manager_monitor"} '
+    '|= "fm_switch_offline" | pattern "' + SWITCH_PATTERN + '" [5m])) '
+    "by (severity, problem, xname, state)"
+)
+
+
+@dataclass
+class FrameworkConfig:
+    """All the knobs, with production-plausible defaults."""
+
+    cluster_spec: ClusterSpec = field(default_factory=ClusterSpec)
+    cluster_name: str = "perlmutter"
+    seed: int = 0
+    # Collection cadences.
+    redfish_poll_interval_ns: int = seconds(10)
+    sensor_interval_ns: int = seconds(60)
+    fm_poll_interval_ns: int = seconds(30)
+    consumer_interval_ns: int = seconds(10)
+    scrape_interval_ns: int = seconds(60)
+    gpfs_interval_ns: int = seconds(60)
+    console_interval_ns: int = seconds(60)
+    console_lines_per_tick: int = 5
+    ldms_interval_ns: int = seconds(60)
+    facility_interval_ns: int = seconds(60)
+    # Alerting cadences.
+    ruler_interval_ns: int = seconds(30)
+    vmalert_interval_ns: int = seconds(30)
+    rule_for: str = "1m"  # "lasts more than one minute" (paper §IV.A)
+    group_wait: str = "30s"
+    group_interval: str = "5m"
+    repeat_interval: str = "4h"
+    # Node-temperature alert threshold (°C).
+    hot_node_threshold_c: float = 90.0
+    install_default_rules: bool = True
+    # §II/§III.D "machine learning methods for proactive incident
+    # response": EWMA anomaly scanning over key metrics.
+    enable_proactive_detection: bool = False
+    proactive_interval_ns: int = seconds(300)
+
+    def __post_init__(self) -> None:
+        for name in (
+            "redfish_poll_interval_ns",
+            "sensor_interval_ns",
+            "fm_poll_interval_ns",
+            "consumer_interval_ns",
+            "scrape_interval_ns",
+            "ruler_interval_ns",
+            "vmalert_interval_ns",
+        ):
+            if getattr(self, name) <= 0:
+                raise ValidationError(f"{name} must be positive")
+
+
+class MonitoringFramework:
+    """The assembled stack. Construct, :meth:`start`, then advance time."""
+
+    def __init__(
+        self, config: FrameworkConfig | None = None, clock: SimClock | None = None
+    ) -> None:
+        self.config = config or FrameworkConfig()
+        self.clock = clock or SimClock()
+        cfg = self.config
+
+        # --- the machine ------------------------------------------------
+        self.cluster = Cluster(cfg.cluster_spec)
+        self.sensors = build_standard_bank(self.cluster, seed=cfg.seed)
+        self.faults = FaultInjector(self.cluster, self.clock, self.sensors)
+        self.gpfs = GpfsModel(
+            [GpfsFilesystem("scratch"), GpfsFilesystem("community")],
+            seed=cfg.seed + 7,
+        )
+        self.facility = FacilityModel(
+            [str(x) for x in sorted(self.cluster.cabinets)], seed=cfg.seed + 11
+        )
+
+        # --- the Shasta telemetry plane -----------------------------------
+        self.broker = Broker(self.clock)
+        self.redfish_source = RedfishEventSource(self.cluster, self.clock)
+        self.hms = HmsCollector(
+            self.broker, self.clock, self.redfish_source, self.sensors
+        )
+        self.telemetry_api = TelemetryAPI(self.broker, servers=2)
+        self.telemetry_api.register_client("nersc-k3s", "token-nersc-k3s")
+        self.console = ConsoleCollector(
+            self.broker, self.clock, sorted(self.cluster.nodes),
+            cluster=cfg.cluster_name, seed=cfg.seed + 13,
+        )
+        self.ldms = LdmsAggregator(
+            self.broker, self.clock, self.cluster,
+            seed=cfg.seed + 17, cluster_name=cfg.cluster_name,
+        )
+
+        # --- OMNI: the stores ------------------------------------------------
+        self.warehouse = OmniWarehouse(self.clock)
+        self.logql = LogQLEngine(self.warehouse.loki)
+        self.promql = PromQLEngine(self.warehouse.tsdb)
+
+        # --- the k3s consumer pods -------------------------------------------
+        token = "token-nersc-k3s"
+        self.redfish_consumer = RedfishEventConsumer(
+            self.telemetry_api, token, TOPIC_REDFISH_EVENTS, self.warehouse,
+            cluster=cfg.cluster_name,
+        )
+        self.sensor_consumer = SensorMetricConsumer(
+            self.telemetry_api, token, TOPIC_SENSOR_TELEMETRY, self.warehouse,
+            cluster=cfg.cluster_name,
+        )
+        self.syslog_consumer = LogLineConsumer(
+            self.telemetry_api, token, TOPIC_SYSLOG, self.warehouse
+        )
+        self.container_consumer = LogLineConsumer(
+            self.telemetry_api, token, TOPIC_CONTAINER_LOGS, self.warehouse
+        )
+        self.console_consumer = LogLineConsumer(
+            self.telemetry_api, token, TOPIC_CONSOLE_LOGS, self.warehouse
+        )
+        self.ldms_consumer = LdmsConsumer(
+            self.telemetry_api, token, self.warehouse
+        )
+
+        # --- fabric manager + NERSC monitor ------------------------------------
+        self.fabric_manager = FabricManager(self.cluster)
+        self.fm_monitor = FabricManagerMonitor(
+            self.fabric_manager,
+            self.clock,
+            sink=self._fm_sink,
+            cluster_name=cfg.cluster_name,
+        )
+
+        # --- vmagent + exporters -------------------------------------------------
+        self.vmagent = VMAgent(self.warehouse.tsdb, self.clock)
+        self.node_exporter = NodeExporter(self.cluster, self.sensors)
+        self.kafka_exporter = KafkaExporter(self.broker)
+        self.aruba_exporter = ArubaExporter(seed=cfg.seed + 3)
+        self.blackbox_exporter = BlackboxExporter(
+            [
+                ProbeTarget("telemetry-api", lambda: (True, 0.012)),
+                ProbeTarget("loki-gateway", lambda: (True, 0.004)),
+            ]
+        )
+        self.vmagent.add_target(
+            ScrapeTarget("node", "node-exporter:9100", self.node_exporter)
+        )
+        self.vmagent.add_target(
+            ScrapeTarget("kafka", "kafka-exporter:9308", self.kafka_exporter)
+        )
+        self.vmagent.add_target(
+            ScrapeTarget("aruba", "aruba-exporter:9101", self.aruba_exporter)
+        )
+        self.vmagent.add_target(
+            ScrapeTarget("blackbox", "blackbox-exporter:9115", self.blackbox_exporter)
+        )
+
+        # --- alerting plane ---------------------------------------------------------
+        self.slack = SlackWebhook()
+        cmdb = build_from_cluster(self.cluster, cfg.cluster_name)
+        # Facility plant joins the CMDB so CDU/PDU incidents map to CIs.
+        for cdu_name in self.facility.cdus:
+            cmdb.add(cdu_name, "cmdb_ci_cooling", parent=cfg.cluster_name)
+        for pdu_name in self.facility.pdus:
+            cmdb.add(pdu_name, "cmdb_ci_pdu", parent=cfg.cluster_name)
+        self.servicenow = ServiceNowPlatform(self.clock, cmdb=cmdb)
+        route = Route(
+            receiver="slack",
+            group_by=("alertname", "cluster"),
+            group_wait=cfg.group_wait,
+            group_interval=cfg.group_interval,
+            repeat_interval=cfg.repeat_interval,
+            routes=[
+                Route(
+                    receiver="servicenow",
+                    matchers=(Matcher("severity", MatchOp.EQ, "critical"),),
+                    group_by=("alertname", "cluster"),
+                    group_wait=cfg.group_wait,
+                    group_interval=cfg.group_interval,
+                    repeat_interval=cfg.repeat_interval,
+                    continue_=True,
+                ),
+                Route(
+                    receiver="slack",
+                    group_by=("alertname", "cluster"),
+                    group_wait=cfg.group_wait,
+                    group_interval=cfg.group_interval,
+                    repeat_interval=cfg.repeat_interval,
+                ),
+            ],
+        )
+        self.alertmanager = Alertmanager(self.clock, route)
+        self.dashboards = self._build_dashboards()
+        self.alertmanager.register_receiver(
+            SlackReceiver(
+                self.slack,
+                dashboard_base_url=self.dashboards["overview"].url(),
+            )
+        )
+        self.alertmanager.register_receiver(
+            ServiceNowReceiver(self.servicenow)
+        )
+        self.ruler = Ruler(self.logql, self.clock, self.alertmanager.receive)
+        self.vmalert = VMAlert(self.promql, self.clock, self.alertmanager.receive)
+        if cfg.install_default_rules:
+            self._install_default_rules()
+
+        self.proactive: ProactiveMonitor | None = None
+        if cfg.enable_proactive_detection:
+            # z=6 with a long warmup keeps the fleet-wide false-positive
+            # rate at zero over the sensors' own noise, while a real
+            # excursion (tens of degrees) scores far beyond it.
+            self.proactive = ProactiveMonitor(
+                self.warehouse.tsdb,
+                self.clock,
+                self.alertmanager.receive,
+                detector=EwmaDetector(z_threshold=6.0, warmup=15),
+            )
+            self.proactive.watch_metric("node_temp_celsius", severity="warning")
+            self.proactive.watch_metric("gpfs_write_mb_s", severity="warning")
+
+        #: OMNI's event archive (paper §III.C: "anything that has a
+        #: start and end time"); SN alerts are mirrored in periodically.
+        self.eventstore = EventStore()
+
+        self._started = False
+
+    # ------------------------------------------------------------------
+    # Wiring details
+    # ------------------------------------------------------------------
+    def _fm_sink(self, event: SwitchEvent) -> None:
+        """The FM monitor pushes its event lines straight to Loki."""
+        self.warehouse.ingest_log(
+            {
+                "app": MONITOR_APP_LABEL,
+                "cluster": self.config.cluster_name,
+            },
+            event.timestamp_ns,
+            event.to_line(),
+        )
+
+    def _scrape_gpfs(self) -> None:
+        """GPFS health (paper §V future work) lands as metrics."""
+        now = self.clock.now_ns
+        for sample in self.gpfs.sample_all():
+            labels = {"fs": sample.fs_name, "cluster": self.config.cluster_name}
+            self.warehouse.ingest_metric("gpfs_write_mb_s", labels, sample.write_mb_s, now)
+            self.warehouse.ingest_metric("gpfs_read_mb_s", labels, sample.read_mb_s, now)
+            self.warehouse.ingest_metric("gpfs_iops", labels, sample.iops, now)
+            self.warehouse.ingest_metric(
+                "gpfs_crc_errors_total", labels, float(sample.crc_errors), now
+            )
+            self.warehouse.ingest_metric(
+                "gpfs_unhealthy_nsds", labels, float(sample.unhealthy_nsds), now
+            )
+            self.warehouse.ingest_metric(
+                "gpfs_healthy", labels, 1.0 if sample.healthy else 0.0, now
+            )
+
+    def _install_default_rules(self) -> None:
+        cfg = self.config
+        self.ruler.add_rule(
+            RuleSpec(
+                name="PerlmutterCabinetLeak",
+                expr=LEAK_RULE_QUERY + " > 0",
+                for_=cfg.rule_for,
+                labels={"severity": "critical", "category": "facility"},
+                annotations={
+                    "summary": "Coolant leak detected in {{ $labels.Context }} "
+                    "on {{ $labels.cluster }}",
+                },
+            )
+        )
+        self.ruler.add_rule(
+            RuleSpec(
+                name="SwitchOffline",
+                expr=SWITCH_RULE_QUERY + " > 0",
+                for_=cfg.rule_for,
+                labels={"severity": "critical", "category": "network"},
+                annotations={
+                    "summary": "Rosetta switch {{ $labels.xname }} entered state "
+                    "{{ $labels.state }}",
+                },
+            )
+        )
+        self.vmalert.add_rule(
+            RuleSpec(
+                name="NodeDown",
+                expr="node_up == 0",
+                for_=cfg.rule_for,
+                labels={"severity": "critical", "category": "compute"},
+                annotations={"summary": "Node {{ $labels.xname }} is down"},
+            )
+        )
+        self.vmalert.add_rule(
+            RuleSpec(
+                name="NodeHotTemperature",
+                expr=f"node_temp_celsius > {cfg.hot_node_threshold_c:g}",
+                for_="5m",
+                labels={"severity": "warning", "category": "compute"},
+                annotations={
+                    "summary": "Node {{ $labels.xname }} temperature is "
+                    "{{ $value }} C"
+                },
+            )
+        )
+        self.vmalert.add_rule(
+            RuleSpec(
+                name="KafkaConsumerLag",
+                expr="kafka_consumergroup_lag > 10000",
+                for_="5m",
+                labels={"severity": "warning", "category": "pipeline"},
+                annotations={
+                    "summary": "Consumer group {{ $labels.consumergroup }} lag "
+                    "is {{ $value }}"
+                },
+            )
+        )
+        self.ruler.add_rule(
+            RuleSpec(
+                name="NodeKernelPanic",
+                expr=(
+                    'sum(count_over_time({data_type="console_log"} '
+                    '|= "Kernel panic" [5m])) by (hostname, cluster) > 0'
+                ),
+                for_="0s",  # a panic needs no sustain window
+                labels={"severity": "critical", "category": "compute"},
+                annotations={
+                    "summary": "Kernel panic on {{ $labels.hostname }} console"
+                },
+            )
+        )
+        self.vmalert.add_rule(
+            RuleSpec(
+                name="CduLowFlow",
+                expr="facility_cdu_flow_lpm < 200",
+                for_=cfg.rule_for,
+                labels={"severity": "critical", "category": "facility"},
+                annotations={
+                    "summary": "CDU {{ $labels.cdu }} coolant flow down to "
+                    "{{ $value }} LPM"
+                },
+            )
+        )
+        self.vmalert.add_rule(
+            RuleSpec(
+                name="FacilityHumidityHigh",
+                expr="facility_room_humidity_percent > 65",
+                for_="10m",
+                labels={"severity": "warning", "category": "facility"},
+                annotations={
+                    "summary": "Machine-room humidity at {{ $value }}%"
+                },
+            )
+        )
+        self.vmalert.add_rule(
+            RuleSpec(
+                name="PduBreakerOpen",
+                expr="facility_pdu_load_kw == 0",
+                for_=cfg.rule_for,
+                labels={"severity": "critical", "category": "facility"},
+                annotations={
+                    "summary": "PDU {{ $labels.pdu }} carries no load "
+                    "(breaker open?)"
+                },
+            )
+        )
+        self.vmalert.add_rule(
+            RuleSpec(
+                name="TelemetrySilent",
+                expr='absent(shasta_temperature_celsius)',
+                for_="10m",
+                labels={"severity": "critical", "category": "pipeline"},
+                annotations={
+                    "summary": "No Shasta sensor telemetry arriving — "
+                    "the collection pipeline itself is down"
+                },
+            )
+        )
+        self.vmalert.add_rule(
+            RuleSpec(
+                name="GpfsDegraded",
+                expr="gpfs_unhealthy_nsds > 0",
+                for_=cfg.rule_for,
+                labels={"severity": "critical", "category": "storage"},
+                annotations={
+                    "summary": "GPFS {{ $labels.fs }} has {{ $value }} "
+                    "unhealthy NSD servers"
+                },
+            )
+        )
+
+    def _build_dashboards(self) -> dict[str, Dashboard]:
+        loki_ds = LokiDatasource(self.logql)
+        prom_ds = PrometheusDatasource(self.promql)
+        overview = Dashboard("Perlmutter Monitoring Overview", uid="perlmutter-overview")
+        overview.add_panel(
+            LogsPanel(
+                title="Redfish events",
+                datasource=loki_ds,
+                query='{data_type="redfish_event"}',
+            )
+        )
+        overview.add_panel(
+            TimeSeriesPanel(
+                title="CabinetLeakDetected (count_over_time 60m)",
+                datasource=loki_ds,
+                query=LEAK_QUERY,
+            )
+        )
+        overview.add_panel(
+            LogsPanel(
+                title="Fabric manager events",
+                datasource=loki_ds,
+                query='{app="fabric_manager_monitor"}',
+            )
+        )
+        overview.add_panel(
+            StatPanel(
+                title="Nodes up",
+                datasource=prom_ds,
+                query="sum(node_up)",
+            )
+        )
+        overview.add_panel(
+            StatPanel(
+                title="Max node temp",
+                datasource=prom_ds,
+                query="max(node_temp_celsius)",
+                unit=" C",
+            )
+        )
+        overview.add_panel(
+            TopListPanel(
+                title="Hottest nodes",
+                datasource=prom_ds,
+                query="topk(5, node_temp_celsius)",
+                unit=" C",
+            )
+        )
+        return {"overview": overview}
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        """Register every periodic activity on the clock (idempotent)."""
+        if self._started:
+            return
+        cfg = self.config
+        self.hms.run_periodic(cfg.redfish_poll_interval_ns, cfg.sensor_interval_ns)
+        self.fm_monitor.run_periodic(cfg.fm_poll_interval_ns)
+        self.clock.every(cfg.consumer_interval_ns, self._pump_consumers)
+        self.clock.every(cfg.scrape_interval_ns, self._scrape_tick)
+        self.clock.every(cfg.gpfs_interval_ns, self._scrape_gpfs)
+        self.console.run_periodic(
+            cfg.console_interval_ns, cfg.console_lines_per_tick
+        )
+        self.ldms.run_periodic(cfg.ldms_interval_ns)
+        self.clock.every(cfg.facility_interval_ns, self._sample_facility)
+        self.ruler.run_periodic(cfg.ruler_interval_ns)
+        self.vmalert.run_periodic(cfg.vmalert_interval_ns)
+        if self.proactive is not None:
+            self.proactive.run_periodic(cfg.proactive_interval_ns)
+        self.clock.every(minutes(1), self._mirror_alert_events)
+        self._started = True
+
+    def _mirror_alert_events(self) -> None:
+        for alert in self.servicenow.alerts():
+            record_from_alert(self.eventstore, alert, self.clock.now_ns)
+
+    def service_map(self) -> str:
+        """The live, alert-aware service topology view (paper §III.D)."""
+        smap = ServiceMap(self.servicenow.cmdb, self.config.cluster_name)
+        return smap.render(self.servicenow.alerts())
+
+    def root_cause_report(self):
+        """Correlate the currently-active alerts into probable root
+        causes (paper §I: "real-time automated root cause analysis")."""
+        analyzer = RootCauseAnalyzer(self.cluster, self.facility)
+        return analyzer.analyze(self.alertmanager.active_alerts())
+
+    def _pump_consumers(self) -> None:
+        self.redfish_consumer.pump()
+        self.sensor_consumer.pump()
+        self.syslog_consumer.pump()
+        self.container_consumer.pump()
+        self.console_consumer.pump()
+        self.ldms_consumer.pump()
+
+    def _sample_facility(self) -> None:
+        """Environmental/facility series (paper §III.C) land as metrics."""
+        sample = self.facility.sample(self.clock.now_ns)
+        for name, labels, value in sample.flat_metrics():
+            self.warehouse.ingest_metric(
+                name, {**labels, "cluster": self.config.cluster_name},
+                value, sample.timestamp_ns,
+            )
+
+    def _scrape_tick(self) -> None:
+        self.aruba_exporter.step()
+        self.vmagent.scrape_all()
+
+    def run_for(self, duration_ns: int) -> None:
+        """Advance the simulated world."""
+        if not self._started:
+            self.start()
+        self.clock.advance(duration_ns)
+
+    # ------------------------------------------------------------------
+    # Log producers (rsyslog aggregators / container runtime)
+    # ------------------------------------------------------------------
+    def publish_syslog(self, labels: dict[str, str], timestamp_ns: int, line: str) -> None:
+        """What an rsyslogd aggregator does: envelope into the syslog topic."""
+        self.broker.produce(
+            TOPIC_SYSLOG,
+            dumps_compact({"labels": labels, "ts": timestamp_ns, "line": line}),
+            key=labels.get("hostname"),
+            timestamp_ns=timestamp_ns,
+        )
+
+    def publish_container_log(
+        self, labels: dict[str, str], timestamp_ns: int, line: str
+    ) -> None:
+        self.broker.produce(
+            TOPIC_CONTAINER_LOGS,
+            dumps_compact({"labels": labels, "ts": timestamp_ns, "line": line}),
+            key=labels.get("app"),
+            timestamp_ns=timestamp_ns,
+        )
+
+    # ------------------------------------------------------------------
+    # Summaries
+    # ------------------------------------------------------------------
+    def health_summary(self) -> dict[str, float]:
+        """One-call status used by examples and integration tests."""
+        return {
+            "messages_ingested": float(self.warehouse.messages_ingested),
+            "log_streams": float(self.warehouse.loki.stream_count()),
+            "metric_series": float(self.warehouse.tsdb.series_count()),
+            "alert_events": float(self.alertmanager.events_received),
+            "notifications": float(self.alertmanager.notifications_sent),
+            "slack_messages": float(len(self.slack.messages)),
+            "sn_incidents": float(len(self.servicenow.incidents())),
+        }

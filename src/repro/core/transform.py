@@ -1,0 +1,87 @@
+"""The §IV.A transformation: Figure 2 in, Figure 3 out.
+
+The paper walks through exactly what the Python clients do before sending
+a Redfish event to Loki:
+
+* convert the ISO-8601 ``EventTimestamp`` to a Unix epoch in nanoseconds;
+* drop ``OriginOfCondition`` ("a link to the Redfish endpoint which is
+  not useful") and ``MessageArgs`` ("duplicate information");
+* enrich with ``cluster`` and ``data_type`` labels ("because there is
+  more than one cluster at NERSC, and we store multiple types of string
+  data in Loki");
+* send ``Context`` as a label (critical for location filtering; bounded
+  cardinality) and wrap ``Severity``/``MessageId``/``Message`` as a JSON
+  string in the log content (unbounded variation → not labels);
+
+This module is that client code.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+from repro.common.errors import ValidationError
+from repro.common.jsonutil import iso8601_to_ns
+from repro.common.labels import LabelSet
+from repro.loki.model import LogEntry, PushRequest, PushStream
+
+#: Fields kept in the log content, in the paper's Figure-3 order.
+CONTENT_FIELDS = ("Severity", "MessageId", "Message")
+#: Fields the paper explicitly removes.
+DROPPED_FIELDS = ("OriginOfCondition", "MessageArgs")
+
+
+def clean_event(event: dict[str, Any]) -> tuple[int, str]:
+    """Clean one raw Redfish event: returns ``(timestamp_ns, content)``.
+
+    ``content`` is the compact JSON string of the kept fields — the exact
+    string Figure 3 shows inside ``values``.
+    """
+    try:
+        ts_text = event["EventTimestamp"]
+    except KeyError:
+        raise ValidationError("Redfish event missing EventTimestamp") from None
+    timestamp_ns = iso8601_to_ns(ts_text)
+    content_obj = {}
+    for field in CONTENT_FIELDS:
+        if field in event:
+            content_obj[field] = event[field]
+    if not content_obj:
+        raise ValidationError("Redfish event has none of the content fields")
+    # Keys stay in Figure-3 order (Severity, MessageId, Message).
+    content = json.dumps(content_obj, separators=(",", ":"), sort_keys=False)
+    return timestamp_ns, content
+
+
+def redfish_payload_to_push(
+    payload: dict[str, Any],
+    cluster: str = "perlmutter",
+    data_type: str = "redfish_event",
+) -> PushRequest:
+    """Convert a full Telemetry-API payload (Fig. 2) to a push request (Fig. 3)."""
+    try:
+        messages = payload["metrics"]["messages"]
+    except (KeyError, TypeError):
+        raise ValidationError(
+            "payload is not a Telemetry-API metrics envelope"
+        ) from None
+    streams: list[PushStream] = []
+    for message in messages:
+        try:
+            context = message["Context"]
+            events = message["Events"]
+        except (KeyError, TypeError):
+            raise ValidationError("message missing Context or Events") from None
+        labels = LabelSet(
+            {"Context": context, "cluster": cluster, "data_type": data_type}
+        )
+        entries = []
+        for event in events:
+            ts, content = clean_event(event)
+            entries.append(LogEntry(ts, content))
+        if entries:
+            streams.append(PushStream(labels=labels, entries=tuple(entries)))
+    if not streams:
+        raise ValidationError("payload contained no events")
+    return PushRequest(streams=tuple(streams))

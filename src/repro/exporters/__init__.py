@@ -1,0 +1,36 @@
+"""Prometheus-style exporters (paper Figure 1, top row).
+
+Three provenances, as the paper lists them:
+
+* installed by HPE — :class:`~repro.exporters.node.NodeExporter`;
+* community, installed by NERSC — :class:`~repro.exporters.blackbox.BlackboxExporter`,
+  :class:`~repro.exporters.kafka_exporter.KafkaExporter`;
+* written by NERSC — :class:`~repro.exporters.aruba.ArubaExporter`.
+
+Every exporter exposes ``scrape() -> str`` returning the Prometheus text
+exposition format; :mod:`repro.exporters.textformat` renders and parses it,
+so vmagent exercises the real wire format.
+"""
+
+from repro.exporters.textformat import (
+    MetricFamily,
+    MetricPoint,
+    render_exposition,
+    parse_exposition,
+)
+from repro.exporters.node import NodeExporter
+from repro.exporters.blackbox import BlackboxExporter, ProbeTarget
+from repro.exporters.kafka_exporter import KafkaExporter
+from repro.exporters.aruba import ArubaExporter
+
+__all__ = [
+    "MetricFamily",
+    "MetricPoint",
+    "render_exposition",
+    "parse_exposition",
+    "NodeExporter",
+    "BlackboxExporter",
+    "ProbeTarget",
+    "KafkaExporter",
+    "ArubaExporter",
+]

@@ -1,0 +1,64 @@
+"""aruba-exporter equivalent: the custom exporter NERSC wrote.
+
+Models a management-network Aruba switch fleet with per-port status and
+traffic counters.  Port flaps are seeded-random but deterministic, so
+rules that alert on ``aruba_port_up == 0`` are reproducible.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.common.errors import ValidationError
+from repro.exporters.textformat import MetricFamily, render_exposition
+
+
+class ArubaExporter:
+    """Exports ``aruba_port_up`` and ``aruba_port_rx_bytes_total``."""
+
+    def __init__(
+        self,
+        switches: int = 4,
+        ports_per_switch: int = 48,
+        seed: int = 0,
+        flap_probability: float = 0.001,
+    ) -> None:
+        if switches < 1 or ports_per_switch < 1:
+            raise ValidationError("need at least one switch and port")
+        if not 0.0 <= flap_probability <= 1.0:
+            raise ValidationError("flap probability must be in [0, 1]")
+        self._rng = np.random.default_rng(seed)
+        self._switches = switches
+        self._ports = ports_per_switch
+        self._flap_p = flap_probability
+        self._up = np.ones((switches, ports_per_switch), dtype=bool)
+        self._rx = np.zeros((switches, ports_per_switch), dtype=np.float64)
+        self.scrapes_served = 0
+
+    def step(self) -> None:
+        """Advance the fleet: accumulate traffic, maybe flap ports."""
+        traffic = self._rng.gamma(2.0, 5.0e6, size=self._rx.shape)
+        self._rx += traffic * self._up  # down ports move no bytes
+        flips = self._rng.random(self._up.shape) < self._flap_p
+        self._up ^= flips
+
+    def force_port(self, switch: int, port: int, up: bool) -> None:
+        """Deterministically set one port's state (fault injection)."""
+        self._up[switch, port] = up
+
+    def scrape(self) -> str:
+        up = MetricFamily("aruba_port_up", "Aruba switch port status.", "gauge")
+        rx = MetricFamily(
+            "aruba_port_rx_bytes_total", "Received bytes.", "counter"
+        )
+        for s in range(self._switches):
+            for p in range(self._ports):
+                labels = {"switch": f"aruba-{s}", "port": str(p)}
+                up.add(1.0 if self._up[s, p] else 0.0, **labels)
+                rx.add(float(self._rx[s, p]), **labels)
+        self.scrapes_served += 1
+        return render_exposition([up, rx])
+
+    def down_ports(self) -> list[tuple[int, int]]:
+        rows, cols = np.nonzero(~self._up)
+        return list(zip(rows.tolist(), cols.tolist()))

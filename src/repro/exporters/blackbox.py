@@ -1,0 +1,60 @@
+"""blackbox-exporter equivalent: endpoint probing.
+
+The community exporter NERSC installs to check that services respond.
+Probes are callables returning ``(success, latency_seconds)`` so any
+in-process service (Telemetry API, broker, Loki gateway) can be probed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.common.errors import ValidationError
+from repro.exporters.textformat import MetricFamily, render_exposition
+
+
+@dataclass(frozen=True)
+class ProbeTarget:
+    """One probed endpoint."""
+
+    name: str
+    probe: Callable[[], tuple[bool, float]]
+    module: str = "http_2xx"
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValidationError("probe target needs a name")
+
+
+class BlackboxExporter:
+    """Exports ``probe_success`` and ``probe_duration_seconds``."""
+
+    def __init__(self, targets: list[ProbeTarget]) -> None:
+        names = [t.name for t in targets]
+        if len(set(names)) != len(names):
+            raise ValidationError("duplicate probe target names")
+        self._targets = list(targets)
+        self.scrapes_served = 0
+
+    def add_target(self, target: ProbeTarget) -> None:
+        if any(t.name == target.name for t in self._targets):
+            raise ValidationError(f"duplicate probe target: {target.name}")
+        self._targets.append(target)
+
+    def scrape(self) -> str:
+        success = MetricFamily(
+            "probe_success", "Whether the probe succeeded.", "gauge"
+        )
+        duration = MetricFamily(
+            "probe_duration_seconds", "Probe round-trip time.", "gauge"
+        )
+        for target in self._targets:
+            try:
+                ok, latency = target.probe()
+            except Exception:
+                ok, latency = False, 0.0
+            success.add(1.0 if ok else 0.0, target=target.name, module=target.module)
+            duration.add(latency, target=target.name, module=target.module)
+        self.scrapes_served += 1
+        return render_exposition([success, duration])

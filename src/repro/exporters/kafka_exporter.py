@@ -1,0 +1,56 @@
+"""kafka-exporter equivalent: broker/topic/consumer-group metrics.
+
+The community exporter NERSC installs to watch the telemetry bus itself —
+"monitoring the monitoring", which is how a stuck consumer (growing lag)
+becomes an alert before data is lost.
+"""
+
+from __future__ import annotations
+
+from repro.bus.broker import Broker
+from repro.exporters.textformat import MetricFamily, render_exposition
+
+
+class KafkaExporter:
+    """Exports per-topic message counters and per-group lag."""
+
+    def __init__(self, broker: Broker) -> None:
+        self._broker = broker
+        self.scrapes_served = 0
+
+    def scrape(self) -> str:
+        messages = MetricFamily(
+            "kafka_topic_messages_total",
+            "Messages produced to the topic since broker start.",
+            "counter",
+        )
+        bytes_total = MetricFamily(
+            "kafka_topic_bytes_total", "Bytes produced to the topic.", "counter"
+        )
+        retained = MetricFamily(
+            "kafka_topic_retained_records",
+            "Records currently retained across partitions.",
+            "gauge",
+        )
+        partitions = MetricFamily(
+            "kafka_topic_partitions", "Partition count.", "gauge"
+        )
+        lag = MetricFamily(
+            "kafka_consumergroup_lag",
+            "Records not yet consumed by the group.",
+            "gauge",
+        )
+        for topic in self._broker.topics():
+            stats = self._broker.topic_stats(topic)
+            messages.add(float(stats["total_produced"]), topic=topic)
+            bytes_total.add(float(stats["total_bytes"]), topic=topic)
+            retained.add(float(stats["retained_records"]), topic=topic)
+            partitions.add(float(stats["partitions"]), topic=topic)
+        for group_id, topic in self._broker.group_ids():
+            lag.add(
+                float(self._broker.lag(group_id, topic)),
+                consumergroup=group_id,
+                topic=topic,
+            )
+        self.scrapes_served += 1
+        return render_exposition([messages, bytes_total, retained, partitions, lag])

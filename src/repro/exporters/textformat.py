@@ -1,0 +1,166 @@
+"""Prometheus text exposition format: render and parse.
+
+The format every exporter speaks::
+
+    # HELP node_temp_celsius Node temperature.
+    # TYPE node_temp_celsius gauge
+    node_temp_celsius{xname="x1000c0s0b0n0"} 34.72
+
+vmagent parses this back into samples, so the scrape path exercises the
+real wire format instead of passing Python objects around.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+from dataclasses import dataclass, field
+
+from repro.common.errors import ValidationError
+
+_NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_NAME_PREFIX_RE = re.compile(r"[a-zA-Z_:][a-zA-Z0-9_:]*")
+_LABEL_RE = re.compile(r'\s*([a-zA-Z_][a-zA-Z0-9_]*)\s*=\s*"((?:[^"\\]|\\.)*)"\s*')
+
+
+@dataclass(frozen=True)
+class MetricPoint:
+    """One sample line."""
+
+    name: str
+    labels: dict[str, str]
+    value: float
+    timestamp_ms: int | None = None
+
+
+@dataclass
+class MetricFamily:
+    """A named family: HELP/TYPE header plus its points."""
+
+    name: str
+    help: str = ""
+    type: str = "gauge"  # gauge | counter | untyped
+    points: list[MetricPoint] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if not _NAME_RE.match(self.name):
+            raise ValidationError(f"invalid metric name: {self.name!r}")
+        if self.type not in ("gauge", "counter", "untyped"):
+            raise ValidationError(f"invalid metric type: {self.type!r}")
+
+    def add(self, value: float, **labels: str) -> None:
+        self.points.append(MetricPoint(self.name, labels, value))
+
+
+def _escape(value: str) -> str:
+    return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def _unescape(value: str) -> str:
+    out: list[str] = []
+    i = 0
+    while i < len(value):
+        ch = value[i]
+        if ch == "\\" and i + 1 < len(value):
+            nxt = value[i + 1]
+            out.append({"n": "\n", '"': '"', "\\": "\\"}.get(nxt, "\\" + nxt))
+            i += 2
+        else:
+            out.append(ch)
+            i += 1
+    return "".join(out)
+
+
+def _format_value(value: float) -> str:
+    if math.isnan(value):
+        return "NaN"
+    if math.isinf(value):
+        return "+Inf" if value > 0 else "-Inf"
+    return repr(value) if isinstance(value, float) else str(value)
+
+
+def render_exposition(families: list[MetricFamily]) -> str:
+    """Render families to exposition text."""
+    lines: list[str] = []
+    for family in families:
+        if family.help:
+            lines.append(f"# HELP {family.name} {family.help}")
+        lines.append(f"# TYPE {family.name} {family.type}")
+        for point in family.points:
+            if point.name != family.name:
+                raise ValidationError(
+                    f"point {point.name!r} inside family {family.name!r}"
+                )
+            if point.labels:
+                label_text = ",".join(
+                    f'{k}="{_escape(v)}"' for k, v in sorted(point.labels.items())
+                )
+                head = f"{point.name}{{{label_text}}}"
+            else:
+                head = point.name
+            line = f"{head} {_format_value(point.value)}"
+            if point.timestamp_ms is not None:
+                line += f" {point.timestamp_ms}"
+            lines.append(line)
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def parse_exposition(text: str) -> list[MetricPoint]:
+    """Parse exposition text into points (HELP/TYPE lines are skipped)."""
+    points: list[MetricPoint] = []
+    for lineno, raw in enumerate(text.splitlines(), start=1):
+        line = raw.strip()
+        if not line or line.startswith("#"):
+            continue
+        points.append(_parse_sample_line(line, lineno))
+    return points
+
+
+def _parse_sample_line(line: str, lineno: int) -> MetricPoint:
+    name_match = _NAME_PREFIX_RE.match(line)
+    if not name_match:
+        raise ValidationError(f"bad exposition line {lineno}: {line!r}")
+    name = name_match.group()
+    pos = name_match.end()
+    labels: dict[str, str] = {}
+    if pos < len(line) and line[pos] == "{":
+        pos += 1
+        while pos < len(line) and line[pos] != "}":
+            lm = _LABEL_RE.match(line, pos)
+            if not lm:
+                raise ValidationError(
+                    f"bad label pair on exposition line {lineno}: {line!r}"
+                )
+            labels[lm.group(1)] = _unescape(lm.group(2))
+            pos = lm.end()
+            if pos < len(line) and line[pos] == ",":
+                pos += 1
+        if pos >= len(line) or line[pos] != "}":
+            raise ValidationError(f"unterminated labels on line {lineno}: {line!r}")
+        pos += 1
+    rest = line[pos:].split()
+    if not rest or len(rest) > 2:
+        raise ValidationError(f"bad exposition line {lineno}: {line!r}")
+    value_text = rest[0]
+    try:
+        if value_text == "NaN":
+            value = float("nan")
+        elif value_text in ("+Inf", "Inf"):
+            value = float("inf")
+        elif value_text == "-Inf":
+            value = float("-inf")
+        else:
+            value = float(value_text)
+    except ValueError:
+        raise ValidationError(
+            f"bad value on exposition line {lineno}: {value_text!r}"
+        ) from None
+    ts: int | None = None
+    if len(rest) == 2:
+        try:
+            ts = int(rest[1])
+        except ValueError:
+            raise ValidationError(
+                f"bad timestamp on exposition line {lineno}: {rest[1]!r}"
+            ) from None
+    return MetricPoint(name, labels, value, ts)

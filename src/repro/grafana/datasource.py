@@ -1,0 +1,75 @@
+"""Datasource adapters: the uniform query surface panels talk to.
+
+Both stores "support Grafana ... natively. Therefore, even though metrics
+and logs are stored separately, they are unified in the stage of
+visualization and alerting" (paper §III) — this thin protocol is that
+unification.
+"""
+
+from __future__ import annotations
+
+from typing import Protocol
+
+from repro.common.labels import LabelSet
+from repro.common.vector import Sample, Series
+from repro.loki.logql.engine import LogQLEngine
+from repro.loki.model import LogEntry
+from repro.tsdb.promql import PromQLEngine
+
+
+class Datasource(Protocol):
+    """What a panel needs: range/instant metric queries and log queries."""
+
+    name: str
+
+    def query_range(
+        self, query: str, start_ns: int, end_ns: int, step_ns: int
+    ) -> list[Series]: ...
+
+    def query_instant(self, query: str, time_ns: int) -> list[Sample]: ...
+
+    def query_logs(
+        self, query: str, start_ns: int, end_ns: int
+    ) -> list[tuple[LabelSet, list[LogEntry]]]: ...
+
+
+class LokiDatasource:
+    """Loki datasource: LogQL for both logs and log-derived metrics."""
+
+    def __init__(self, engine: LogQLEngine, name: str = "loki") -> None:
+        self.name = name
+        self._engine = engine
+
+    def query_range(
+        self, query: str, start_ns: int, end_ns: int, step_ns: int
+    ) -> list[Series]:
+        return self._engine.query_range(query, start_ns, end_ns, step_ns)
+
+    def query_instant(self, query: str, time_ns: int) -> list[Sample]:
+        return self._engine.query_instant(query, time_ns)
+
+    def query_logs(
+        self, query: str, start_ns: int, end_ns: int
+    ) -> list[tuple[LabelSet, list[LogEntry]]]:
+        return self._engine.query_logs(query, start_ns, end_ns)
+
+
+class PrometheusDatasource:
+    """VictoriaMetrics datasource: PromQL, metrics only."""
+
+    def __init__(self, engine: PromQLEngine, name: str = "victoriametrics") -> None:
+        self.name = name
+        self._engine = engine
+
+    def query_range(
+        self, query: str, start_ns: int, end_ns: int, step_ns: int
+    ) -> list[Series]:
+        return self._engine.query_range(query, start_ns, end_ns, step_ns)
+
+    def query_instant(self, query: str, time_ns: int) -> list[Sample]:
+        return self._engine.query_instant(query, time_ns)
+
+    def query_logs(
+        self, query: str, start_ns: int, end_ns: int
+    ) -> list[tuple[LabelSet, list[LogEntry]]]:
+        raise NotImplementedError("a metrics datasource cannot serve log panels")

@@ -1,0 +1,91 @@
+"""Dashboard panels: logs, time series, stat."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.common.errors import ValidationError
+from repro.grafana.datasource import Datasource
+from repro.grafana.render import render_chart, render_log_table, render_stat
+
+
+@dataclass
+class LogsPanel:
+    """A log-table panel (Figures 4 and 7)."""
+
+    title: str
+    datasource: Datasource
+    query: str
+    max_rows: int = 50
+
+    def render(self, start_ns: int, end_ns: int, step_ns: int) -> str:
+        results = self.datasource.query_logs(self.query, start_ns, end_ns)
+        return f"== {self.title} ==\n" + render_log_table(results, self.max_rows)
+
+
+@dataclass
+class TimeSeriesPanel:
+    """An ASCII chart panel over a metric query (Figure 5)."""
+
+    title: str
+    datasource: Datasource
+    query: str
+    width: int = 72
+    height: int = 10
+
+    def render(self, start_ns: int, end_ns: int, step_ns: int) -> str:
+        series = self.datasource.query_range(self.query, start_ns, end_ns, step_ns)
+        return render_chart(
+            series, self.width, self.height, title=f"== {self.title} =="
+        )
+
+
+@dataclass
+class TopListPanel:
+    """A ranked list of series at the window end (e.g. hottest nodes)."""
+
+    title: str
+    datasource: Datasource
+    query: str  # typically a topk(...) expression
+    label: str = "xname"  # which label names each row
+    unit: str = ""
+
+    def render(self, start_ns: int, end_ns: int, step_ns: int) -> str:
+        samples = self.datasource.query_instant(self.query, end_ns)
+        lines = [f"== {self.title} =="]
+        if not samples:
+            lines.append("(no data)")
+        for rank, sample in enumerate(samples, start=1):
+            name = sample.labels.get(self.label, str(sample.labels))
+            lines.append(f"{rank:>2}. {name:<24} {sample.value:>10.2f}{self.unit}")
+        return "\n".join(lines)
+
+
+@dataclass
+class StatPanel:
+    """A single-value tile evaluated at the window end."""
+
+    title: str
+    datasource: Datasource
+    query: str
+    unit: str = ""
+    reducer: str = "sum"  # sum | max | min | count over the instant vector
+
+    def __post_init__(self) -> None:
+        if self.reducer not in ("sum", "max", "min", "count"):
+            raise ValidationError(f"unknown reducer {self.reducer!r}")
+
+    def render(self, start_ns: int, end_ns: int, step_ns: int) -> str:
+        samples = self.datasource.query_instant(self.query, end_ns)
+        values = [s.value for s in samples]
+        if not values:
+            value = 0.0
+        elif self.reducer == "sum":
+            value = sum(values)
+        elif self.reducer == "max":
+            value = max(values)
+        elif self.reducer == "min":
+            value = min(values)
+        else:
+            value = float(len(values))
+        return render_stat(self.title, value, self.unit)

@@ -1,0 +1,91 @@
+"""Text renderers: ASCII charts and log tables.
+
+Regenerates the paper's Grafana figures as terminal artifacts: Figure 5's
+step-from-zero-to-one metric chart becomes an ASCII plot, Figures 4 and 7
+become log tables.
+"""
+
+from __future__ import annotations
+
+from repro.common.jsonutil import ns_to_iso8601
+from repro.common.labels import LabelSet
+from repro.common.vector import Series
+from repro.loki.model import LogEntry
+
+
+def render_chart(
+    series: list[Series], width: int = 72, height: int = 10, title: str = ""
+) -> str:
+    """Render range-query series as an ASCII line chart.
+
+    Each series gets its own glyph; the y-axis is shared and padded by 5%
+    so flat lines are visible.  Points are nearest-bucket sampled onto the
+    ``width`` columns.
+    """
+    if not series or all(not s.points for s in series):
+        return f"{title}\n(no data)" if title else "(no data)"
+    glyphs = "●○▲△■□◆◇"
+    all_values = [v for s in series for v in s.values()]
+    all_ts = [t for s in series for t in s.timestamps()]
+    vmin, vmax = min(all_values), max(all_values)
+    if vmin == vmax:
+        pad = abs(vmin) * 0.05 or 1.0
+        vmin, vmax = vmin - pad, vmax + pad
+    tmin, tmax = min(all_ts), max(all_ts)
+    tspan = max(tmax - tmin, 1)
+
+    grid = [[" "] * width for _ in range(height)]
+    for s_idx, s in enumerate(series):
+        glyph = glyphs[s_idx % len(glyphs)]
+        for ts, value in s.points:
+            col = int((ts - tmin) / tspan * (width - 1))
+            row = int((value - vmin) / (vmax - vmin) * (height - 1))
+            grid[height - 1 - row][col] = glyph
+
+    lines = []
+    if title:
+        lines.append(title)
+    for i, row in enumerate(grid):
+        level = vmax - (vmax - vmin) * i / (height - 1)
+        lines.append(f"{level:>10.2f} ┤{''.join(row)}")
+    lines.append(" " * 11 + "└" + "─" * width)
+    lines.append(
+        " " * 12
+        + ns_to_iso8601(tmin)
+        + " " * max(1, width - 50)
+        + ns_to_iso8601(tmax)
+    )
+    for s_idx, s in enumerate(series):
+        lines.append(f"  {glyphs[s_idx % len(glyphs)]} {s.labels}")
+    return "\n".join(lines)
+
+
+def render_log_table(
+    results: list[tuple[LabelSet, list[LogEntry]]], max_rows: int = 50
+) -> str:
+    """Render a log query result as Grafana's Explore-style table."""
+    rows: list[tuple[int, LabelSet, str]] = []
+    for labels, entries in results:
+        for entry in entries:
+            rows.append((entry.timestamp_ns, labels, entry.line))
+    rows.sort(key=lambda r: r[0])
+    if not rows:
+        return "(no logs)"
+    lines = [f"{'Time':<26} {'Labels':<48} Line"]
+    lines.append("-" * 110)
+    for ts, labels, line in rows[:max_rows]:
+        lines.append(f"{ns_to_iso8601(ts):<26} {str(labels):<48.48} {line}")
+    if len(rows) > max_rows:
+        lines.append(f"... {len(rows) - max_rows} more rows")
+    return "\n".join(lines)
+
+
+def render_stat(title: str, value: float, unit: str = "") -> str:
+    """A Grafana stat tile as text."""
+    shown = f"{value:g}{unit}"
+    inner = max(len(title), len(shown)) + 2
+    top = "┌" + "─" * inner + "┐"
+    bottom = "└" + "─" * inner + "┘"
+    return "\n".join(
+        [top, f"│ {title:<{inner - 2}} │", f"│ {shown:<{inner - 2}} │", bottom]
+    )

@@ -1,0 +1,166 @@
+"""Chunk storage: compressed buckets of one stream's log content.
+
+Paper §IV.A: "Loki indexes the timestamp and labels only, and the log
+contents are compressed and stored in chunks ... Each log stream fills a
+separate chunk. So logs with the same combination of labels are stored in
+the same chunk, and sorted in timestamp order. When a chunk is full, Loki
+creates a new chunk. Chunks are first stored in memory, and then moved to
+disk."
+
+A chunk here accumulates entries in an in-memory *head block*; when the
+head reaches the policy's target size (or the chunk's age exceeds the
+policy's max age at flush time), it is *sealed*: the content is
+zlib-compressed into immutable bytes.  Reads transparently decompress.
+Compression statistics feed the storage-cost benches (C3/C4).
+"""
+
+from __future__ import annotations
+
+import zlib
+from dataclasses import dataclass
+
+from repro.common.errors import StateError, ValidationError
+from repro.loki.model import LogEntry
+
+_SEPARATOR = "\x1e"  # record separator; never appears in log lines we accept
+
+
+@dataclass(frozen=True)
+class ChunkPolicy:
+    """Chunk sizing policy.
+
+    ``target_size_bytes`` bounds the uncompressed head block; Loki prefers
+    "bigger but fewer chunks" so the production default is large.
+    ``max_age_ns`` bounds how long a chunk may keep accumulating before the
+    store seals it regardless of size (Loki's ``max_chunk_age``).
+    """
+
+    target_size_bytes: int = 256 * 1024
+    max_age_ns: int = 2 * 60 * 60 * 1_000_000_000  # 2h
+
+    def __post_init__(self) -> None:
+        if self.target_size_bytes < 1:
+            raise ValidationError("target size must be positive")
+        if self.max_age_ns < 1:
+            raise ValidationError("max age must be positive")
+
+
+class Chunk:
+    """One stream's bucket of time-ordered entries."""
+
+    __slots__ = (
+        "policy",
+        "first_ts_ns",
+        "last_ts_ns",
+        "_head",
+        "_head_bytes",
+        "_content_bytes",
+        "_sealed",
+        "_compressed",
+        "entry_count",
+    )
+
+    def __init__(self, policy: ChunkPolicy) -> None:
+        self.policy = policy
+        self.first_ts_ns: int | None = None
+        self.last_ts_ns: int | None = None
+        self._head: list[LogEntry] = []
+        self._head_bytes = 0
+        self._content_bytes = 0
+        self._sealed = False
+        self._compressed: bytes | None = None
+        self.entry_count = 0
+
+    # ------------------------------------------------------------------
+    # Writing
+    # ------------------------------------------------------------------
+    @property
+    def sealed(self) -> bool:
+        return self._sealed
+
+    def space_for(self, entry: LogEntry) -> bool:
+        """Whether the head block can absorb ``entry`` without exceeding
+        the target size (an empty chunk always accepts one entry)."""
+        if self._sealed:
+            return False
+        if not self._head:
+            return True
+        return self._head_bytes + entry.size_bytes() <= self.policy.target_size_bytes
+
+    def append(self, entry: LogEntry) -> None:
+        """Append one entry. Entries must arrive in timestamp order within
+        the stream (the store enforces out-of-order rejection)."""
+        if self._sealed:
+            raise StateError("cannot append to a sealed chunk")
+        if _SEPARATOR in entry.line:
+            raise ValidationError("log line contains reserved separator byte 0x1e")
+        if self.last_ts_ns is not None and entry.timestamp_ns < self.last_ts_ns:
+            raise ValidationError(
+                f"out-of-order entry: {entry.timestamp_ns} < {self.last_ts_ns}"
+            )
+        if self.first_ts_ns is None:
+            self.first_ts_ns = entry.timestamp_ns
+        self.last_ts_ns = entry.timestamp_ns
+        self._head.append(entry)
+        self._head_bytes += entry.size_bytes()
+        self._content_bytes += entry.size_bytes()
+        self.entry_count += 1
+
+    def seal(self) -> None:
+        """Compress the head block; the chunk becomes immutable."""
+        if self._sealed:
+            return
+        payload = _SEPARATOR.join(
+            f"{e.timestamp_ns}{_SEPARATOR}{e.line}" for e in self._head
+        )
+        self._compressed = zlib.compress(payload.encode(), level=6)
+        self._head = []
+        self._head_bytes = 0
+        self._sealed = True
+
+    # ------------------------------------------------------------------
+    # Reading
+    # ------------------------------------------------------------------
+    def entries(self) -> list[LogEntry]:
+        """All entries in timestamp order (decompressing if sealed)."""
+        if not self._sealed:
+            return list(self._head)
+        if self._compressed is None or self.entry_count == 0:
+            return []
+        text = zlib.decompress(self._compressed).decode()
+        fields = text.split(_SEPARATOR)
+        out = []
+        for i in range(0, len(fields) - 1, 2):
+            out.append(LogEntry(int(fields[i]), fields[i + 1]))
+        return out
+
+    def entries_between(self, start_ns: int, end_ns: int) -> list[LogEntry]:
+        """Entries with ``start_ns <= ts < end_ns``."""
+        if self.first_ts_ns is None:
+            return []
+        if self.last_ts_ns < start_ns or self.first_ts_ns >= end_ns:
+            return []
+        return [e for e in self.entries() if start_ns <= e.timestamp_ns < end_ns]
+
+    def overlaps(self, start_ns: int, end_ns: int) -> bool:
+        if self.first_ts_ns is None:
+            return False
+        return self.last_ts_ns >= start_ns and self.first_ts_ns < end_ns
+
+    # ------------------------------------------------------------------
+    # Accounting
+    # ------------------------------------------------------------------
+    def uncompressed_bytes(self) -> int:
+        """Logical (pre-compression) content size: sum of line bytes."""
+        return self._content_bytes
+
+    def stored_bytes(self) -> int:
+        """Actual resident size: compressed if sealed, raw if in memory."""
+        if self._sealed:
+            return len(self._compressed or b"")
+        return self._head_bytes
+
+    def age_ns(self, now_ns: int) -> int:
+        if self.first_ts_ns is None:
+            return 0
+        return max(0, now_ns - self.first_ts_ns)

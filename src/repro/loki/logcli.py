@@ -1,0 +1,114 @@
+"""LogCLI: Loki's command-line query client.
+
+Paper §III.A: "The queries can be executed and visualized using Grafana
+or a command line interface, LogCLI."  This module is that interface for
+the in-process store: log queries print lines (optionally JSONL), metric
+queries print instant vectors or step series, and ``labels`` /
+``series`` subcommands browse the index.
+
+Programmatic use::
+
+    from repro.loki.logcli import run_logcli
+    output = run_logcli(store, ["query", '{app="fm"} |= "offline"',
+                                "--from", "0", "--to", "3600000000000"])
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+
+from repro.common.errors import QueryError, ValidationError
+from repro.common.jsonutil import ns_to_iso8601
+from repro.loki.logql.ast import LogPipeline
+from repro.loki.logql.engine import LogQLEngine
+from repro.loki.logql.parser import parse
+from repro.loki.store import LokiStore
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="logcli", description="Query the Loki store from the command line."
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    query = sub.add_parser("query", help="run a LogQL log or metric query")
+    query.add_argument("logql", help="the LogQL expression")
+    query.add_argument("--from", dest="from_ns", type=int, required=True,
+                       help="window start, ns epoch (inclusive)")
+    query.add_argument("--to", dest="to_ns", type=int, required=True,
+                       help="window end, ns epoch (exclusive; metric "
+                            "queries evaluate at this instant)")
+    query.add_argument("--limit", type=int, default=100,
+                       help="max log lines printed (default 100)")
+    query.add_argument("--step", type=int, default=None,
+                       help="step in ns: evaluate a metric range query "
+                            "instead of an instant query")
+    query.add_argument("--output", choices=("default", "jsonl", "raw"),
+                       default="default")
+
+    sub.add_parser("labels", help="list label names in the index")
+
+    values = sub.add_parser("label-values", help="list values of one label")
+    values.add_argument("label")
+
+    series = sub.add_parser("series", help="list streams matching a selector")
+    series.add_argument("selector")
+    return parser
+
+
+def run_logcli(store: LokiStore, argv: list[str]) -> str:
+    """Execute one LogCLI invocation against ``store``; returns the output."""
+    args = _build_parser().parse_args(argv)
+    engine = LogQLEngine(store)
+    if args.command == "labels":
+        return "\n".join(store.index.label_names())
+    if args.command == "label-values":
+        return "\n".join(store.index.label_values(args.label))
+    if args.command == "series":
+        expr = parse(args.selector)
+        if not isinstance(expr, LogPipeline) or expr.stages:
+            raise QueryError("series takes a bare stream selector")
+        sids = store.index.select(expr.matchers)
+        return "\n".join(str(store.index.labels_of(sid)) for sid in sids)
+    return _run_query(store, engine, args)
+
+
+def _run_query(store: LokiStore, engine: LogQLEngine, args) -> str:
+    if args.to_ns <= args.from_ns:
+        raise ValidationError("--to must be after --from")
+    expr = parse(args.logql)
+    if isinstance(expr, LogPipeline):
+        results = engine.query_logs(expr, args.from_ns, args.to_ns)
+        rows = []
+        for labels, entries in results:
+            for entry in entries:
+                rows.append((entry.timestamp_ns, labels, entry.line))
+        rows.sort(key=lambda r: r[0])
+        rows = rows[-args.limit:]  # newest lines win, as in logcli
+        out = []
+        for ts, labels, line in rows:
+            if args.output == "jsonl":
+                out.append(json.dumps(
+                    {"ts": ts, "labels": labels.to_dict(), "line": line}
+                ))
+            elif args.output == "raw":
+                out.append(line)
+            else:
+                out.append(f"{ns_to_iso8601(ts)} {labels} {line}")
+        return "\n".join(out)
+    if args.step is not None:
+        series = engine.query_range(expr, args.from_ns, args.to_ns, args.step)
+        out = []
+        for s in series:
+            points = " ".join(f"{ts}:{value:g}" for ts, value in s.points)
+            out.append(f"{s.labels} {points}")
+        return "\n".join(out)
+    samples = engine.query_instant(expr, args.to_ns)
+    return "\n".join(f"{s.labels} => {s.value:g}" for s in samples)
+
+
+def main(argv: list[str] | None = None) -> int:  # pragma: no cover - thin shell
+    """OS entry point querying an empty store (demonstration only)."""
+    print(run_logcli(LokiStore(), argv or []))
+    return 0

@@ -1,0 +1,25 @@
+"""LogQL: Grafana Loki's PromQL-inspired query language.
+
+Implemented subset (everything the paper's queries use, plus the common
+neighbours):
+
+* stream selectors — ``{cluster="perlmutter", data_type=~"redfish.*"}``
+* line filters — ``|= "needle"``, ``!= "needle"``, ``|~ "regex"``, ``!~ "regex"``
+* parser stages — ``| json``, ``| logfmt``,
+  ``| pattern "[<severity>] problem:<problem>, xname:<xname>, state:<state>"``
+* label filters after a parser — ``| severity="Warning"``, ``| value > 10``
+* line format is *not* implemented (the paper does not use it)
+* range aggregations — ``count_over_time``, ``rate``, ``bytes_over_time``,
+  ``bytes_rate`` over ``[5m]``-style windows
+* vector aggregation — ``sum/min/max/avg/count`` with ``by``/``without``,
+  in both ``sum by (a) (x)`` and ``sum(x) by (a)`` forms
+* scalar binary ops — comparisons (``> 0`` filters, as in the Ruler rules)
+  and arithmetic (``* 2``)
+
+Entry points: :func:`parse` and :class:`LogQLEngine`.
+"""
+
+from repro.loki.logql.parser import parse
+from repro.loki.logql.engine import LogQLEngine
+
+__all__ = ["parse", "LogQLEngine"]

@@ -1,0 +1,53 @@
+"""The Loki Ruler: continuous evaluation of LogQL alerting rules.
+
+Paper §III.A / §IV.A: "Loki includes a component called the Ruler which
+is responsible for continually evaluating a set of configurable queries
+and performing an action based on the result ... Loki Ruler alerting
+rules share the same format as Prometheus alerting rules. If the return
+value is greater than zero and it lasts more than one minute, an alert
+will be generated."
+
+The pending→firing→resolved state machine lives in
+:class:`repro.alerting.rules.RuleEvaluator`; this subclass binds it to a
+LogQL engine and validates that rule expressions are metric queries.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.common.errors import QueryError
+from repro.common.simclock import SimClock
+from repro.common.vector import Sample
+from repro.alerting.events import AlertEvent
+from repro.alerting.rules import RuleEvaluator, RuleSpec
+from repro.loki.logql.ast import LogPipeline
+from repro.loki.logql.engine import LogQLEngine
+from repro.loki.logql.parser import parse
+
+#: Loki rule files use the Prometheus rule format; alias for clarity.
+AlertingRule = RuleSpec
+
+
+class Ruler(RuleEvaluator):
+    """Evaluates LogQL alerting rules against a Loki store."""
+
+    def __init__(
+        self,
+        engine: LogQLEngine,
+        clock: SimClock,
+        notifier: Callable[[AlertEvent], None],
+        generator: str = "loki-ruler",
+    ) -> None:
+        super().__init__(clock, notifier, generator)
+        self._engine = engine
+
+    def _validate_expr(self, expr: str) -> None:
+        ast = parse(expr)
+        if isinstance(ast, LogPipeline):
+            raise QueryError(
+                "alerting rules need a metric query, not a log query"
+            )
+
+    def _query(self, expr: str, time_ns: int) -> list[Sample]:
+        return self._engine.query_instant(expr, time_ns)

@@ -1,0 +1,250 @@
+"""The Loki store: ingestion, chunk lifecycle, selection, sharded cluster.
+
+``LokiStore`` is a single ingester; ``LokiCluster`` shards streams across
+several ingesters by label hash, mirroring the 8-worker deployment the
+paper evaluates on (bench C8 sweeps the worker count).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Mapping
+
+from repro.common.errors import ValidationError
+from repro.common.labels import LabelSet, Matcher
+from repro.loki.chunks import Chunk, ChunkPolicy
+from repro.loki.index import LabelIndex
+from repro.loki.model import LogEntry, PushRequest
+
+
+@dataclass
+class StoreStats:
+    """Ingest/storage accounting for the benches."""
+
+    entries_ingested: int = 0
+    bytes_ingested: int = 0
+    entries_rejected: int = 0
+    chunks_created: int = 0
+    chunks_sealed: int = 0
+
+
+class LokiStore:
+    """A single-ingester Loki.
+
+    Per stream the store keeps an ordered list of chunks; only the last may
+    be open.  Out-of-order entries (older than the stream's newest
+    timestamp) are rejected, as Loki 2.4 does by default.
+    """
+
+    def __init__(
+        self,
+        policy: ChunkPolicy | None = None,
+        reject_out_of_order: bool = True,
+    ) -> None:
+        self.policy = policy or ChunkPolicy()
+        self.reject_out_of_order = reject_out_of_order
+        self.index = LabelIndex()
+        self._chunks: dict[int, list[Chunk]] = {}
+        self._last_ts: dict[int, int] = {}
+        self.stats = StoreStats()
+
+    # ------------------------------------------------------------------
+    # Ingestion
+    # ------------------------------------------------------------------
+    def push(self, request: PushRequest) -> int:
+        """Ingest a push request; returns accepted entry count."""
+        accepted = 0
+        for stream in request.streams:
+            accepted += self.push_stream(stream.labels, stream.entries)
+        return accepted
+
+    def push_stream(
+        self, labels: LabelSet | Mapping[str, str], entries: Iterable[LogEntry]
+    ) -> int:
+        labelset = labels if isinstance(labels, LabelSet) else LabelSet(labels)
+        sid = self.index.get_or_create(labelset)
+        chunks = self._chunks.setdefault(sid, [])
+        accepted = 0
+        for entry in entries:
+            last = self._last_ts.get(sid)
+            if last is not None and entry.timestamp_ns < last:
+                if self.reject_out_of_order:
+                    self.stats.entries_rejected += 1
+                    continue
+                raise ValidationError("out-of-order entry with rejection disabled")
+            chunk = chunks[-1] if chunks else None
+            if chunk is None or not chunk.space_for(entry):
+                if chunk is not None:
+                    chunk.seal()
+                    self.stats.chunks_sealed += 1
+                chunk = Chunk(self.policy)
+                chunks.append(chunk)
+                self.stats.chunks_created += 1
+            chunk.append(entry)
+            self._last_ts[sid] = entry.timestamp_ns
+            accepted += 1
+            self.stats.entries_ingested += 1
+            self.stats.bytes_ingested += entry.size_bytes()
+        return accepted
+
+    def flush_aged(self, now_ns: int) -> int:
+        """Seal open chunks older than the policy's max age; returns count."""
+        sealed = 0
+        for chunks in self._chunks.values():
+            if chunks and not chunks[-1].sealed:
+                chunk = chunks[-1]
+                if chunk.age_ns(now_ns) >= self.policy.max_age_ns:
+                    chunk.seal()
+                    self.stats.chunks_sealed += 1
+                    sealed += 1
+        return sealed
+
+    def flush_all(self) -> int:
+        """Seal every open chunk (shutdown / test determinism)."""
+        sealed = 0
+        for chunks in self._chunks.values():
+            if chunks and not chunks[-1].sealed:
+                chunks[-1].seal()
+                self.stats.chunks_sealed += 1
+                sealed += 1
+        return sealed
+
+    # ------------------------------------------------------------------
+    # Selection (LogQL's data plane)
+    # ------------------------------------------------------------------
+    def select(
+        self, matchers: Iterable[Matcher], start_ns: int, end_ns: int
+    ) -> list[tuple[LabelSet, list[LogEntry]]]:
+        """Entries per matching stream with ``start <= ts < end``.
+
+        Only chunks overlapping the window are decompressed — the chunk
+        time-bounds act as a coarse secondary index.
+        """
+        if end_ns <= start_ns:
+            raise ValidationError("empty time range")
+        out = []
+        for sid in self.index.select(matchers):
+            entries: list[LogEntry] = []
+            for chunk in self._chunks.get(sid, []):
+                if chunk.overlaps(start_ns, end_ns):
+                    entries.extend(chunk.entries_between(start_ns, end_ns))
+            if entries:
+                out.append((self.index.labels_of(sid), entries))
+        return out
+
+    def delete_before(self, cutoff_ns: int) -> int:
+        """Retention: drop sealed chunks entirely before ``cutoff_ns``.
+
+        Returns the number of chunks dropped.  Open or straddling chunks
+        are kept (Loki deletes at chunk granularity).
+        """
+        dropped = 0
+        for sid, chunks in self._chunks.items():
+            keep = []
+            for chunk in chunks:
+                if (
+                    chunk.sealed
+                    and chunk.last_ts_ns is not None
+                    and chunk.last_ts_ns < cutoff_ns
+                ):
+                    dropped += 1
+                else:
+                    keep.append(chunk)
+            self._chunks[sid] = keep
+        return dropped
+
+    # ------------------------------------------------------------------
+    # Accounting
+    # ------------------------------------------------------------------
+    def chunk_count(self) -> int:
+        return sum(len(c) for c in self._chunks.values())
+
+    def stream_count(self) -> int:
+        return len(self.index)
+
+    def stored_bytes(self) -> int:
+        """Resident chunk bytes (compressed where sealed)."""
+        return sum(c.stored_bytes() for chunks in self._chunks.values() for c in chunks)
+
+    def uncompressed_bytes(self) -> int:
+        return sum(
+            c.uncompressed_bytes() for chunks in self._chunks.values() for c in chunks
+        )
+
+    def index_bytes(self) -> int:
+        return self.index.size_bytes()
+
+    def compression_ratio(self) -> float:
+        stored = self.stored_bytes()
+        return self.uncompressed_bytes() / stored if stored else 0.0
+
+
+@dataclass
+class _Shard:
+    store: LokiStore
+    pushes: int = 0
+    entries: int = 0
+
+
+class LokiCluster:
+    """Label-hash sharded Loki: N ingesters behind one query frontend.
+
+    Ingest work distributes by stream-label hash (Loki's distributor ring);
+    queries fan out to every shard and merge.  ``max_shard_entries`` over
+    ``total_entries`` approximates the parallel-speedup the 8-worker
+    deployment in the paper gets (bench C8).
+    """
+
+    def __init__(
+        self, shards: int = 8, policy: ChunkPolicy | None = None
+    ) -> None:
+        if shards < 1:
+            raise ValidationError("need at least one shard")
+        self._shards = [_Shard(LokiStore(policy)) for _ in range(shards)]
+
+    @property
+    def shard_count(self) -> int:
+        return len(self._shards)
+
+    def _shard_for(self, labels: LabelSet) -> _Shard:
+        h = 0xCBF29CE484222325
+        for name, value in labels.items_tuple():
+            for byte in f"{name}={value};".encode():
+                h ^= byte
+                h = (h * 0x100000001B3) & 0xFFFFFFFFFFFFFFFF
+        return self._shards[h % len(self._shards)]
+
+    def push(self, request: PushRequest) -> int:
+        accepted = 0
+        for stream in request.streams:
+            shard = self._shard_for(stream.labels)
+            got = shard.store.push_stream(stream.labels, stream.entries)
+            shard.pushes += 1
+            shard.entries += got
+            accepted += got
+        return accepted
+
+    def select(
+        self, matchers: Iterable[Matcher], start_ns: int, end_ns: int
+    ) -> list[tuple[LabelSet, list[LogEntry]]]:
+        matchers = list(matchers)
+        out: list[tuple[LabelSet, list[LogEntry]]] = []
+        for shard in self._shards:
+            out.extend(shard.store.select(matchers, start_ns, end_ns))
+        out.sort(key=lambda pair: pair[0].items_tuple())
+        return out
+
+    def flush_all(self) -> int:
+        return sum(s.store.flush_all() for s in self._shards)
+
+    def shard_entry_counts(self) -> list[int]:
+        return [s.entries for s in self._shards]
+
+    def parallel_speedup(self) -> float:
+        """total work / max per-shard work — ideal-parallel ingest speedup."""
+        counts = self.shard_entry_counts()
+        peak = max(counts)
+        return (sum(counts) / peak) if peak else float(len(counts))
+
+    def total_entries(self) -> int:
+        return sum(self.shard_entry_counts())

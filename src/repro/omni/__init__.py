@@ -1,0 +1,21 @@
+"""OMNI: the Operations Monitoring and Notification Infrastructure.
+
+Paper §III.C: OMNI is NERSC's data warehouse — "a single location for
+storing the heterogeneous datasets", ingesting "up to 400,000 messages
+per second", keeping "up to two years of operational data ... immediately
+available and more can be restored".  HPE keeps event data no more than
+two months, which is exactly why OMNI streams and retains everything.
+
+* :mod:`repro.omni.warehouse` — facade over the Loki and TSDB stores with
+  ingest accounting;
+* :mod:`repro.omni.archive` — compressed cold storage for data past the
+  hot window;
+* :mod:`repro.omni.retention` — the two-year hot-window sweep plus
+  restore-on-demand.
+"""
+
+from repro.omni.warehouse import OmniWarehouse
+from repro.omni.archive import ArchiveStore
+from repro.omni.retention import RetentionPolicy, RetentionManager
+
+__all__ = ["OmniWarehouse", "ArchiveStore", "RetentionPolicy", "RetentionManager"]

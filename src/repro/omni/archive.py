@@ -1,0 +1,97 @@
+"""Cold storage: compressed blobs of aged-out telemetry.
+
+OMNI's pitch is that nothing is lost: data past the hot window moves
+here as zlib-compressed JSON blobs and can be restored on demand
+("be able to restore prior data that is more than two years old",
+paper §I).
+"""
+
+from __future__ import annotations
+
+import zlib
+from dataclasses import dataclass
+
+from repro.common.errors import NotFoundError, ValidationError
+from repro.common.jsonutil import dumps_compact, loads
+from repro.common.labels import LabelSet
+from repro.loki.model import LogEntry
+
+
+@dataclass(frozen=True)
+class ArchiveBlob:
+    """One archived unit: a stream's entries for one time range."""
+
+    blob_id: int
+    labels: LabelSet
+    first_ts_ns: int
+    last_ts_ns: int
+    compressed: bytes
+    entry_count: int
+
+    def size_bytes(self) -> int:
+        return len(self.compressed)
+
+
+class ArchiveStore:
+    """Append-only blob archive with time-range restore."""
+
+    def __init__(self) -> None:
+        self._blobs: list[ArchiveBlob] = []
+        self.bytes_archived = 0
+        self.entries_archived = 0
+        self.restores_served = 0
+
+    # ------------------------------------------------------------------
+    # Writing
+    # ------------------------------------------------------------------
+    def archive_logs(self, labels: LabelSet, entries: list[LogEntry]) -> ArchiveBlob:
+        if not entries:
+            raise ValidationError("nothing to archive")
+        ordered = sorted(entries)
+        payload = dumps_compact(
+            [[e.timestamp_ns, e.line] for e in ordered]
+        ).encode()
+        blob = ArchiveBlob(
+            blob_id=len(self._blobs),
+            labels=labels,
+            first_ts_ns=ordered[0].timestamp_ns,
+            last_ts_ns=ordered[-1].timestamp_ns,
+            compressed=zlib.compress(payload, level=9),
+            entry_count=len(ordered),
+        )
+        self._blobs.append(blob)
+        self.bytes_archived += blob.size_bytes()
+        self.entries_archived += len(ordered)
+        return blob
+
+    # ------------------------------------------------------------------
+    # Reading
+    # ------------------------------------------------------------------
+    def restore_between(
+        self, start_ns: int, end_ns: int
+    ) -> list[tuple[LabelSet, list[LogEntry]]]:
+        """Decompress every blob overlapping ``[start, end)``."""
+        if end_ns <= start_ns:
+            raise ValidationError("empty restore range")
+        out: list[tuple[LabelSet, list[LogEntry]]] = []
+        for blob in self._blobs:
+            if blob.last_ts_ns < start_ns or blob.first_ts_ns >= end_ns:
+                continue
+            raw = loads(zlib.decompress(blob.compressed).decode())
+            entries = [
+                LogEntry(int(ts), line)
+                for ts, line in raw
+                if start_ns <= int(ts) < end_ns
+            ]
+            if entries:
+                out.append((blob.labels, entries))
+        self.restores_served += 1
+        return out
+
+    def blob(self, blob_id: int) -> ArchiveBlob:
+        if not 0 <= blob_id < len(self._blobs):
+            raise NotFoundError(f"no archive blob {blob_id}")
+        return self._blobs[blob_id]
+
+    def blob_count(self) -> int:
+        return len(self._blobs)

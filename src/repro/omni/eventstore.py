@@ -1,0 +1,284 @@
+"""OMNI's event store: the Elasticsearch-backed side of the warehouse.
+
+Paper §III.C: OMNI "is backed by a scalable and parallel time-series
+database, Elasticsearch and VictoriaMetrics" and holds "event data
+(e.g., system logs, console logs, hardware failure events, power events —
+essentially anything that has a start and end time)."
+
+This module implements that event side: documents with a start and an
+optional end time, a full-text inverted index over their text, keyword
+fields, and the Elasticsearch bool-query subset operators actually used
+for operational digging (``term``, ``match``, ``range``), plus a
+Kibana-Discover-style text rendering.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.common.errors import NotFoundError, ValidationError
+from repro.common.jsonutil import ns_to_iso8601
+
+_TOKEN_RE = re.compile(r"[A-Za-z0-9_]+")
+
+
+@dataclass(frozen=True)
+class EventDoc:
+    """One event document: anything with a start (and maybe end) time."""
+
+    doc_id: int
+    start_ns: int
+    end_ns: int | None
+    category: str  # hardware_failure / power / console / environment / ...
+    source: str  # reporting component (xname, sensor id, service)
+    text: str
+    fields: dict[str, str] = field(default_factory=dict)
+
+    def duration_ns(self) -> int | None:
+        if self.end_ns is None:
+            return None
+        return self.end_ns - self.start_ns
+
+    @property
+    def open(self) -> bool:
+        return self.end_ns is None
+
+
+# ---------------------------------------------------------------------------
+# Query DSL (the ES bool-query subset)
+# ---------------------------------------------------------------------------
+@dataclass(frozen=True)
+class Term:
+    """Exact keyword-field match (``category``, ``source`` or a field)."""
+
+    name: str
+    value: str
+
+
+@dataclass(frozen=True)
+class Match:
+    """Full-text match: every token must appear in the text."""
+
+    query: str
+
+    def tokens(self) -> list[str]:
+        return [t.lower() for t in _TOKEN_RE.findall(self.query)]
+
+
+@dataclass(frozen=True)
+class TimeRange:
+    """Events whose [start, end] intersects [gte, lt). Open events use
+    "now" as their end, so in-progress outages match live windows."""
+
+    gte: int
+    lt: int
+
+    def __post_init__(self) -> None:
+        if self.lt <= self.gte:
+            raise ValidationError("empty time range")
+
+
+@dataclass(frozen=True)
+class Bool:
+    """``must`` AND-combines; ``must_not`` excludes."""
+
+    must: tuple = ()
+    must_not: tuple = ()
+
+
+Query = Term | Match | TimeRange | Bool
+
+
+class EventStore:
+    """The indexed event archive."""
+
+    def __init__(self) -> None:
+        self._docs: list[EventDoc] = []
+        self._token_postings: dict[str, set[int]] = {}
+        self._keyword_postings: dict[tuple[str, str], set[int]] = {}
+        self._open_by_key: dict[tuple[str, str], int] = {}
+
+    # ------------------------------------------------------------------
+    # Writing
+    # ------------------------------------------------------------------
+    def record(
+        self,
+        start_ns: int,
+        category: str,
+        source: str,
+        text: str,
+        end_ns: int | None = None,
+        **fields: str,
+    ) -> EventDoc:
+        """Index one event document."""
+        if not category or not source:
+            raise ValidationError("event needs a category and a source")
+        if end_ns is not None and end_ns < start_ns:
+            raise ValidationError("event cannot end before it starts")
+        doc = EventDoc(
+            doc_id=len(self._docs),
+            start_ns=start_ns,
+            end_ns=end_ns,
+            category=category,
+            source=source,
+            text=text,
+            fields=dict(fields),
+        )
+        self._docs.append(doc)
+        for token in set(_TOKEN_RE.findall(text.lower())):
+            self._token_postings.setdefault(token, set()).add(doc.doc_id)
+        for name, value in (
+            ("category", category),
+            ("source", source),
+            *fields.items(),
+        ):
+            self._keyword_postings.setdefault((name, value), set()).add(doc.doc_id)
+        if end_ns is None:
+            self._open_by_key[(category, source)] = doc.doc_id
+        return doc
+
+    def close_event(self, doc: EventDoc, end_ns: int) -> EventDoc:
+        """Set the end time of an open event (returns the replacement doc)."""
+        if doc.end_ns is not None:
+            raise ValidationError(f"event {doc.doc_id} is already closed")
+        if end_ns < doc.start_ns:
+            raise ValidationError("event cannot end before it starts")
+        closed = EventDoc(
+            doc_id=doc.doc_id,
+            start_ns=doc.start_ns,
+            end_ns=end_ns,
+            category=doc.category,
+            source=doc.source,
+            text=doc.text,
+            fields=doc.fields,
+        )
+        self._docs[doc.doc_id] = closed
+        self._open_by_key.pop((doc.category, doc.source), None)
+        return closed
+
+    def open_event(self, category: str, source: str) -> EventDoc | None:
+        """The currently-open event for (category, source), if any."""
+        doc_id = self._open_by_key.get((category, source))
+        return self._docs[doc_id] if doc_id is not None else None
+
+    # ------------------------------------------------------------------
+    # Searching
+    # ------------------------------------------------------------------
+    def search(
+        self, query: Query, now_ns: int | None = None, limit: int = 1000
+    ) -> list[EventDoc]:
+        """Evaluate ``query``; results sorted by start time."""
+        ids = self._eval(query, now_ns)
+        docs = sorted((self._docs[i] for i in ids), key=lambda d: (d.start_ns, d.doc_id))
+        return docs[:limit]
+
+    def _eval(self, query: Query, now_ns: int | None) -> set[int]:
+        if isinstance(query, Term):
+            return set(self._keyword_postings.get((query.name, query.value), set()))
+        if isinstance(query, Match):
+            tokens = query.tokens()
+            if not tokens:
+                raise ValidationError("match query has no tokens")
+            sets = [self._token_postings.get(t, set()) for t in tokens]
+            if any(not s for s in sets):
+                return set()
+            return set.intersection(*sets)
+        if isinstance(query, TimeRange):
+            out = set()
+            for doc in self._docs:
+                end = doc.end_ns
+                if end is None:
+                    end = now_ns if now_ns is not None else doc.start_ns
+                if doc.start_ns < query.lt and end >= query.gte:
+                    out.add(doc.doc_id)
+            return out
+        if isinstance(query, Bool):
+            if query.must:
+                result = set.intersection(
+                    *(self._eval(q, now_ns) for q in query.must)
+                )
+            else:
+                result = set(range(len(self._docs)))
+            for q in query.must_not:
+                result -= self._eval(q, now_ns)
+            return result
+        raise ValidationError(f"unknown query type {type(query).__name__}")
+
+    # ------------------------------------------------------------------
+    # Introspection & rendering
+    # ------------------------------------------------------------------
+    def doc(self, doc_id: int) -> EventDoc:
+        if not 0 <= doc_id < len(self._docs):
+            raise NotFoundError(f"no event doc {doc_id}")
+        return self._docs[doc_id]
+
+    def doc_count(self) -> int:
+        return len(self._docs)
+
+    def open_count(self) -> int:
+        return len(self._open_by_key)
+
+    def categories(self) -> list[str]:
+        return sorted(
+            {v for (name, v) in self._keyword_postings if name == "category"}
+        )
+
+    def has_field(self, name: str, value: str) -> bool:
+        """Whether any document carries ``name=value`` (cheap dedup check)."""
+        return bool(self._keyword_postings.get((name, value)))
+
+    @staticmethod
+    def render_discover(docs: list[EventDoc], max_rows: int = 40) -> str:
+        """Kibana-Discover-style table of event documents."""
+        if not docs:
+            return "(no events)"
+        lines = [
+            f"{'Start':<26} {'End':<26} {'Category':<18} {'Source':<16} Text"
+        ]
+        lines.append("-" * 110)
+        for doc in docs[:max_rows]:
+            end = ns_to_iso8601(doc.end_ns) if doc.end_ns is not None else "(open)"
+            lines.append(
+                f"{ns_to_iso8601(doc.start_ns):<26} {end:<26} "
+                f"{doc.category:<18} {doc.source:<16} {doc.text}"
+            )
+        if len(docs) > max_rows:
+            lines.append(f"... {len(docs) - max_rows} more events")
+        return "\n".join(lines)
+
+
+def record_from_alert(store: EventStore, alert: Any, now_ns: int) -> EventDoc:
+    """Convenience: mirror a ServiceNow alert into the event archive.
+
+    Open SN alerts become open events; closed alerts close them — giving
+    OMNI the "anything that has a start and end time" history even after
+    ServiceNow's own records age out.
+    """
+    existing = store.open_event("sn_alert", alert.node)
+    if alert.is_active:
+        if existing is None:
+            return store.record(
+                start_ns=alert.opened_at_ns,
+                category="sn_alert",
+                source=alert.node,
+                text=f"{alert.metric_name} severity={alert.severity.name}",
+                alert_number=alert.number,
+            )
+        return existing
+    if existing is not None:
+        return store.close_event(existing, alert.closed_at_ns or now_ns)
+    if store.has_field("alert_number", alert.number):
+        # Already mirrored and closed on an earlier pass: idempotent no-op.
+        postings = store._keyword_postings[("alert_number", alert.number)]
+        return store.doc(max(postings))
+    # Already-closed alert never mirrored: record it with both ends.
+    return store.record(
+        start_ns=alert.opened_at_ns,
+        category="sn_alert",
+        source=alert.node,
+        text=f"{alert.metric_name} severity={alert.severity.name}",
+        end_ns=alert.closed_at_ns or now_ns,
+        alert_number=alert.number,
+    )

@@ -1,0 +1,37 @@
+"""ServiceNow mock: the event-management and incident-management modules.
+
+NERSC "only use their incident management module, and event management
+module" (paper §III.D), so that is what this package implements, plus the
+CMDB those modules consult:
+
+* :mod:`repro.servicenow.cmdb` — configuration items (CIs) for Perlmutter
+  assets, with containment relationships for impact analysis;
+* :mod:`repro.servicenow.events` — SN Events as produced from
+  Alertmanager notifications;
+* :mod:`repro.servicenow.alerts` — correlation of events into SN Alerts
+  (dedup by message key);
+* :mod:`repro.servicenow.incidents` — incidents with the impact×urgency
+  priority matrix and MTTR bookkeeping;
+* :mod:`repro.servicenow.platform` — the platform facade plus the
+  Alertmanager receiver adapter.
+"""
+
+from repro.servicenow.cmdb import CMDB, ConfigurationItem
+from repro.servicenow.events import SnEvent, SnSeverity
+from repro.servicenow.alerts import SnAlert, SnAlertState
+from repro.servicenow.incidents import Incident, IncidentState, Priority
+from repro.servicenow.platform import ServiceNowPlatform, ServiceNowReceiver
+
+__all__ = [
+    "CMDB",
+    "ConfigurationItem",
+    "SnEvent",
+    "SnSeverity",
+    "SnAlert",
+    "SnAlertState",
+    "Incident",
+    "IncidentState",
+    "Priority",
+    "ServiceNowPlatform",
+    "ServiceNowReceiver",
+]

@@ -1,0 +1,106 @@
+"""The CMDB: configuration items and containment relationships.
+
+Paper §III.D: ServiceNow "employs a configuration management database
+(CMDB), that maintains accurate and up-to-date records of the IT assets"
+and "CMDB and CI still needed to be configured using Perlmutter assets
+only" — so :func:`build_from_cluster` populates exactly that: cabinets,
+chassis, nodes and switches of the synthetic Perlmutter.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.common.errors import NotFoundError, ValidationError
+from repro.cluster.topology import Cluster
+
+
+@dataclass(frozen=True)
+class ConfigurationItem:
+    """One CI row."""
+
+    sys_id: str
+    name: str  # xname for hardware CIs
+    ci_class: str  # cmdb_ci_cabinet / _chassis / _computer / _netgear / _service
+    parent_sys_id: str | None = None
+
+
+class CMDB:
+    """CI registry with containment traversal (service impact analysis)."""
+
+    def __init__(self) -> None:
+        self._by_id: dict[str, ConfigurationItem] = {}
+        self._by_name: dict[str, str] = {}
+        self._children: dict[str, list[str]] = {}
+        self._counter = 0
+
+    def add(
+        self, name: str, ci_class: str, parent: str | None = None
+    ) -> ConfigurationItem:
+        """Register a CI; ``parent`` is the parent CI's *name*."""
+        if not name:
+            raise ValidationError("CI needs a name")
+        if name in self._by_name:
+            raise ValidationError(f"duplicate CI name: {name}")
+        parent_sys_id = None
+        if parent is not None:
+            parent_sys_id = self._by_name.get(parent)
+            if parent_sys_id is None:
+                raise NotFoundError(f"parent CI not found: {parent}")
+        self._counter += 1
+        sys_id = f"ci{self._counter:08d}"
+        ci = ConfigurationItem(sys_id, name, ci_class, parent_sys_id)
+        self._by_id[sys_id] = ci
+        self._by_name[name] = sys_id
+        if parent_sys_id is not None:
+            self._children.setdefault(parent_sys_id, []).append(sys_id)
+        return ci
+
+    def get(self, name: str) -> ConfigurationItem:
+        sys_id = self._by_name.get(name)
+        if sys_id is None:
+            raise NotFoundError(f"no CI named {name}")
+        return self._by_id[sys_id]
+
+    def exists(self, name: str) -> bool:
+        return name in self._by_name
+
+    def children_of(self, name: str) -> list[ConfigurationItem]:
+        ci = self.get(name)
+        return [self._by_id[cid] for cid in self._children.get(ci.sys_id, [])]
+
+    def descendants_of(self, name: str) -> list[ConfigurationItem]:
+        """Every CI contained (transitively) in ``name`` — the blast radius
+        a service-impact analysis reports."""
+        out: list[ConfigurationItem] = []
+        stack = [self.get(name).sys_id]
+        while stack:
+            current = stack.pop()
+            for child_id in self._children.get(current, []):
+                out.append(self._by_id[child_id])
+                stack.append(child_id)
+        return sorted(out, key=lambda ci: ci.name)
+
+    def __len__(self) -> int:
+        return len(self._by_id)
+
+    def by_class(self, ci_class: str) -> list[ConfigurationItem]:
+        return sorted(
+            (ci for ci in self._by_id.values() if ci.ci_class == ci_class),
+            key=lambda ci: ci.name,
+        )
+
+
+def build_from_cluster(cluster: Cluster, service_name: str = "perlmutter") -> CMDB:
+    """Populate a CMDB from the synthetic machine's topology."""
+    cmdb = CMDB()
+    cmdb.add(service_name, "cmdb_ci_service")
+    for cab_x, cab in sorted(cluster.cabinets.items()):
+        cmdb.add(str(cab_x), "cmdb_ci_cabinet", parent=service_name)
+        for ch_x in cab.chassis:
+            cmdb.add(str(ch_x), "cmdb_ci_chassis", parent=str(cab_x))
+    for node_x in sorted(cluster.nodes):
+        cmdb.add(str(node_x), "cmdb_ci_computer", parent=str(node_x.chassis_xname()))
+    for sw_x in sorted(cluster.switches):
+        cmdb.add(str(sw_x), "cmdb_ci_netgear", parent=str(sw_x.chassis_xname()))
+    return cmdb

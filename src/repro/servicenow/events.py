@@ -1,0 +1,64 @@
+"""SN Events: the raw intake of ServiceNow Event Management.
+
+"Alerts are transformed into ServiceNow (SN) 'Events', which are
+correlated and grouped into SN 'Alerts'" (paper §IV).  An event's
+``message_key`` drives that correlation: events sharing a key belong to
+the same underlying condition.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.common.errors import ValidationError
+
+
+class SnSeverity(enum.IntEnum):
+    """ServiceNow event severity scale (0 = clear, 1 = critical)."""
+
+    CLEAR = 0
+    CRITICAL = 1
+    MAJOR = 2
+    MINOR = 3
+    WARNING = 4
+    INFO = 5
+
+    @classmethod
+    def from_label(cls, severity: str) -> "SnSeverity":
+        """Map Prometheus-style severity label values onto the SN scale."""
+        return {
+            "critical": cls.CRITICAL,
+            "major": cls.MAJOR,
+            "error": cls.MAJOR,
+            "minor": cls.MINOR,
+            "warning": cls.WARNING,
+            "info": cls.INFO,
+            "none": cls.INFO,
+            "ok": cls.CLEAR,
+            "resolved": cls.CLEAR,
+        }.get(severity.lower(), cls.WARNING)
+
+
+@dataclass(frozen=True)
+class SnEvent:
+    """One row of the ``em_event`` table."""
+
+    source: str  # monitoring source, e.g. "alertmanager"
+    node: str  # CI name (xname) the event is about
+    metric_name: str  # what was measured / which rule
+    severity: SnSeverity
+    message_key: str  # correlation key
+    description: str
+    time_ns: int
+    additional_info: dict[str, str] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not self.message_key:
+            raise ValidationError("event needs a message key for correlation")
+        if not self.source:
+            raise ValidationError("event needs a source")
+
+    @property
+    def is_clear(self) -> bool:
+        return self.severity is SnSeverity.CLEAR

@@ -1,0 +1,134 @@
+"""Incidents: tickets with the SN impact×urgency priority matrix and MTTR.
+
+"ServiceNow is the incident management platform adopted by NERSC"
+(paper §III.D); the framework's goal is "reducing Mean Time to Repair
+(MTTR)" (§I), so incidents record opened/resolved timestamps and the
+platform reports MTTR aggregates.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.common.errors import StateError, ValidationError
+from repro.servicenow.events import SnSeverity
+
+
+class IncidentState(enum.Enum):
+    NEW = "new"
+    IN_PROGRESS = "in_progress"
+    ON_HOLD = "on_hold"
+    RESOLVED = "resolved"
+    CLOSED = "closed"
+
+
+class Impact(enum.IntEnum):
+    HIGH = 1
+    MEDIUM = 2
+    LOW = 3
+
+
+class Urgency(enum.IntEnum):
+    HIGH = 1
+    MEDIUM = 2
+    LOW = 3
+
+
+class Priority(enum.IntEnum):
+    """P1 (critical) .. P5 (planning), from the standard SN matrix."""
+
+    CRITICAL = 1
+    HIGH = 2
+    MODERATE = 3
+    LOW = 4
+    PLANNING = 5
+
+
+#: The standard ServiceNow priority lookup: (impact, urgency) -> priority.
+PRIORITY_MATRIX: dict[tuple[Impact, Urgency], Priority] = {
+    (Impact.HIGH, Urgency.HIGH): Priority.CRITICAL,
+    (Impact.HIGH, Urgency.MEDIUM): Priority.HIGH,
+    (Impact.HIGH, Urgency.LOW): Priority.MODERATE,
+    (Impact.MEDIUM, Urgency.HIGH): Priority.HIGH,
+    (Impact.MEDIUM, Urgency.MEDIUM): Priority.MODERATE,
+    (Impact.MEDIUM, Urgency.LOW): Priority.LOW,
+    (Impact.LOW, Urgency.HIGH): Priority.MODERATE,
+    (Impact.LOW, Urgency.MEDIUM): Priority.LOW,
+    (Impact.LOW, Urgency.LOW): Priority.PLANNING,
+}
+
+
+def impact_urgency_for(severity: SnSeverity) -> tuple[Impact, Urgency]:
+    """Default mapping from alert severity to the matrix inputs."""
+    if severity is SnSeverity.CRITICAL:
+        return Impact.HIGH, Urgency.HIGH
+    if severity is SnSeverity.MAJOR:
+        return Impact.HIGH, Urgency.MEDIUM
+    if severity is SnSeverity.MINOR:
+        return Impact.MEDIUM, Urgency.MEDIUM
+    if severity is SnSeverity.WARNING:
+        return Impact.MEDIUM, Urgency.LOW
+    return Impact.LOW, Urgency.LOW
+
+
+@dataclass
+class Incident:
+    """One row of the ``incident`` table."""
+
+    number: str  # e.g. "INC0000123"
+    short_description: str
+    ci_name: str
+    priority: Priority
+    opened_at_ns: int
+    state: IncidentState = IncidentState.NEW
+    assigned_to: str | None = None
+    resolved_at_ns: int | None = None
+    closed_at_ns: int | None = None
+    work_notes: list[str] = field(default_factory=list)
+    alert_number: str | None = None
+
+    # -- lifecycle -----------------------------------------------------------
+    def assign(self, who: str) -> None:
+        if self.state in (IncidentState.RESOLVED, IncidentState.CLOSED):
+            raise StateError(f"{self.number} is {self.state.value}; cannot assign")
+        if not who:
+            raise ValidationError("assignee cannot be empty")
+        self.assigned_to = who
+        if self.state is IncidentState.NEW:
+            self.state = IncidentState.IN_PROGRESS
+
+    def hold(self, note: str = "") -> None:
+        if self.state is not IncidentState.IN_PROGRESS:
+            raise StateError(f"{self.number} must be in progress to hold")
+        self.state = IncidentState.ON_HOLD
+        if note:
+            self.work_notes.append(note)
+
+    def resume(self) -> None:
+        if self.state is not IncidentState.ON_HOLD:
+            raise StateError(f"{self.number} is not on hold")
+        self.state = IncidentState.IN_PROGRESS
+
+    def resolve(self, now_ns: int, note: str = "") -> None:
+        if self.state in (IncidentState.RESOLVED, IncidentState.CLOSED):
+            raise StateError(f"{self.number} already {self.state.value}")
+        if now_ns < self.opened_at_ns:
+            raise ValidationError("cannot resolve before opening")
+        self.state = IncidentState.RESOLVED
+        self.resolved_at_ns = now_ns
+        if note:
+            self.work_notes.append(note)
+
+    def close(self, now_ns: int) -> None:
+        if self.state is not IncidentState.RESOLVED:
+            raise StateError(f"{self.number} must be resolved before closing")
+        self.state = IncidentState.CLOSED
+        self.closed_at_ns = now_ns
+
+    # -- metrics ---------------------------------------------------------------
+    def time_to_resolve_ns(self) -> int | None:
+        """MTTR contribution: opened → resolved, or None if unresolved."""
+        if self.resolved_at_ns is None:
+            return None
+        return self.resolved_at_ns - self.opened_at_ns

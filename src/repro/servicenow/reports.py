@@ -1,0 +1,114 @@
+"""Operational reporting over ServiceNow data.
+
+The paper's framework promises "alerting prioritizing, prediction, and
+reporting via single pane view dashboards" (§III).  This module produces
+the reporting part: MTTR broken down by priority, incident volume by
+category/CI class, alert flap analysis, and a text summary suitable for
+a weekly operations review.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+
+from repro.common.simclock import NANOS_PER_SECOND
+from repro.servicenow.incidents import IncidentState, Priority
+from repro.servicenow.platform import ServiceNowPlatform
+
+
+@dataclass(frozen=True)
+class MttrRow:
+    priority: Priority
+    incidents: int
+    resolved: int
+    mttr_seconds: float | None
+
+
+def mttr_by_priority(platform: ServiceNowPlatform) -> list[MttrRow]:
+    """MTTR per priority band (unresolved incidents excluded)."""
+    rows = []
+    incidents = platform.incidents()
+    for priority in Priority:
+        mine = [i for i in incidents if i.priority is priority]
+        if not mine:
+            continue
+        durations = [
+            d for i in mine if (d := i.time_to_resolve_ns()) is not None
+        ]
+        rows.append(
+            MttrRow(
+                priority=priority,
+                incidents=len(mine),
+                resolved=len(durations),
+                mttr_seconds=(
+                    sum(durations) / len(durations) / NANOS_PER_SECOND
+                    if durations
+                    else None
+                ),
+            )
+        )
+    return rows
+
+
+def incident_volume_by_ci_class(platform: ServiceNowPlatform) -> dict[str, int]:
+    """How many incidents hit each CMDB CI class (compute vs network...)."""
+    counts: Counter[str] = Counter()
+    for incident in platform.incidents():
+        if platform.cmdb.exists(incident.ci_name):
+            counts[platform.cmdb.get(incident.ci_name).ci_class] += 1
+        else:
+            counts["<unmapped>"] += 1
+    return dict(sorted(counts.items()))
+
+
+def flapping_alerts(platform: ServiceNowPlatform, min_reopens: int = 2) -> list[str]:
+    """Alerts that closed and reopened at least ``min_reopens`` times —
+    the chronic conditions worth an engineering fix, not another page."""
+    out = []
+    for alert in platform.alerts():
+        reopens = sum(
+            1 for e in alert.events if not e.is_clear
+        ) - 1  # first open is not a re-open
+        closes = sum(1 for e in alert.events if e.is_clear)
+        if min(reopens, closes) >= min_reopens:
+            out.append(alert.number)
+    return out
+
+
+def operations_summary(platform: ServiceNowPlatform) -> str:
+    """The weekly-review text report."""
+    funnel = platform.funnel()
+    lines = [
+        "=== Operations summary ===",
+        f"events received:   {funnel['events']}",
+        f"correlated alerts: {funnel['alerts']}",
+        f"incidents opened:  {funnel['incidents']}",
+        "",
+        f"{'priority':<10} {'incidents':>9} {'resolved':>9} {'mttr_s':>10}",
+    ]
+    for row in mttr_by_priority(platform):
+        mttr = f"{row.mttr_seconds:,.0f}" if row.mttr_seconds is not None else "-"
+        lines.append(
+            f"P{row.priority.value:<9} {row.incidents:>9} {row.resolved:>9} "
+            f"{mttr:>10}"
+        )
+    by_class = incident_volume_by_ci_class(platform)
+    if by_class:
+        lines.append("")
+        lines.append("incidents by CI class:")
+        for ci_class, count in by_class.items():
+            lines.append(f"  {ci_class:<22} {count}")
+    open_incidents = platform.incidents(IncidentState.NEW) + platform.incidents(
+        IncidentState.IN_PROGRESS
+    )
+    lines.append("")
+    lines.append(f"open incidents: {len(open_incidents)}")
+    for incident in sorted(open_incidents, key=lambda i: i.number)[:10]:
+        lines.append(f"  {incident.number} P{incident.priority.value} "
+                     f"{incident.short_description}")
+    flappers = flapping_alerts(platform)
+    if flappers:
+        lines.append("")
+        lines.append(f"flapping alerts (chronic): {', '.join(flappers)}")
+    return "\n".join(lines)

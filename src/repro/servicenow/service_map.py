@@ -1,0 +1,111 @@
+"""ServiceNow service maps: the CMDB-driven service topology view.
+
+Paper §III.D: "service maps employ discovery and infrastructure
+information in CMDB for creating an accurate and complete tag based map
+of all applications, virtual systems, underlying network, databases,
+servers and other IT components that supports the service. Furthermore,
+the automation of the service mapping facilitates not only a user
+interface illustrating an accurate service-level relationship but also
+adaptation of the service maps in real-time."
+
+:class:`ServiceMap` walks the CMDB containment tree under a service CI
+and overlays live alert state, so the rendered map shows — in real time —
+which components are degraded and how far the impact propagates up.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.common.errors import NotFoundError
+from repro.servicenow.alerts import SnAlert
+from repro.servicenow.cmdb import CMDB, ConfigurationItem
+from repro.servicenow.events import SnSeverity
+
+
+@dataclass
+class MapNode:
+    """One CI in the rendered map with its live status."""
+
+    ci: ConfigurationItem
+    status: SnSeverity  # worst of own alerts and children (CLEAR = healthy)
+    own_alerts: list[SnAlert] = field(default_factory=list)
+    children: list["MapNode"] = field(default_factory=list)
+
+    @property
+    def healthy(self) -> bool:
+        return self.status is SnSeverity.CLEAR
+
+    def degraded_descendants(self) -> list["MapNode"]:
+        out = []
+        stack = list(self.children)
+        while stack:
+            node = stack.pop()
+            if node.own_alerts:
+                out.append(node)
+            stack.extend(node.children)
+        return sorted(out, key=lambda n: n.ci.name)
+
+
+class ServiceMap:
+    """Builds and renders the live map for one service CI."""
+
+    def __init__(self, cmdb: CMDB, service_name: str) -> None:
+        if not cmdb.exists(service_name):
+            raise NotFoundError(f"no service CI named {service_name}")
+        self._cmdb = cmdb
+        self.service_name = service_name
+
+    def build(self, alerts: list[SnAlert]) -> MapNode:
+        """Overlay active alerts onto the containment tree.
+
+        Status propagates upward: a node's status is the worst severity
+        among its own active alerts and its children's statuses — the
+        "service impact analysis" the CMDB exists for.
+        """
+        by_node: dict[str, list[SnAlert]] = {}
+        for alert in alerts:
+            if alert.is_active:
+                by_node.setdefault(alert.node, []).append(alert)
+        return self._build_node(self._cmdb.get(self.service_name), by_node)
+
+    def _build_node(
+        self, ci: ConfigurationItem, by_node: dict[str, list[SnAlert]]
+    ) -> MapNode:
+        children = [
+            self._build_node(child, by_node)
+            for child in self._cmdb.children_of(ci.name)
+        ]
+        children.sort(key=lambda n: n.ci.name)
+        own = sorted(by_node.get(ci.name, []), key=lambda a: a.number)
+        # Worst = numerically lowest non-clear severity (1 = critical).
+        candidates = [a.severity for a in own if a.severity is not SnSeverity.CLEAR]
+        candidates += [c.status for c in children if c.status is not SnSeverity.CLEAR]
+        status = min(candidates) if candidates else SnSeverity.CLEAR
+        return MapNode(ci=ci, status=status, own_alerts=own, children=children)
+
+    def render(self, alerts: list[SnAlert], collapse_healthy: bool = True) -> str:
+        """ASCII tree of the service; healthy subtrees may be summarised."""
+        root = self.build(alerts)
+        lines: list[str] = []
+        self._render_node(root, "", lines, collapse_healthy)
+        return "\n".join(lines)
+
+    def _render_node(
+        self, node: MapNode, indent: str, lines: list[str], collapse: bool
+    ) -> None:
+        marker = "OK " if node.healthy else f"[{node.status.name}] "
+        suffix = ""
+        if node.own_alerts:
+            suffix = " ← " + ", ".join(a.number for a in node.own_alerts)
+        lines.append(f"{indent}{marker}{node.ci.name} ({node.ci.ci_class}){suffix}")
+        healthy_children = [c for c in node.children if c.healthy]
+        sick_children = [c for c in node.children if not c.healthy]
+        for child in sick_children:
+            self._render_node(child, indent + "  ", lines, collapse)
+        if collapse and healthy_children:
+            lines.append(f"{indent}  OK ... {len(healthy_children)} healthy "
+                         "component(s)")
+        elif healthy_children:
+            for child in healthy_children:
+                self._render_node(child, indent + "  ", lines, collapse)

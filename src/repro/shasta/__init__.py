@@ -1,0 +1,32 @@
+"""Shasta monitoring-plane simulation.
+
+Implements the HPE-provided pieces of the paper's Figure 1 pipeline:
+
+* :mod:`repro.shasta.redfish` — Redfish event payloads in the exact nested
+  JSON shape of the paper's Figure 2, plus an event source that watches the
+  synthetic cluster and emits events on state transitions.
+* :mod:`repro.shasta.hms` — the HMS (hardware management service) collector
+  that pushes Redfish events and sensor telemetry into Kafka topics.
+* :mod:`repro.shasta.fabric_manager` — the Slingshot Fabric Manager switch
+  state API and the NERSC monitor program that polls it (§IV.B).
+* :mod:`repro.shasta.telemetry_api` — the authenticated middleman between
+  Kafka and data consumers.
+"""
+
+from repro.shasta.redfish import RedfishEvent, RedfishEventSource, telemetry_payload
+from repro.shasta.hms import HmsCollector, TOPIC_REDFISH_EVENTS, TOPIC_SENSOR_TELEMETRY
+from repro.shasta.fabric_manager import FabricManager, FabricManagerMonitor
+from repro.shasta.telemetry_api import TelemetryAPI, Subscription
+
+__all__ = [
+    "RedfishEvent",
+    "RedfishEventSource",
+    "telemetry_payload",
+    "HmsCollector",
+    "TOPIC_REDFISH_EVENTS",
+    "TOPIC_SENSOR_TELEMETRY",
+    "FabricManager",
+    "FabricManagerMonitor",
+    "TelemetryAPI",
+    "Subscription",
+]

@@ -1,0 +1,12 @@
+"""Slack webhook mock and alert message formatting.
+
+Alertmanager's Slack receiver posts to an incoming webhook; figures 6 and
+9 of the paper show the resulting messages ("enriched with different
+types of fonts and bullet points").  The mock records every posted
+message so tests and benches can regenerate those figures as text.
+"""
+
+from repro.slackmock.webhook import SlackWebhook, SlackMessage, SlackReceiver
+from repro.slackmock.formatting import format_notification
+
+__all__ = ["SlackWebhook", "SlackMessage", "SlackReceiver", "format_notification"]

@@ -1,0 +1,55 @@
+"""Slack message formatting for alert notifications.
+
+Reproduces the shape of the paper's Figures 6 and 9: a bold status
+headline, one bullet-pointed section per alert carrying its labels and
+annotations, and (future-work enrichment, §V) a dashboard deep link.
+"""
+
+from __future__ import annotations
+
+from repro.common.jsonutil import ns_to_iso8601
+from repro.alerting.events import ALERTNAME_LABEL, AlertEvent
+from repro.alerting.receivers import Notification
+
+#: Labels hidden from the bullet list (shown in the headline instead).
+_HEADLINE_LABELS = (ALERTNAME_LABEL,)
+
+
+def format_notification(
+    notification: Notification, dashboard_base_url: str | None = None
+) -> str:
+    """Render one grouped notification as Slack mrkdwn text."""
+    firing = notification.firing
+    resolved = notification.resolved
+    parts: list[str] = []
+    if firing:
+        parts.append(f"*[FIRING:{len(firing)}] {_group_title(firing)}*")
+        for alert in firing:
+            parts.append(_format_alert(alert))
+    if resolved:
+        parts.append(f"*[RESOLVED:{len(resolved)}] {_group_title(resolved)}*")
+        for alert in resolved:
+            parts.append(_format_alert(alert))
+    if dashboard_base_url:
+        parts.append(f"<{dashboard_base_url}|:bar_chart: Open dashboard>")
+    return "\n".join(parts)
+
+
+def _group_title(alerts: tuple[AlertEvent, ...]) -> str:
+    names = sorted({a.name for a in alerts})
+    return ", ".join(names)
+
+
+def _format_alert(alert: AlertEvent) -> str:
+    lines = []
+    summary = alert.annotations.get("summary")
+    if summary:
+        lines.append(f"> {summary}")
+    for key, value in sorted(alert.annotations.items()):
+        if key != "summary":
+            lines.append(f"• {key}: {value}")
+    for name, value in alert.labels.items():
+        if name not in _HEADLINE_LABELS and not name.startswith("__"):
+            lines.append(f"• {name}: `{value}`")
+    lines.append(f"• fired at: {ns_to_iso8601(alert.fired_at_ns)}")
+    return "\n".join(lines)

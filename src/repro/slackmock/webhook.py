@@ -1,0 +1,61 @@
+"""The Slack side: webhook endpoint + Alertmanager receiver adapter."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.common.errors import ValidationError
+from repro.alerting.receivers import Notification
+from repro.slackmock.formatting import format_notification
+
+
+@dataclass(frozen=True)
+class SlackMessage:
+    """One message posted to a channel via the incoming webhook."""
+
+    channel: str
+    text: str
+    timestamp_ns: int
+
+
+@dataclass
+class SlackWebhook:
+    """Records posted messages (the mock of Slack's incoming-webhook URL)."""
+
+    channel: str = "#perlmutter-alerts"
+    messages: list[SlackMessage] = field(default_factory=list)
+
+    def post(self, text: str, timestamp_ns: int) -> SlackMessage:
+        if not text:
+            raise ValidationError("refusing to post an empty Slack message")
+        message = SlackMessage(self.channel, text, timestamp_ns)
+        self.messages.append(message)
+        return message
+
+    def last(self) -> SlackMessage | None:
+        return self.messages[-1] if self.messages else None
+
+
+class SlackReceiver:
+    """Alertmanager receiver that formats and posts notifications.
+
+    ``dashboard_base_url`` enables the paper's future-work enrichment of
+    "linking dashboards with Slack" — each message gets a deep link to the
+    relevant Grafana dashboard.
+    """
+
+    def __init__(
+        self,
+        webhook: SlackWebhook,
+        name: str = "slack",
+        dashboard_base_url: str | None = None,
+    ) -> None:
+        self.name = name
+        self._webhook = webhook
+        self._dashboard_base_url = dashboard_base_url
+
+    def notify(self, notification: Notification) -> None:
+        text = format_notification(
+            notification, dashboard_base_url=self._dashboard_base_url
+        )
+        self._webhook.post(text, notification.timestamp_ns)

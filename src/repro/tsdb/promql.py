@@ -1,0 +1,509 @@
+"""PromQL/MetricsQL subset for the TSDB.
+
+vmalert and Grafana query VictoriaMetrics with PromQL; this module
+implements the subset the monitoring rules need:
+
+* instant selectors — ``node_temp_celsius{cluster="perlmutter"}`` with
+  the standard 5-minute staleness lookback;
+* range functions — ``rate``, ``increase``, ``delta``, ``avg_over_time``,
+  ``min_over_time``, ``max_over_time``, ``sum_over_time``,
+  ``count_over_time``, ``last_over_time`` over ``[5m]`` windows;
+* vector aggregation — ``sum/min/max/avg/count`` with ``by``/``without``;
+* vector↔scalar comparisons (filtering) and arithmetic.
+
+The lexer is shared with LogQL (the grammars overlap exactly where we
+need them to).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Iterable, Protocol, Union
+
+import numpy as np
+
+from repro.common.durations import parse_duration_ns
+from repro.common.errors import QueryError
+from repro.common.labels import METRIC_NAME_LABEL, LabelSet, Matcher, MatchOp
+from repro.common.simclock import NANOS_PER_SECOND, minutes
+from repro.common.vector import Sample, Series
+from repro.loki.logql.ast import ArithOp, CmpOp, GroupMode, Scalar, VectorOp
+from repro.loki.logql.lexer import Tok, Token, tokenize
+
+#: Prometheus staleness lookback for instant selectors.
+DEFAULT_LOOKBACK_NS = minutes(5)
+
+
+# ---------------------------------------------------------------------------
+# AST
+# ---------------------------------------------------------------------------
+@dataclass(frozen=True)
+class VectorSelector:
+    matchers: tuple[Matcher, ...]
+
+    def __post_init__(self) -> None:
+        if not self.matchers:
+            raise QueryError("selector needs at least one matcher")
+
+
+class PromRangeFunc(enum.Enum):
+    RATE = "rate"
+    INCREASE = "increase"
+    DELTA = "delta"
+    AVG_OVER_TIME = "avg_over_time"
+    MIN_OVER_TIME = "min_over_time"
+    MAX_OVER_TIME = "max_over_time"
+    SUM_OVER_TIME = "sum_over_time"
+    COUNT_OVER_TIME = "count_over_time"
+    LAST_OVER_TIME = "last_over_time"
+
+
+@dataclass(frozen=True)
+class PromRangeAgg:
+    func: PromRangeFunc
+    selector: VectorSelector
+    range_ns: int
+
+    def __post_init__(self) -> None:
+        if self.range_ns <= 0:
+            raise QueryError("range window must be positive")
+
+
+@dataclass(frozen=True)
+class PromVectorAgg:
+    op: VectorOp
+    expr: "PromExpr"
+    mode: GroupMode = GroupMode.NONE
+    labels: tuple[str, ...] = ()
+
+
+@dataclass(frozen=True)
+class PromAbsent:
+    """``absent(node_up{job="node"})`` — 1 when the selector returns
+    nothing.  The alerting primitive for *silent* failures: a sampler
+    that stops reporting never trips a threshold rule, but it does trip
+    ``absent(...)``."""
+
+    selector: VectorSelector
+
+
+@dataclass(frozen=True)
+class PromTopK:
+    """``topk(3, node_temp_celsius)`` / ``bottomk`` — k extreme series."""
+
+    k: int
+    expr: "PromExpr"
+    bottom: bool = False
+
+    def __post_init__(self) -> None:
+        if self.k < 1:
+            raise QueryError("topk/bottomk need k >= 1")
+
+
+@dataclass(frozen=True)
+class PromBinOp:
+    op: CmpOp | ArithOp
+    lhs: "PromExpr | Scalar"
+    rhs: "PromExpr | Scalar"
+
+    def __post_init__(self) -> None:
+        scalar_sides = isinstance(self.lhs, Scalar) + isinstance(self.rhs, Scalar)
+        if scalar_sides != 1:
+            raise QueryError("binary op must combine one vector and one scalar")
+
+
+PromExpr = Union[
+    VectorSelector, PromRangeAgg, PromVectorAgg, PromBinOp, PromTopK, PromAbsent
+]
+
+_RANGE_FUNCS = {f.value: f for f in PromRangeFunc}
+_VECTOR_OPS = {o.value: o for o in VectorOp}
+_CMP_TOKENS = {
+    Tok.GT: CmpOp.GT,
+    Tok.GTE: CmpOp.GTE,
+    Tok.LT: CmpOp.LT,
+    Tok.LTE: CmpOp.LTE,
+    Tok.EQL: CmpOp.EQ,
+    Tok.NEQ: CmpOp.NEQ,
+}
+_ARITH_TOKENS = {
+    Tok.ADD: ArithOp.ADD,
+    Tok.SUB: ArithOp.SUB,
+    Tok.MUL: ArithOp.MUL,
+    Tok.DIV: ArithOp.DIV,
+}
+_MATCH_TOKENS = {
+    Tok.EQ: MatchOp.EQ,
+    Tok.NEQ: MatchOp.NEQ,
+    Tok.RE: MatchOp.RE,
+    Tok.NRE: MatchOp.NRE,
+}
+
+
+# ---------------------------------------------------------------------------
+# Parser
+# ---------------------------------------------------------------------------
+class _Parser:
+    def __init__(self, tokens: list[Token]) -> None:
+        self._tokens = tokens
+        self._pos = 0
+
+    def peek(self, ahead: int = 0) -> Token:
+        idx = min(self._pos + ahead, len(self._tokens) - 1)
+        return self._tokens[idx]
+
+    def next(self) -> Token:
+        tok = self._tokens[self._pos]
+        if tok.kind is not Tok.EOF:
+            self._pos += 1
+        return tok
+
+    def expect(self, kind: Tok) -> Token:
+        tok = self.next()
+        if tok.kind is not kind:
+            raise QueryError(
+                f"expected {kind.value!r} but found {tok.text or 'EOF'!r} "
+                f"at position {tok.pos}"
+            )
+        return tok
+
+    def at(self, kind: Tok) -> bool:
+        return self.peek().kind is kind
+
+    def parse(self) -> PromExpr:
+        expr = self._expr()
+        tok = self.peek()
+        if tok.kind is not Tok.EOF:
+            raise QueryError(f"trailing input at position {tok.pos}: {tok.text!r}")
+        return expr
+
+    def _expr(self) -> PromExpr:
+        lhs = self._atom()
+        while True:
+            tok = self.peek()
+            if tok.kind in _CMP_TOKENS:
+                self.next()
+                lhs = PromBinOp(_CMP_TOKENS[tok.kind], lhs, self._scalar_or_atom())
+            elif tok.kind in _ARITH_TOKENS:
+                self.next()
+                lhs = PromBinOp(_ARITH_TOKENS[tok.kind], lhs, self._scalar_or_atom())
+            else:
+                return lhs
+
+    def _scalar_or_atom(self):
+        if self.at(Tok.NUMBER):
+            return Scalar(float(self.next().text))
+        return self._atom()
+
+    def _atom(self) -> PromExpr:
+        tok = self.peek()
+        if tok.kind is Tok.NUMBER:
+            scalar = Scalar(float(self.next().text))
+            op_tok = self.next()
+            if op_tok.kind in _CMP_TOKENS:
+                return PromBinOp(_CMP_TOKENS[op_tok.kind], scalar, self._atom())
+            if op_tok.kind in _ARITH_TOKENS:
+                return PromBinOp(_ARITH_TOKENS[op_tok.kind], scalar, self._atom())
+            raise QueryError(f"bare scalar is not a query (pos {tok.pos})")
+        if tok.kind is Tok.LPAREN:
+            self.next()
+            inner = self._expr()
+            self.expect(Tok.RPAREN)
+            return inner
+        if tok.kind is Tok.LBRACE:
+            return VectorSelector(tuple(self._matchers()))
+        if tok.kind is not Tok.IDENT:
+            raise QueryError(f"unexpected token {tok.text!r} at position {tok.pos}")
+        word = tok.text
+        if word in _VECTOR_OPS:
+            return self._vector_agg()
+        if word in _RANGE_FUNCS:
+            return self._range_agg()
+        if word == "absent":
+            self.next()
+            self.expect(Tok.LPAREN)
+            tok2 = self.peek()
+            if tok2.kind is Tok.IDENT:
+                name = self.next().text
+                matchers = [Matcher(METRIC_NAME_LABEL, MatchOp.EQ, name)]
+                if self.at(Tok.LBRACE):
+                    matchers.extend(self._matchers())
+            elif tok2.kind is Tok.LBRACE:
+                matchers = self._matchers()
+            else:
+                raise QueryError("absent() takes a vector selector")
+            self.expect(Tok.RPAREN)
+            return PromAbsent(VectorSelector(tuple(matchers)))
+        if word in ("topk", "bottomk"):
+            self.next()
+            self.expect(Tok.LPAREN)
+            k_tok = self.expect(Tok.NUMBER)
+            self.expect(Tok.COMMA)
+            inner = self._expr()
+            self.expect(Tok.RPAREN)
+            return PromTopK(int(float(k_tok.text)), inner, bottom=word == "bottomk")
+        # Bare metric name, optionally with a matcher block.
+        self.next()
+        matchers = [Matcher(METRIC_NAME_LABEL, MatchOp.EQ, word)]
+        if self.at(Tok.LBRACE):
+            matchers.extend(self._matchers())
+        return VectorSelector(tuple(matchers))
+
+    def _matchers(self) -> list[Matcher]:
+        self.expect(Tok.LBRACE)
+        matchers = []
+        if not self.at(Tok.RBRACE):
+            while True:
+                name = self.expect(Tok.IDENT).text
+                op_tok = self.next()
+                if op_tok.kind not in _MATCH_TOKENS:
+                    raise QueryError(
+                        f"expected matcher operator at position {op_tok.pos}"
+                    )
+                value = self.expect(Tok.STRING).text
+                matchers.append(Matcher(name, _MATCH_TOKENS[op_tok.kind], value))
+                if self.at(Tok.COMMA):
+                    self.next()
+                    continue
+                break
+        self.expect(Tok.RBRACE)
+        return matchers
+
+    def _range_agg(self) -> PromRangeAgg:
+        func = _RANGE_FUNCS[self.expect(Tok.IDENT).text]
+        self.expect(Tok.LPAREN)
+        tok = self.peek()
+        if tok.kind is Tok.IDENT:
+            name = self.next().text
+            matchers = [Matcher(METRIC_NAME_LABEL, MatchOp.EQ, name)]
+            if self.at(Tok.LBRACE):
+                matchers.extend(self._matchers())
+        elif tok.kind is Tok.LBRACE:
+            matchers = self._matchers()
+        else:
+            raise QueryError(f"expected a selector inside range function (pos {tok.pos})")
+        selector = VectorSelector(tuple(matchers))
+        self.expect(Tok.LBRACKET)
+        range_ns = parse_duration_ns(self.expect(Tok.DURATION).text)
+        self.expect(Tok.RBRACKET)
+        self.expect(Tok.RPAREN)
+        return PromRangeAgg(func, selector, range_ns)
+
+    def _vector_agg(self) -> PromVectorAgg:
+        op = _VECTOR_OPS[self.expect(Tok.IDENT).text]
+        mode, labels = GroupMode.NONE, ()
+        if self.at(Tok.IDENT) and self.peek().text in ("by", "without"):
+            mode, labels = self._grouping()
+        self.expect(Tok.LPAREN)
+        inner = self._expr()
+        self.expect(Tok.RPAREN)
+        if (
+            mode is GroupMode.NONE
+            and self.at(Tok.IDENT)
+            and self.peek().text in ("by", "without")
+        ):
+            mode, labels = self._grouping()
+        return PromVectorAgg(op, inner, mode, tuple(labels))
+
+    def _grouping(self):
+        word = self.expect(Tok.IDENT).text
+        mode = GroupMode.BY if word == "by" else GroupMode.WITHOUT
+        self.expect(Tok.LPAREN)
+        labels = []
+        if not self.at(Tok.RPAREN):
+            while True:
+                labels.append(self.expect(Tok.IDENT).text)
+                if self.at(Tok.COMMA):
+                    self.next()
+                    continue
+                break
+        self.expect(Tok.RPAREN)
+        return mode, tuple(labels)
+
+
+def parse_promql(query: str) -> PromExpr:
+    """Parse a PromQL query into its AST. Raises :class:`QueryError`."""
+    if not query or not query.strip():
+        raise QueryError("empty query")
+    return _Parser(tokenize(query)).parse()
+
+
+# ---------------------------------------------------------------------------
+# Engine
+# ---------------------------------------------------------------------------
+class MetricSource(Protocol):
+    """What the engine needs from a TSDB."""
+
+    def select(
+        self, matchers: Iterable[Matcher], start_ns: int, end_ns: int
+    ) -> list[tuple[LabelSet, np.ndarray, np.ndarray]]: ...
+
+
+class PromQLEngine:
+    """Evaluates the PromQL subset against a :class:`TimeSeriesStore`."""
+
+    def __init__(
+        self, source: MetricSource, lookback_ns: int = DEFAULT_LOOKBACK_NS
+    ) -> None:
+        self._source = source
+        self._lookback_ns = lookback_ns
+
+    # -- public -------------------------------------------------------------
+    def query_instant(self, query: str | PromExpr, time_ns: int) -> list[Sample]:
+        expr = parse_promql(query) if isinstance(query, str) else query
+        result = self._eval(expr, time_ns)
+        if isinstance(expr, PromTopK):
+            return result  # rank order is the point of topk/bottomk
+        return sorted(result, key=lambda s: s.labels.items_tuple())
+
+    def query_range(
+        self, query: str | PromExpr, start_ns: int, end_ns: int, step_ns: int
+    ) -> list[Series]:
+        if step_ns <= 0:
+            raise QueryError("step must be positive")
+        if end_ns < start_ns:
+            raise QueryError("end before start")
+        expr = parse_promql(query) if isinstance(query, str) else query
+        series: dict[LabelSet, list[tuple[int, float]]] = {}
+        t = start_ns
+        while t <= end_ns:
+            for sample in self._eval(expr, t):
+                series.setdefault(sample.labels, []).append((t, sample.value))
+            t += step_ns
+        return [
+            Series(labels, tuple(points))
+            for labels, points in sorted(
+                series.items(), key=lambda kv: kv[0].items_tuple()
+            )
+        ]
+
+    # -- evaluation ----------------------------------------------------------
+    def _eval(self, expr: PromExpr | Scalar, time_ns: int) -> list[Sample]:
+        if isinstance(expr, VectorSelector):
+            return self._eval_selector(expr, time_ns)
+        if isinstance(expr, PromRangeAgg):
+            return self._eval_range(expr, time_ns)
+        if isinstance(expr, PromVectorAgg):
+            return self._eval_agg(expr, time_ns)
+        if isinstance(expr, PromBinOp):
+            return self._eval_binop(expr, time_ns)
+        if isinstance(expr, PromAbsent):
+            present = self._eval_selector(expr.selector, time_ns)
+            if present:
+                return []
+            # Equality matchers become the result labels, as in Prometheus.
+            labels = {
+                m.name: m.value
+                for m in expr.selector.matchers
+                if m.op is MatchOp.EQ and m.name != METRIC_NAME_LABEL and m.value
+            }
+            return [Sample(LabelSet(labels), 1.0, time_ns)]
+        if isinstance(expr, PromTopK):
+            inner = self._eval(expr.expr, time_ns)
+            inner.sort(key=lambda s: (s.value, s.labels.items_tuple()),
+                       reverse=not expr.bottom)
+            return inner[: expr.k]
+        raise QueryError(f"cannot evaluate {type(expr).__name__} as a vector")
+
+    def _eval_selector(self, expr: VectorSelector, time_ns: int) -> list[Sample]:
+        start = time_ns - self._lookback_ns + 1
+        out = []
+        for labels, _ts, vals in self._source.select(
+            expr.matchers, start, time_ns + 1
+        ):
+            # Most recent sample inside the staleness window.
+            out.append(Sample(labels, float(vals[-1]), time_ns))
+        return out
+
+    def _eval_range(self, expr: PromRangeAgg, time_ns: int) -> list[Sample]:
+        start = time_ns - expr.range_ns + 1
+        range_seconds = expr.range_ns / NANOS_PER_SECOND
+        out = []
+        for labels, ts, vals in self._source.select(
+            expr.selector.matchers, start, time_ns + 1
+        ):
+            value = self._range_value(expr.func, ts, vals, range_seconds)
+            if value is None:
+                continue
+            # Range functions drop the metric name (Prometheus semantics).
+            out.append(Sample(labels.without(METRIC_NAME_LABEL), value, time_ns))
+        return out
+
+    @staticmethod
+    def _range_value(
+        func: PromRangeFunc, ts: np.ndarray, vals: np.ndarray, range_seconds: float
+    ) -> float | None:
+        if func is PromRangeFunc.COUNT_OVER_TIME:
+            return float(len(vals))
+        if func is PromRangeFunc.LAST_OVER_TIME:
+            return float(vals[-1])
+        if func is PromRangeFunc.SUM_OVER_TIME:
+            return float(vals.sum())
+        if func is PromRangeFunc.AVG_OVER_TIME:
+            return float(vals.mean())
+        if func is PromRangeFunc.MIN_OVER_TIME:
+            return float(vals.min())
+        if func is PromRangeFunc.MAX_OVER_TIME:
+            return float(vals.max())
+        # rate / increase / delta need at least two points.
+        if len(vals) < 2:
+            return None
+        if func is PromRangeFunc.DELTA:
+            return float(vals[-1] - vals[0])
+        # Counter semantics: add back resets (vectorised).
+        diffs = np.diff(vals)
+        resets = vals[:-1][diffs < 0]
+        increase = float(vals[-1] - vals[0] + resets.sum())
+        if func is PromRangeFunc.INCREASE:
+            return increase
+        return increase / range_seconds  # RATE
+
+    def _eval_agg(self, expr: PromVectorAgg, time_ns: int) -> list[Sample]:
+        inner = self._eval(expr.expr, time_ns)
+        groups: dict[LabelSet, list[float]] = {}
+        for sample in inner:
+            labels = sample.labels.without(METRIC_NAME_LABEL)
+            if expr.mode is GroupMode.BY:
+                key = labels.project(expr.labels)
+            elif expr.mode is GroupMode.WITHOUT:
+                key = labels.without(*expr.labels)
+            else:
+                key = LabelSet()
+            groups.setdefault(key, []).append(sample.value)
+        out = []
+        for labels, values in groups.items():
+            if expr.op is VectorOp.SUM:
+                value = sum(values)
+            elif expr.op is VectorOp.MIN:
+                value = min(values)
+            elif expr.op is VectorOp.MAX:
+                value = max(values)
+            elif expr.op is VectorOp.AVG:
+                value = sum(values) / len(values)
+            else:
+                value = float(len(values))
+            out.append(Sample(labels, value, time_ns))
+        return out
+
+    def _eval_binop(self, expr: PromBinOp, time_ns: int) -> list[Sample]:
+        scalar_left = isinstance(expr.lhs, Scalar)
+        scalar = expr.lhs if scalar_left else expr.rhs
+        assert isinstance(scalar, Scalar)
+        vector = self._eval(
+            expr.rhs if scalar_left else expr.lhs, time_ns  # type: ignore[arg-type]
+        )
+        out = []
+        for sample in vector:
+            a, b = (
+                (scalar.value, sample.value)
+                if scalar_left
+                else (sample.value, scalar.value)
+            )
+            if isinstance(expr.op, CmpOp):
+                if expr.op.apply(a, b):
+                    out.append(sample)
+            else:
+                assert isinstance(expr.op, ArithOp)
+                out.append(sample.with_value(expr.op.apply(a, b)))
+        return out

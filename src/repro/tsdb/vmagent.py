@@ -1,0 +1,89 @@
+"""vmagent: scrapes Prometheus-style exporters into VictoriaMetrics.
+
+Paper §IV workflow: "VMagent directly pushes metrics to the
+VictoriaMetrics cluster in OMNI."  Each scrape target gets the standard
+``job``/``instance`` labels added to every parsed sample.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Protocol
+
+from repro.common.errors import ValidationError
+from repro.common.simclock import SimClock
+from repro.exporters.textformat import parse_exposition
+from repro.tsdb.storage import TimeSeriesStore
+
+
+class Scrapable(Protocol):
+    def scrape(self) -> str: ...
+
+
+@dataclass(frozen=True)
+class ScrapeTarget:
+    """One exporter endpoint with its job/instance identity."""
+
+    job: str
+    instance: str
+    exporter: Scrapable
+
+    def __post_init__(self) -> None:
+        if not self.job or not self.instance:
+            raise ValidationError("scrape target needs job and instance")
+
+
+class VMAgent:
+    """Deterministic scraper over the simulated clock."""
+
+    def __init__(self, store: TimeSeriesStore, clock: SimClock) -> None:
+        self._store = store
+        self._clock = clock
+        self._targets: list[ScrapeTarget] = []
+        self.scrapes_done = 0
+        self.samples_pushed = 0
+        self.scrape_errors = 0
+
+    def add_target(self, target: ScrapeTarget) -> None:
+        if any(
+            t.job == target.job and t.instance == target.instance
+            for t in self._targets
+        ):
+            raise ValidationError(
+                f"duplicate target {target.job}/{target.instance}"
+            )
+        self._targets.append(target)
+
+    def targets(self) -> list[ScrapeTarget]:
+        return list(self._targets)
+
+    def scrape_all(self) -> int:
+        """Scrape every target once; returns samples pushed."""
+        now = self._clock.now_ns
+        pushed = 0
+        for target in self._targets:
+            try:
+                text = target.exporter.scrape()
+                points = parse_exposition(text)
+            except Exception:
+                self.scrape_errors += 1
+                # Synthesise the `up` metric Prometheus would record.
+                self._store.ingest(
+                    "up", {"job": target.job, "instance": target.instance}, 0.0, now
+                )
+                continue
+            for point in points:
+                labels = dict(point.labels)
+                labels.setdefault("job", target.job)
+                labels.setdefault("instance", target.instance)
+                if self._store.ingest(point.name, labels, point.value, now):
+                    pushed += 1
+            self._store.ingest(
+                "up", {"job": target.job, "instance": target.instance}, 1.0, now
+            )
+            self.scrapes_done += 1
+        self.samples_pushed += pushed
+        return pushed
+
+    def run_periodic(self, interval_ns: int) -> None:
+        self._clock.every(interval_ns, lambda: self.scrape_all())

@@ -1,0 +1,42 @@
+"""vmalert: VictoriaMetrics' rule evaluator.
+
+Paper §III: "Alerting is handled using vmalert for metrics, a component
+of VictoriaMetrics, that queries the database based on predefined rules.
+When the return value matches, vmalert sends an event to AlertManager."
+
+Shares the Prometheus rule state machine with the Loki Ruler
+(:class:`repro.alerting.rules.RuleEvaluator`).
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.common.simclock import SimClock
+from repro.common.vector import Sample
+from repro.alerting.events import AlertEvent
+from repro.alerting.rules import RuleEvaluator, RuleSpec
+from repro.tsdb.promql import PromQLEngine, parse_promql
+
+#: vmalert rules are Prometheus-format too; alias for symmetry with Ruler.
+MetricAlertingRule = RuleSpec
+
+
+class VMAlert(RuleEvaluator):
+    """Evaluates PromQL alerting rules against the TSDB."""
+
+    def __init__(
+        self,
+        engine: PromQLEngine,
+        clock: SimClock,
+        notifier: Callable[[AlertEvent], None],
+        generator: str = "vmalert",
+    ) -> None:
+        super().__init__(clock, notifier, generator)
+        self._engine = engine
+
+    def _validate_expr(self, expr: str) -> None:
+        parse_promql(expr)
+
+    def _query(self, expr: str, time_ns: int) -> list[Sample]:
+        return self._engine.query_instant(expr, time_ns)

@@ -1,0 +1,18 @@
+"""Synthetic workload generators.
+
+Production Perlmutter produces "over 400 gigabytes of data per day"
+(paper §III.C); since we have no production traces, these seeded
+generators produce the same *shapes*: syslog with realistic facilities
+and severity mix, JSON container logs from the k3s service pods, and
+bursty event storms for the alert-grouping benches.
+"""
+
+from repro.workloads.loggen import SyslogGenerator, ContainerLogGenerator
+from repro.workloads.scenarios import alert_storm, steady_state_mix
+
+__all__ = [
+    "SyslogGenerator",
+    "ContainerLogGenerator",
+    "alert_storm",
+    "steady_state_mix",
+]

@@ -1,0 +1,73 @@
+"""Composite workload scenarios used by integration tests and benches."""
+
+from __future__ import annotations
+
+from repro.common.errors import ValidationError
+from repro.common.simclock import seconds
+from repro.common.xname import XName
+from repro.workloads.loggen import (
+    ContainerLogGenerator,
+    GeneratedLog,
+    SyslogGenerator,
+)
+
+
+def steady_state_mix(
+    nodes: list[XName],
+    total: int,
+    start_ns: int,
+    duration_ns: int,
+    seed: int = 0,
+    syslog_fraction: float = 0.8,
+) -> list[GeneratedLog]:
+    """A realistic background mix: mostly syslog, some container logs,
+    interleaved over the duration in timestamp order."""
+    if not 0.0 <= syslog_fraction <= 1.0:
+        raise ValidationError("syslog fraction must be in [0, 1]")
+    n_syslog = int(total * syslog_fraction)
+    n_container = total - n_syslog
+    interval_sys = duration_ns // max(n_syslog, 1)
+    interval_cont = duration_ns // max(n_container, 1)
+    logs = SyslogGenerator(nodes, seed=seed).generate(n_syslog, start_ns, interval_sys)
+    logs += ContainerLogGenerator(seed=seed + 1).generate(
+        n_container, start_ns, interval_cont
+    )
+    logs.sort(key=lambda g: g.timestamp_ns)
+    return logs
+
+
+def alert_storm(
+    xnames: list[XName],
+    events_per_target: int,
+    start_ns: int,
+    spacing_ns: int = seconds(1),
+    problem: str = "fm_switch_offline",
+    cluster: str = "perlmutter",
+) -> list[GeneratedLog]:
+    """A storm: many components fail at once, each repeating its event.
+
+    This is the input to the Alertmanager-grouping bench (C6): the storm
+    produces ``len(xnames) * events_per_target`` raw events that grouping
+    must compress into a handful of notifications.
+    """
+    if events_per_target < 1:
+        raise ValidationError("need at least one event per target")
+    out = []
+    for rep in range(events_per_target):
+        for xname in xnames:
+            ts = start_ns + rep * spacing_ns
+            out.append(
+                GeneratedLog(
+                    timestamp_ns=ts,
+                    labels={
+                        "app": "fabric_manager_monitor",
+                        "cluster": cluster,
+                    },
+                    line=(
+                        f"[critical] problem:{problem}, "
+                        f"xname:{xname}, state:OFFLINE"
+                    ),
+                )
+            )
+    out.sort(key=lambda g: g.timestamp_ns)
+    return out

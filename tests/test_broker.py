@@ -1,0 +1,166 @@
+"""Tests for the Kafka-like broker."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.bus.broker import Broker, TopicConfig
+from repro.common.errors import NotFoundError, StateError, ValidationError
+from repro.common.simclock import SimClock, hours, seconds
+
+
+@pytest.fixture
+def clock():
+    return SimClock(0)
+
+
+@pytest.fixture
+def broker(clock):
+    b = Broker(clock)
+    b.create_topic("events", TopicConfig(partitions=4))
+    return b
+
+
+class TestTopics:
+    def test_create_and_list(self, broker):
+        broker.create_topic("more")
+        assert broker.topics() == ["events", "more"]
+
+    def test_duplicate_create_rejected(self, broker):
+        with pytest.raises(StateError):
+            broker.create_topic("events")
+
+    def test_ensure_topic_idempotent(self, broker):
+        broker.ensure_topic("events")
+        broker.ensure_topic("fresh")
+        assert "fresh" in broker.topics()
+
+    def test_empty_name_rejected(self, broker):
+        with pytest.raises(ValidationError):
+            broker.create_topic("")
+
+    def test_unknown_topic_raises(self, broker):
+        with pytest.raises(NotFoundError):
+            broker.produce("nope", "x")
+
+    def test_bad_partition_count(self):
+        with pytest.raises(ValidationError):
+            TopicConfig(partitions=0)
+
+
+class TestProduceConsume:
+    def test_roundtrip(self, broker):
+        broker.produce("events", "hello", key="k")
+        records = broker.poll("g", "events")
+        assert [r.value for r in records] == ["hello"]
+
+    def test_offsets_monotonic_per_partition(self, broker):
+        for i in range(20):
+            broker.produce("events", f"v{i}", key="same-key")
+        records = broker.poll("g", "events", 100)
+        # Same key -> same partition -> contiguous offsets.
+        assert [r.offset for r in records] == list(range(20))
+        assert len({r.partition for r in records}) == 1
+
+    def test_poll_advances_and_commits(self, broker):
+        broker.produce("events", "a")
+        assert len(broker.poll("g", "events")) == 1
+        assert broker.poll("g", "events") == []
+
+    def test_independent_groups(self, broker):
+        broker.produce("events", "a")
+        assert len(broker.poll("g1", "events")) == 1
+        assert len(broker.poll("g2", "events")) == 1
+
+    def test_max_records_respected(self, broker):
+        for i in range(10):
+            broker.produce("events", str(i), key="k")
+        assert len(broker.poll("g", "events", max_records=3)) == 3
+        assert len(broker.poll("g", "events", max_records=100)) == 7
+
+    def test_max_records_must_be_positive(self, broker):
+        with pytest.raises(ValidationError):
+            broker.poll("g", "events", 0)
+
+    def test_poll_sorted_by_timestamp(self, broker, clock):
+        broker.produce("events", "first")
+        clock.advance(seconds(1))
+        broker.produce("events", "second")
+        records = broker.poll("g", "events", 10)
+        assert [r.value for r in records] == ["first", "second"]
+
+    def test_lag(self, broker):
+        for i in range(5):
+            broker.produce("events", str(i))
+        assert broker.lag("g", "events") == 5
+        broker.poll("g", "events", 3)
+        assert broker.lag("g", "events") == 2
+
+    def test_seek_to_beginning(self, broker):
+        broker.produce("events", "a")
+        broker.poll("g", "events")
+        broker.seek_to_beginning("g", "events")
+        assert len(broker.poll("g", "events")) == 1
+
+    def test_produce_batch(self, broker):
+        assert broker.produce_batch("events", ["a", "b", "c"]) == 3
+        assert broker.topic_stats("events")["total_produced"] == 3
+
+    @given(st.lists(st.text(min_size=1, max_size=10), min_size=1, max_size=50))
+    def test_no_loss_no_duplication(self, values):
+        clock = SimClock(0)
+        b = Broker(clock)
+        b.create_topic("t", TopicConfig(partitions=3))
+        for i, v in enumerate(values):
+            b.produce("t", v, key=v)
+        got = []
+        while True:
+            batch = b.poll("g", "t", 7)
+            if not batch:
+                break
+            got.extend(r.value for r in batch)
+        assert sorted(got) == sorted(values)
+
+
+class TestRetention:
+    def test_expiry_advances_start_offset(self, clock):
+        b = Broker(clock)
+        b.create_topic("t", TopicConfig(partitions=1, retention_ns=hours(1)))
+        b.produce("t", "old")
+        clock.advance(hours(2))
+        b.produce("t", "new")
+        expired = b.enforce_retention()
+        assert expired == 1
+        records = b.poll("g", "t", 10)
+        assert [r.value for r in records] == ["new"]
+        assert records[0].offset == 1  # offsets never reused
+
+    def test_no_retention_keeps_all(self, clock):
+        b = Broker(clock)
+        b.create_topic("t", TopicConfig(partitions=1, retention_ns=None))
+        b.produce("t", "old")
+        clock.advance(hours(1000))
+        assert b.enforce_retention() == 0
+
+    def test_consumer_skips_expired(self, clock):
+        b = Broker(clock)
+        b.create_topic("t", TopicConfig(partitions=1, retention_ns=hours(1)))
+        for i in range(5):
+            b.produce("t", f"old{i}")
+        clock.advance(hours(2))
+        b.enforce_retention()
+        b.produce("t", "fresh")
+        assert [r.value for r in b.poll("g", "t", 10)] == ["fresh"]
+
+
+class TestStats:
+    def test_topic_stats(self, broker):
+        broker.produce("events", "abc", key="k")
+        stats = broker.topic_stats("events")
+        assert stats["total_produced"] == 1
+        assert stats["total_bytes"] == 4  # 3 value bytes + 1 key byte
+        assert stats["partitions"] == 4
+
+    def test_group_ids_listed(self, broker):
+        broker.produce("events", "x")
+        broker.poll("g1", "events")
+        assert ("g1", "events") in broker.group_ids()

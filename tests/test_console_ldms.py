@@ -1,0 +1,132 @@
+"""Tests for the console collector and LDMS sampler/consumer."""
+
+import json
+
+import pytest
+
+from repro.bus.broker import Broker
+from repro.common.errors import ValidationError
+from repro.common.simclock import SimClock, minutes, seconds
+from repro.cluster.topology import Cluster, ClusterSpec, NodeState
+from repro.omni.warehouse import OmniWarehouse
+from repro.shasta.console import ConsoleCollector, PANIC_LINES, TOPIC_CONSOLE_LOGS
+from repro.shasta.ldms import LdmsAggregator, LdmsConsumer, TOPIC_LDMS
+from repro.shasta.telemetry_api import TelemetryAPI
+
+
+@pytest.fixture
+def world():
+    clock = SimClock(0)
+    cluster = Cluster(ClusterSpec(cabinets=1, chassis_per_cabinet=1))
+    broker = Broker(clock)
+    return clock, cluster, broker
+
+
+class TestConsole:
+    def test_needs_nodes(self, world):
+        clock, _, broker = world
+        with pytest.raises(ValidationError):
+            ConsoleCollector(broker, clock, [])
+
+    def test_chatter_published_with_labels(self, world):
+        clock, cluster, broker = world
+        collector = ConsoleCollector(broker, clock, sorted(cluster.nodes))
+        assert collector.emit_chatter(20) == 20
+        records = broker.poll("t", TOPIC_CONSOLE_LOGS, 100)
+        assert len(records) == 20
+        envelope = json.loads(records[0].value)
+        assert envelope["labels"]["data_type"] == "console_log"
+        assert envelope["labels"]["hostname"].startswith("x")
+
+    def test_panic_line_signature(self, world):
+        clock, cluster, broker = world
+        collector = ConsoleCollector(broker, clock, sorted(cluster.nodes))
+        node = sorted(cluster.nodes)[0]
+        line = collector.emit_panic(node)
+        assert "Kernel panic" in line or "Machine Check" in line
+
+    def test_panic_unknown_node_rejected(self, world):
+        clock, cluster, broker = world
+        collector = ConsoleCollector(broker, clock, sorted(cluster.nodes)[:2])
+        with pytest.raises(ValidationError):
+            collector.emit_panic("x99c0s0b0n0")
+
+    def test_deterministic(self, world):
+        clock, cluster, broker = world
+        a = ConsoleCollector(broker, clock, sorted(cluster.nodes), seed=1)
+        b_broker = Broker(clock)
+        b = ConsoleCollector(b_broker, clock, sorted(cluster.nodes), seed=1)
+        a.emit_chatter(10)
+        b.emit_chatter(10)
+        va = [r.value for r in broker.poll("t", TOPIC_CONSOLE_LOGS, 100)]
+        vb = [r.value for r in b_broker.poll("t", TOPIC_CONSOLE_LOGS, 100)]
+        assert va == vb
+
+    def test_periodic(self, world):
+        clock, cluster, broker = world
+        collector = ConsoleCollector(broker, clock, sorted(cluster.nodes))
+        collector.run_periodic(seconds(30), lines_per_tick=3)
+        clock.advance(minutes(2))
+        assert collector.lines_published == 12
+
+
+class TestLdms:
+    def test_sampling_covers_up_nodes(self, world):
+        clock, cluster, broker = world
+        agg = LdmsAggregator(broker, clock, cluster)
+        assert agg.sample_once() == len(cluster.nodes)
+        records = broker.poll("t", TOPIC_LDMS, 1000)
+        envelope = json.loads(records[0].value)
+        assert {"Context", "Timestamp", "Metrics"} <= set(envelope)
+        assert "ldms_loadavg_1m" in envelope["Metrics"]
+
+    def test_down_nodes_not_sampled(self, world):
+        clock, cluster, broker = world
+        agg = LdmsAggregator(broker, clock, cluster)
+        down = sorted(cluster.nodes)[0]
+        cluster.set_node_state(down, NodeState.DOWN)
+        assert agg.sample_once() == len(cluster.nodes) - 1
+
+    def test_counters_monotone(self, world):
+        clock, cluster, broker = world
+        agg = LdmsAggregator(broker, clock, cluster)
+        agg.sample_once()
+        clock.advance(seconds(10))
+        agg.sample_once()
+        records = broker.poll("t", TOPIC_LDMS, 1000)
+        node = str(sorted(cluster.nodes)[0])
+        tx = [
+            json.loads(r.value)["Metrics"]["ldms_hsn_tx_bytes"]
+            for r in records
+            if json.loads(r.value)["Context"] == node
+        ]
+        assert len(tx) == 2 and tx[1] > tx[0]
+
+    def test_consumer_ingests_to_tsdb(self, world):
+        clock, cluster, broker = world
+        agg = LdmsAggregator(broker, clock, cluster)
+        api = TelemetryAPI(broker)
+        api.register_client("pods", "tok")
+        warehouse = OmniWarehouse(clock)
+        consumer = LdmsConsumer(api, "tok", warehouse)
+        agg.sample_once()
+        assert consumer.pump() == len(cluster.nodes)
+        samples = warehouse.tsdb.samples_ingested
+        assert samples == len(cluster.nodes) * 5  # five LDMS metrics
+
+    def test_consumer_counts_garbage(self, world):
+        clock, cluster, broker = world
+        LdmsAggregator(broker, clock, cluster)  # creates the topic
+        broker.produce(TOPIC_LDMS, "garbage")
+        api = TelemetryAPI(broker)
+        api.register_client("pods", "tok")
+        consumer = LdmsConsumer(api, "tok", OmniWarehouse(clock))
+        consumer.pump()
+        assert consumer.records_failed == 1
+
+    def test_periodic(self, world):
+        clock, cluster, broker = world
+        agg = LdmsAggregator(broker, clock, cluster)
+        agg.run_periodic(seconds(15))
+        clock.advance(minutes(1))
+        assert agg.samples_published == 4 * len(cluster.nodes)

@@ -1,0 +1,104 @@
+"""Tests for the §IV.A transform: Figure 2 → Figure 3."""
+
+import json
+
+import pytest
+
+from repro.common.errors import ValidationError
+from repro.core.transform import clean_event, redfish_payload_to_push
+
+FIG2_EVENT = {
+    "EventTimestamp": "2022-03-03T01:47:57+00:00",
+    "Severity": "Warning",
+    "Message": (
+        "Sensor 'A' of the redundant leak sensors in the 'Front' "
+        "cabinet zone has detected a leak."
+    ),
+    "MessageId": "CrayAlerts.1.0.CabinetLeakDetected",
+    "MessageArgs": ["A, Front"],
+    "OriginOfCondition": {"@odata.id": "/redfish/v1/Chassis/Enclosure"},
+}
+
+FIG2_PAYLOAD = {
+    "metrics": {"messages": [{"Context": "x1203c1b0", "Events": [FIG2_EVENT]}]}
+}
+
+
+class TestCleanEvent:
+    def test_timestamp_becomes_ns_epoch(self):
+        ts, _ = clean_event(FIG2_EVENT)
+        assert ts == 1646272077000000000  # the paper's Figure-3 value
+
+    def test_dropped_fields_absent(self):
+        _, content = clean_event(FIG2_EVENT)
+        obj = json.loads(content)
+        assert "OriginOfCondition" not in obj
+        assert "MessageArgs" not in obj
+        assert "EventTimestamp" not in obj
+
+    def test_content_field_order_matches_figure_3(self):
+        _, content = clean_event(FIG2_EVENT)
+        assert content.startswith('{"Severity":"Warning","MessageId":')
+
+    def test_content_fields_kept(self):
+        _, content = clean_event(FIG2_EVENT)
+        obj = json.loads(content)
+        assert obj == {
+            "Severity": "Warning",
+            "MessageId": "CrayAlerts.1.0.CabinetLeakDetected",
+            "Message": FIG2_EVENT["Message"],
+        }
+
+    def test_missing_timestamp_rejected(self):
+        with pytest.raises(ValidationError):
+            clean_event({"Severity": "Warning"})
+
+    def test_empty_content_rejected(self):
+        with pytest.raises(ValidationError):
+            clean_event({"EventTimestamp": "2022-03-03T01:47:57+00:00"})
+
+
+class TestPayloadToPush:
+    def test_figure_3_shape(self):
+        push = redfish_payload_to_push(FIG2_PAYLOAD)
+        obj = push.to_json_obj()
+        (stream,) = obj["streams"]
+        assert stream["stream"] == {
+            "Context": "x1203c1b0",
+            "cluster": "perlmutter",
+            "data_type": "redfish_event",
+        }
+        ((ts, line),) = stream["values"]
+        assert ts == "1646272077000000000"
+        assert "CabinetLeakDetected" in line
+
+    def test_custom_cluster_and_type(self):
+        push = redfish_payload_to_push(FIG2_PAYLOAD, cluster="muller", data_type="rf")
+        assert push.streams[0].labels["cluster"] == "muller"
+        assert push.streams[0].labels["data_type"] == "rf"
+
+    def test_multiple_contexts_become_multiple_streams(self):
+        payload = {
+            "metrics": {
+                "messages": [
+                    {"Context": "x1c1b0", "Events": [FIG2_EVENT]},
+                    {"Context": "x2c1b0", "Events": [FIG2_EVENT, FIG2_EVENT]},
+                ]
+            }
+        }
+        push = redfish_payload_to_push(payload)
+        assert len(push.streams) == 2
+        assert push.total_entries() == 3
+
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            {},
+            {"metrics": {}},
+            {"metrics": {"messages": [{"Events": [FIG2_EVENT]}]}},
+            {"metrics": {"messages": [{"Context": "x1", "Events": []}]}},
+        ],
+    )
+    def test_malformed_rejected(self, bad):
+        with pytest.raises(ValidationError):
+            redfish_payload_to_push(bad)

@@ -1,0 +1,179 @@
+"""Tests for OMNI downsampling and ServiceNow reporting."""
+
+import pytest
+
+from repro.common.errors import ValidationError
+from repro.common.labels import METRIC_NAME_LABEL, label_matcher
+from repro.common.simclock import SimClock, days, hours, minutes
+from repro.omni.downsample import DownsamplePolicy, Downsampler
+from repro.servicenow.cmdb import CMDB
+from repro.servicenow.events import SnEvent, SnSeverity
+from repro.servicenow.incidents import Priority
+from repro.servicenow.platform import ServiceNowPlatform
+from repro.servicenow.reports import (
+    flapping_alerts,
+    incident_volume_by_ci_class,
+    mttr_by_priority,
+    operations_summary,
+)
+from repro.tsdb.storage import TimeSeriesStore
+
+
+class TestDownsampler:
+    def _filled_store(self, clock, span_days=60, step_minutes=5):
+        store = TimeSeriesStore()
+        t = 0
+        while t < days(span_days):
+            store.ingest("m", {"x": "1"}, float(t % 1000), t)
+            t += minutes(step_minutes)
+        clock.advance(days(span_days))
+        return store
+
+    def test_policy_validated(self):
+        with pytest.raises(ValidationError):
+            DownsamplePolicy(bucket_ns=0)
+
+    def test_aged_region_shrinks(self):
+        clock = SimClock(0)
+        store = self._filled_store(clock)
+        before = store.sample_count()
+        ds = Downsampler(
+            store, clock,
+            DownsamplePolicy(downsample_after_ns=days(30), bucket_ns=hours(1)),
+        )
+        saved = ds.sweep()
+        assert saved > 0
+        # The aged region collapses from 12 samples/hour to 1 mean/bucket.
+        aged = store.select(
+            [label_matcher(METRIC_NAME_LABEL, "=", "m"),
+             label_matcher("__rollup__", "=", "")],
+            0, days(30),
+        )
+        assert len(aged) == 1
+        assert len(aged[0][1]) == pytest.approx(30 * 24, abs=2)
+        assert before - saved == store.sample_count() - 2 * 30 * 24  # rollups
+
+    def test_fresh_samples_untouched(self):
+        clock = SimClock(0)
+        store = self._filled_store(clock)
+        ds = Downsampler(
+            store, clock,
+            DownsamplePolicy(downsample_after_ns=days(30), bucket_ns=hours(1)),
+        )
+        ds.sweep()
+        recent = store.select(
+            [label_matcher(METRIC_NAME_LABEL, "=", "m"),
+             label_matcher("__rollup__", "=", "")],
+            days(59), days(61),
+        )
+        # Full 5-minute resolution in the fresh region: 12 per hour.
+        assert len(recent[0][1]) == pytest.approx(24 * 12, abs=2)
+
+    def test_rollup_envelopes_written(self):
+        clock = SimClock(0)
+        store = self._filled_store(clock)
+        ds = Downsampler(
+            store, clock,
+            DownsamplePolicy(downsample_after_ns=days(30), bucket_ns=hours(1)),
+        )
+        ds.sweep()
+        mins = store.select(
+            [label_matcher(METRIC_NAME_LABEL, "=", "m"),
+             label_matcher("__rollup__", "=", "min")],
+            0, days(61),
+        )
+        maxs = store.select(
+            [label_matcher(METRIC_NAME_LABEL, "=", "m"),
+             label_matcher("__rollup__", "=", "max")],
+            0, days(61),
+        )
+        assert mins and maxs
+        _, _, min_vals = mins[0]
+        _, _, max_vals = maxs[0]
+        assert (min_vals <= max_vals).all()
+
+    def test_second_sweep_idempotent_on_rolled_region(self):
+        clock = SimClock(0)
+        store = self._filled_store(clock)
+        ds = Downsampler(
+            store, clock,
+            DownsamplePolicy(downsample_after_ns=days(30), bucket_ns=hours(1)),
+        )
+        ds.sweep()
+        count_after_first = store.sample_count()
+        saved_again = ds.sweep()
+        # Nothing new aged between sweeps; the rolled region stays stable.
+        assert store.sample_count() <= count_after_first
+
+    def test_mean_preserved_per_bucket(self):
+        clock = SimClock(0)
+        store = TimeSeriesStore()
+        # Two samples in one old bucket: mean must survive.
+        store.ingest("m", {}, 10.0, minutes(10))
+        store.ingest("m", {}, 30.0, minutes(20))
+        clock.advance(days(40))
+        ds = Downsampler(
+            store, clock,
+            DownsamplePolicy(downsample_after_ns=days(30), bucket_ns=hours(1)),
+        )
+        ds.sweep()
+        results = store.select(
+            [label_matcher(METRIC_NAME_LABEL, "=", "m"),
+             label_matcher("__rollup__", "=", "")],
+            0, days(41),
+        )
+        assert results[0][2].tolist() == [20.0]
+
+
+def _event(key, node, severity, t):
+    return SnEvent(
+        source="am", node=node, metric_name="M", severity=severity,
+        message_key=key, description="d", time_ns=t,
+    )
+
+
+class TestReports:
+    @pytest.fixture
+    def platform(self):
+        clock = SimClock(0)
+        cmdb = CMDB()
+        cmdb.add("perlmutter", "cmdb_ci_service")
+        cmdb.add("x1c0r0b0", "cmdb_ci_netgear", parent="perlmutter")
+        cmdb.add("x1c0s0b0n0", "cmdb_ci_computer", parent="perlmutter")
+        platform = ServiceNowPlatform(clock, cmdb=cmdb)
+        # Critical incident on the switch, resolved after 30 minutes.
+        platform.process_event(_event("k1", "x1c0r0b0", SnSeverity.CRITICAL, 0))
+        clock.advance(minutes(30))
+        platform.incidents()[0].resolve(clock.now_ns)
+        # Minor incident on the node, unresolved.
+        platform.process_event(
+            _event("k2", "x1c0s0b0n0", SnSeverity.MINOR, clock.now_ns)
+        )
+        # Flapping alert: open/clear three times.
+        for i in range(3):
+            t = clock.now_ns + i
+            platform.process_event(_event("k3", "x1c0r0b0", SnSeverity.WARNING, t))
+            platform.process_event(_event("k3", "x1c0r0b0", SnSeverity.CLEAR, t))
+        return platform
+
+    def test_mttr_by_priority(self, platform):
+        rows = {r.priority: r for r in mttr_by_priority(platform)}
+        assert rows[Priority.CRITICAL].resolved == 1
+        assert rows[Priority.CRITICAL].mttr_seconds == pytest.approx(1800.0)
+        assert rows[Priority.MODERATE].resolved == 0
+        assert rows[Priority.MODERATE].mttr_seconds is None
+
+    def test_volume_by_ci_class(self, platform):
+        by_class = incident_volume_by_ci_class(platform)
+        assert by_class == {"cmdb_ci_computer": 1, "cmdb_ci_netgear": 1}
+
+    def test_flapping_alerts(self, platform):
+        flappers = flapping_alerts(platform, min_reopens=2)
+        assert len(flappers) == 1
+
+    def test_operations_summary_renders(self, platform):
+        text = operations_summary(platform)
+        assert "Operations summary" in text
+        assert "P1" in text
+        assert "flapping alerts" in text
+        assert "open incidents: 1" in text

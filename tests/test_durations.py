@@ -1,0 +1,49 @@
+"""Tests for Prometheus-style duration strings."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.common.durations import format_duration_ns, parse_duration_ns
+from repro.common.errors import ValidationError
+from repro.common.simclock import NANOS_PER_MINUTE, NANOS_PER_SECOND, hours
+
+
+class TestParse:
+    @pytest.mark.parametrize(
+        "text,expected",
+        [
+            ("0s", 0),
+            ("30s", 30 * NANOS_PER_SECOND),
+            ("1m", NANOS_PER_MINUTE),
+            ("60m", 60 * NANOS_PER_MINUTE),
+            ("1h30m", hours(1.5)),
+            ("500ms", NANOS_PER_SECOND // 2),
+            ("2d", 48 * hours(1)),
+            ("1w", 7 * 24 * hours(1)),
+            ("1y", 365 * 24 * hours(1)),
+        ],
+    )
+    def test_values(self, text, expected):
+        assert parse_duration_ns(text) == expected
+
+    @pytest.mark.parametrize("bad", ["", "m", "1", "1x", "m1", "1h 30m", "-5m", "1.5h"])
+    def test_invalid(self, bad):
+        with pytest.raises(ValidationError):
+            parse_duration_ns(bad)
+
+
+class TestFormat:
+    def test_zero(self):
+        assert format_duration_ns(0) == "0s"
+
+    def test_compound(self):
+        assert format_duration_ns(hours(1) + 30 * NANOS_PER_MINUTE) == "1h30m"
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValidationError):
+            format_duration_ns(-1)
+
+    @given(st.integers(0, 10**15))
+    def test_roundtrip_at_ms_granularity(self, millis):
+        ns = millis * 1_000_000
+        assert parse_duration_ns(format_duration_ns(ns)) == ns

@@ -1,0 +1,180 @@
+"""Tests for OMNI's Elasticsearch-like event store (paper §III.C)."""
+
+import pytest
+
+from repro.common.errors import NotFoundError, ValidationError
+from repro.common.simclock import SimClock, hours, minutes
+from repro.omni.eventstore import (
+    Bool,
+    EventStore,
+    Match,
+    Term,
+    TimeRange,
+    record_from_alert,
+)
+from repro.servicenow.alerts import SnAlert, SnAlertState
+from repro.servicenow.events import SnSeverity
+
+
+@pytest.fixture
+def store():
+    s = EventStore()
+    s.record(minutes(10), "hardware_failure", "x1c0s0b0n0",
+             "DIMM uncorrectable error", end_ns=minutes(30), dimm="DIMM_3")
+    s.record(minutes(20), "power", "x1c0",
+             "cabinet power sag detected", end_ns=minutes(25))
+    s.record(minutes(40), "hardware_failure", "x1c0r0b0",
+             "switch heartbeat lost")  # still open
+    return s
+
+
+class TestRecord:
+    def test_validation(self, store):
+        with pytest.raises(ValidationError):
+            store.record(0, "", "x", "text")
+        with pytest.raises(ValidationError):
+            store.record(100, "c", "s", "t", end_ns=50)
+
+    def test_open_event_tracking(self, store):
+        open_event = store.open_event("hardware_failure", "x1c0r0b0")
+        assert open_event is not None and open_event.open
+        assert store.open_count() == 1
+
+    def test_close_event(self, store):
+        doc = store.open_event("hardware_failure", "x1c0r0b0")
+        closed = store.close_event(doc, minutes(50))
+        assert closed.duration_ns() == minutes(10)
+        assert store.open_count() == 0
+        with pytest.raises(ValidationError):
+            store.close_event(closed, minutes(60))
+
+    def test_doc_lookup(self, store):
+        assert store.doc(0).category == "hardware_failure"
+        with pytest.raises(NotFoundError):
+            store.doc(99)
+
+    def test_categories(self, store):
+        assert store.categories() == ["hardware_failure", "power"]
+
+
+class TestSearch:
+    def test_term_on_category(self, store):
+        docs = store.search(Term("category", "hardware_failure"))
+        assert len(docs) == 2
+
+    def test_term_on_custom_field(self, store):
+        docs = store.search(Term("dimm", "DIMM_3"))
+        assert len(docs) == 1
+
+    def test_match_full_text(self, store):
+        docs = store.search(Match("power sag"))
+        assert len(docs) == 1
+        assert store.search(Match("nonexistent words")) == []
+
+    def test_match_case_insensitive(self, store):
+        assert len(store.search(Match("HEARTBEAT"))) == 1
+
+    def test_empty_match_rejected(self, store):
+        with pytest.raises(ValidationError):
+            store.search(Match("!!!"))
+
+    def test_time_range_intersects(self, store):
+        docs = store.search(TimeRange(minutes(22), minutes(28)))
+        texts = {d.text for d in docs}
+        assert "cabinet power sag detected" in texts
+        assert "DIMM uncorrectable error" in texts  # spans 10..30
+
+    def test_open_event_matches_live_window(self, store):
+        docs = store.search(
+            TimeRange(hours(1), hours(2)), now_ns=hours(3)
+        )
+        assert [d.text for d in docs] == ["switch heartbeat lost"]
+
+    def test_bool_must_and_must_not(self, store):
+        query = Bool(
+            must=(Term("category", "hardware_failure"),),
+            must_not=(Match("DIMM"),),
+        )
+        docs = store.search(query)
+        assert [d.text for d in docs] == ["switch heartbeat lost"]
+
+    def test_bool_empty_must_means_all(self, store):
+        docs = store.search(Bool(must_not=(Term("category", "power"),)))
+        assert len(docs) == 2
+
+    def test_results_sorted_by_start(self, store):
+        docs = store.search(Bool())
+        starts = [d.start_ns for d in docs]
+        assert starts == sorted(starts)
+
+    def test_limit(self, store):
+        assert len(store.search(Bool(), limit=1)) == 1
+
+
+class TestRender:
+    def test_discover_table(self, store):
+        out = EventStore.render_discover(store.search(Bool()))
+        assert "hardware_failure" in out
+        assert "(open)" in out
+        assert "Start" in out
+
+    def test_empty(self):
+        assert EventStore.render_discover([]) == "(no events)"
+
+
+class TestAlertMirroring:
+    def make_alert(self, state, opened=minutes(5), closed=None):
+        return SnAlert(
+            number="ALERT0000001",
+            message_key="k",
+            node="x1c0r0b0",
+            metric_name="SwitchOffline",
+            severity=SnSeverity.CRITICAL,
+            state=state,
+            opened_at_ns=opened,
+            closed_at_ns=closed,
+        )
+
+    def test_open_alert_opens_event(self):
+        store = EventStore()
+        clock = SimClock(0)
+        doc = record_from_alert(store, self.make_alert(SnAlertState.OPEN),
+                                clock.now_ns)
+        assert doc.open
+        assert doc.fields["alert_number"] == "ALERT0000001"
+
+    def test_idempotent_while_open(self):
+        store = EventStore()
+        a = self.make_alert(SnAlertState.OPEN)
+        d1 = record_from_alert(store, a, 0)
+        d2 = record_from_alert(store, a, 0)
+        assert d1.doc_id == d2.doc_id
+        assert store.doc_count() == 1
+
+    def test_close_closes_event(self):
+        store = EventStore()
+        record_from_alert(store, self.make_alert(SnAlertState.OPEN), 0)
+        closed = record_from_alert(
+            store,
+            self.make_alert(SnAlertState.CLOSED, closed=minutes(20)),
+            minutes(21),
+        )
+        assert not closed.open
+        assert closed.end_ns == minutes(20)
+
+    def test_already_closed_alert_recorded_with_both_ends(self):
+        store = EventStore()
+        doc = record_from_alert(
+            store,
+            self.make_alert(SnAlertState.CLOSED, closed=minutes(9)),
+            minutes(10),
+        )
+        assert doc.duration_ns() == minutes(4)
+
+    def test_closed_alert_mirrored_once(self):
+        """Repeated mirror passes over a closed alert must not duplicate."""
+        store = EventStore()
+        closed = self.make_alert(SnAlertState.CLOSED, closed=minutes(9))
+        for tick in range(5):
+            record_from_alert(store, closed, minutes(10 + tick))
+        assert store.doc_count() == 1

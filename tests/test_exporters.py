@@ -1,0 +1,193 @@
+"""Tests for the Prometheus text format and the four exporters."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.bus.broker import Broker
+from repro.common.errors import ValidationError
+from repro.common.simclock import SimClock
+from repro.cluster.sensors import build_standard_bank
+from repro.cluster.topology import Cluster, ClusterSpec, NodeState
+from repro.exporters.aruba import ArubaExporter
+from repro.exporters.blackbox import BlackboxExporter, ProbeTarget
+from repro.exporters.kafka_exporter import KafkaExporter
+from repro.exporters.node import NodeExporter
+from repro.exporters.textformat import (
+    MetricFamily,
+    MetricPoint,
+    parse_exposition,
+    render_exposition,
+)
+
+
+class TestTextFormat:
+    def test_render_basic(self):
+        fam = MetricFamily("m", "help text", "gauge")
+        fam.add(1.5, xname="x1")
+        text = render_exposition([fam])
+        assert "# HELP m help text" in text
+        assert "# TYPE m gauge" in text
+        assert 'm{xname="x1"} 1.5' in text
+
+    def test_render_no_labels(self):
+        fam = MetricFamily("m")
+        fam.add(2.0)
+        assert "m 2.0" in render_exposition([fam])
+
+    def test_bad_metric_name_rejected(self):
+        with pytest.raises(ValidationError):
+            MetricFamily("9bad")
+
+    def test_bad_type_rejected(self):
+        with pytest.raises(ValidationError):
+            MetricFamily("m", type="histogram")
+
+    def test_parse_basic(self):
+        points = parse_exposition('m{a="1",b="2"} 3.5\n')
+        assert points == [MetricPoint("m", {"a": "1", "b": "2"}, 3.5)]
+
+    def test_parse_skips_comments_and_blanks(self):
+        text = "# HELP m x\n# TYPE m gauge\n\nm 1\n"
+        assert len(parse_exposition(text)) == 1
+
+    def test_parse_timestamp(self):
+        (p,) = parse_exposition("m 1 1646272077000")
+        assert p.timestamp_ms == 1646272077000
+
+    def test_parse_special_values(self):
+        points = parse_exposition("a NaN\nb +Inf\nc -Inf\n")
+        assert math.isnan(points[0].value)
+        assert points[1].value == math.inf
+        assert points[2].value == -math.inf
+
+    def test_parse_garbage_rejected(self):
+        with pytest.raises(ValidationError):
+            parse_exposition("not a metric line at all!")
+        with pytest.raises(ValidationError):
+            parse_exposition("m notanumber")
+
+    def test_escaping_roundtrip(self):
+        fam = MetricFamily("m")
+        fam.add(1.0, msg='say "hi"\\now')
+        (p,) = parse_exposition(render_exposition([fam]))
+        assert p.labels["msg"] == 'say "hi"\\now'
+
+    @given(
+        st.dictionaries(
+            st.from_regex(r"[a-z_][a-z0-9_]{0,6}", fullmatch=True),
+            st.text(
+                alphabet=st.characters(
+                    blacklist_categories=("Cs", "Cc"), blacklist_characters="\n"
+                ),
+                max_size=10,
+            ),
+            max_size=4,
+        ),
+        st.floats(allow_nan=False, allow_infinity=False, width=32),
+    )
+    def test_roundtrip_property(self, labels, value):
+        fam = MetricFamily("metric_name")
+        fam.add(value, **labels)
+        (p,) = parse_exposition(render_exposition([fam]))
+        assert p.labels == labels
+        assert p.value == pytest.approx(value)
+
+
+class TestNodeExporter:
+    @pytest.fixture
+    def world(self):
+        cluster = Cluster(ClusterSpec(cabinets=1, chassis_per_cabinet=1))
+        return cluster, NodeExporter(cluster, build_standard_bank(cluster))
+
+    def test_exports_three_families_per_node(self, world):
+        cluster, exp = world
+        points = parse_exposition(exp.scrape())
+        names = {p.name for p in points}
+        assert names == {"node_up", "node_temp_celsius", "node_power_watts"}
+        ups = [p for p in points if p.name == "node_up"]
+        assert len(ups) == len(cluster.nodes)
+        assert all(p.value == 1.0 for p in ups)
+
+    def test_down_node_reports_zero(self, world):
+        cluster, exp = world
+        node = next(iter(cluster.nodes))
+        cluster.set_node_state(node, NodeState.DOWN)
+        points = parse_exposition(exp.scrape())
+        down = [
+            p for p in points if p.name == "node_up" and p.labels["xname"] == str(node)
+        ]
+        assert down[0].value == 0.0
+
+    def test_subset_of_nodes(self, world):
+        cluster, _ = world
+        subset = sorted(cluster.nodes)[:3]
+        exp = NodeExporter(cluster, build_standard_bank(cluster), nodes=subset)
+        points = parse_exposition(exp.scrape())
+        assert len([p for p in points if p.name == "node_up"]) == 3
+
+
+class TestBlackboxExporter:
+    def test_success_and_failure(self):
+        exp = BlackboxExporter(
+            [
+                ProbeTarget("good", lambda: (True, 0.01)),
+                ProbeTarget("bad", lambda: (False, 0.0)),
+                ProbeTarget("crashy", lambda: 1 / 0),
+            ]
+        )
+        points = parse_exposition(exp.scrape())
+        by_target = {
+            p.labels["target"]: p.value for p in points if p.name == "probe_success"
+        }
+        assert by_target == {"good": 1.0, "bad": 0.0, "crashy": 0.0}
+
+    def test_duplicate_targets_rejected(self):
+        t = ProbeTarget("x", lambda: (True, 0.0))
+        with pytest.raises(ValidationError):
+            BlackboxExporter([t, t])
+
+
+class TestKafkaExporter:
+    def test_topic_and_lag_metrics(self):
+        clock = SimClock(0)
+        broker = Broker(clock)
+        broker.create_topic("t")
+        broker.produce("t", "hello")
+        broker.poll("g", "t", 1)
+        broker.produce("t", "more")
+        points = parse_exposition(KafkaExporter(broker).scrape())
+        msg = [p for p in points if p.name == "kafka_topic_messages_total"]
+        assert msg[0].value == 2.0
+        lag = [p for p in points if p.name == "kafka_consumergroup_lag"]
+        assert lag[0].value == 1.0
+
+
+class TestArubaExporter:
+    def test_deterministic(self):
+        a = ArubaExporter(switches=1, ports_per_switch=4, seed=1)
+        b = ArubaExporter(switches=1, ports_per_switch=4, seed=1)
+        for e in (a, b):
+            e.step()
+        assert a.scrape() == b.scrape()
+
+    def test_down_port_moves_no_traffic(self):
+        exp = ArubaExporter(switches=1, ports_per_switch=2, seed=0, flap_probability=0)
+        exp.force_port(0, 0, False)
+        exp.step()
+        points = parse_exposition(exp.scrape())
+        rx = {
+            p.labels["port"]: p.value
+            for p in points
+            if p.name == "aruba_port_rx_bytes_total"
+        }
+        assert rx["0"] == 0.0
+        assert rx["1"] > 0.0
+        assert exp.down_ports() == [(0, 0)]
+
+    def test_validation(self):
+        with pytest.raises(ValidationError):
+            ArubaExporter(switches=0)
+        with pytest.raises(ValidationError):
+            ArubaExporter(flap_probability=2.0)

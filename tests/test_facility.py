@@ -1,0 +1,96 @@
+"""Tests for the facility/environment model (paper §III.C data)."""
+
+import pytest
+
+from repro.common.errors import NotFoundError, ValidationError
+from repro.cluster.facility import FacilityModel
+
+CABINETS = ["x1000", "x1001", "x1002", "x1003"]
+
+
+@pytest.fixture
+def facility():
+    return FacilityModel(CABINETS, cabinets_per_cdu=2, pdus=2, seed=0)
+
+
+class TestConstruction:
+    def test_cdus_cover_all_cabinets(self, facility):
+        covered = [c for cdu in facility.cdus.values() for c in cdu.cabinets]
+        assert sorted(covered) == CABINETS
+        assert len(facility.cdus) == 2
+
+    def test_validation(self):
+        with pytest.raises(ValidationError):
+            FacilityModel([])
+        with pytest.raises(ValidationError):
+            FacilityModel(CABINETS, cabinets_per_cdu=0)
+        with pytest.raises(ValidationError):
+            FacilityModel(CABINETS, pdus=0)
+
+    def test_cdu_for_cabinet(self, facility):
+        assert facility.cdu_for_cabinet("x1000").name == "cdu-0"
+        assert facility.cdu_for_cabinet("x1003").name == "cdu-1"
+        with pytest.raises(NotFoundError):
+            facility.cdu_for_cabinet("x9999")
+
+
+class TestSampling:
+    def test_sample_contains_every_series(self, facility):
+        sample = facility.sample(0)
+        assert 18.0 < sample.room_temp_c < 26.0
+        assert 35.0 < sample.room_humidity_pct < 55.0
+        assert sample.particle_count_m3 >= 0
+        assert set(sample.cdu_supply_temp_c) == {"cdu-0", "cdu-1"}
+        assert set(sample.pdu_load_kw) == {"pdu-0", "pdu-1"}
+
+    def test_flat_metrics(self, facility):
+        sample = facility.sample(0)
+        triples = sample.flat_metrics()
+        names = {name for name, _, _ in triples}
+        assert "facility_room_temp_celsius" in names
+        assert "facility_cdu_flow_lpm" in names
+        cdu_rows = [t for t in triples if t[0] == "facility_cdu_supply_temp_celsius"]
+        assert {t[1]["cdu"] for t in cdu_rows} == {"cdu-0", "cdu-1"}
+
+    def test_deterministic(self):
+        a = FacilityModel(CABINETS, seed=5).sample(0)
+        b = FacilityModel(CABINETS, seed=5).sample(0)
+        assert a.room_temp_c == b.room_temp_c
+
+
+class TestFaults:
+    def test_degraded_cdu_runs_hot_and_slow(self, facility):
+        healthy = facility.sample(0)
+        facility.degrade_cdu("cdu-0", capacity_factor=0.3)
+        degraded = facility.sample(1)
+        assert degraded.cdu_supply_temp_c["cdu-0"] > healthy.cdu_supply_temp_c["cdu-0"] + 5
+        assert degraded.cdu_flow_lpm["cdu-0"] < healthy.cdu_flow_lpm["cdu-0"] * 0.5
+        # The sibling CDU is unaffected.
+        assert abs(degraded.cdu_supply_temp_c["cdu-1"] - 18.0) < 3.0
+
+    def test_cabinet_heat_offset(self, facility):
+        assert facility.cabinet_heat_offset_c("x1000") == 0.0
+        facility.degrade_cdu("cdu-0", capacity_factor=0.5)
+        assert facility.cabinet_heat_offset_c("x1000") == pytest.approx(10.0)
+        assert facility.cabinet_heat_offset_c("x1002") == 0.0  # other CDU
+
+    def test_repair(self, facility):
+        facility.degrade_cdu("cdu-0")
+        facility.repair_cdu("cdu-0")
+        assert facility.cabinet_heat_offset_c("x1000") == 0.0
+
+    def test_pdu_breaker(self, facility):
+        facility.trip_pdu_breaker("pdu-0")
+        sample = facility.sample(0)
+        assert sample.pdu_load_kw["pdu-0"] == 0.0
+        assert sample.pdu_load_kw["pdu-1"] > 0.0
+
+    def test_capacity_factor_validated(self, facility):
+        with pytest.raises(ValidationError):
+            facility.degrade_cdu("cdu-0", capacity_factor=1.5)
+
+    def test_unknown_names(self, facility):
+        with pytest.raises(NotFoundError):
+            facility.degrade_cdu("cdu-9")
+        with pytest.raises(NotFoundError):
+            facility.trip_pdu_breaker("pdu-9")

@@ -1,0 +1,120 @@
+"""Tests for fault injection and ground-truth bookkeeping."""
+
+import pytest
+
+from repro.common.errors import ValidationError
+from repro.common.simclock import SimClock, minutes
+from repro.common.xname import XName
+from repro.cluster.faults import FaultInjector, FaultKind
+from repro.cluster.sensors import SensorId, SensorKind, build_standard_bank
+from repro.cluster.topology import Cluster, ClusterSpec, NodeState, SwitchState
+
+
+@pytest.fixture
+def world():
+    clock = SimClock(0)
+    cluster = Cluster(ClusterSpec(cabinets=1, chassis_per_cabinet=2))
+    sensors = build_standard_bank(cluster)
+    return clock, cluster, FaultInjector(cluster, clock, sensors), sensors
+
+
+class TestScheduling:
+    def test_fault_applies_at_start_time(self, world):
+        clock, cluster, inj, _ = world
+        cab = next(iter(cluster.cabinets))
+        fault = inj.schedule(FaultKind.CABINET_LEAK, cab, delay_ns=minutes(5))
+        clock.advance(minutes(4))
+        assert not fault.active
+        assert not cluster.cabinets[cab].leak_state[("Front", "A")]
+        clock.advance(minutes(1))
+        assert fault.active
+        assert cluster.cabinets[cab].leak_state[("Front", "A")]
+
+    def test_fault_with_duration_self_heals(self, world):
+        clock, cluster, inj, _ = world
+        sw = next(iter(cluster.switches))
+        inj.schedule(
+            FaultKind.SWITCH_OFFLINE, sw, delay_ns=0, duration_ns=minutes(10)
+        )
+        clock.advance(minutes(1))
+        assert cluster.switches[sw].state is SwitchState.OFFLINE
+        clock.advance(minutes(10))
+        assert cluster.switches[sw].state is SwitchState.ONLINE
+
+    def test_negative_delay_rejected(self, world):
+        _, cluster, inj, _ = world
+        with pytest.raises(ValidationError):
+            inj.schedule(FaultKind.NODE_DOWN, next(iter(cluster.nodes)), delay_ns=-1)
+
+    def test_explicit_repair(self, world):
+        clock, cluster, inj, _ = world
+        node = next(iter(cluster.nodes))
+        fault = inj.schedule(FaultKind.NODE_DOWN, node)
+        clock.advance(minutes(1))
+        assert cluster.nodes[node].state is NodeState.DOWN
+        inj.repair(fault)
+        assert cluster.nodes[node].state is NodeState.UP
+        assert fault.repaired_ns == clock.now_ns
+
+
+class TestKinds:
+    def test_switch_unknown(self, world):
+        clock, cluster, inj, _ = world
+        sw = next(iter(cluster.switches))
+        inj.schedule(FaultKind.SWITCH_UNKNOWN, sw)
+        clock.advance(1)
+        assert cluster.switches[sw].state is SwitchState.UNKNOWN
+
+    def test_thermal_excursion_shifts_sensor(self, world):
+        clock, cluster, inj, sensors = world
+        node = next(iter(cluster.nodes))
+        before = sensors.read(SensorId(node, SensorKind.TEMPERATURE_C))
+        inj.schedule(FaultKind.THERMAL_EXCURSION, node, delta_c=30.0)
+        clock.advance(1)
+        after = sensors.read(SensorId(node, SensorKind.TEMPERATURE_C))
+        assert after == pytest.approx(before + 30.0)
+
+    def test_thermal_without_sensors_rejected(self):
+        clock = SimClock(0)
+        cluster = Cluster(ClusterSpec(cabinets=1, chassis_per_cabinet=1))
+        inj = FaultInjector(cluster, clock, sensors=None)
+        node = next(iter(cluster.nodes))
+        inj.schedule(FaultKind.THERMAL_EXCURSION, node)
+        with pytest.raises(ValidationError):
+            clock.advance(1)
+
+    def test_leak_custom_zone_sensor(self, world):
+        clock, cluster, inj, _ = world
+        cab = next(iter(cluster.cabinets))
+        inj.schedule(FaultKind.CABINET_LEAK, cab, zone="Rear", sensor="B")
+        clock.advance(1)
+        assert cluster.cabinets[cab].leak_state[("Rear", "B")]
+        assert not cluster.cabinets[cab].leak_state[("Front", "A")]
+
+
+class TestGroundTruth:
+    def test_active_faults_listing(self, world):
+        clock, cluster, inj, _ = world
+        sw = next(iter(cluster.switches))
+        inj.schedule(FaultKind.SWITCH_OFFLINE, sw, duration_ns=minutes(1))
+        clock.advance(1)
+        assert len(inj.active_faults()) == 1
+        clock.advance(minutes(2))
+        assert inj.active_faults() == []
+
+    def test_faults_of_kind(self, world):
+        clock, cluster, inj, _ = world
+        sw = next(iter(cluster.switches))
+        node = next(iter(cluster.nodes))
+        inj.schedule(FaultKind.SWITCH_OFFLINE, sw)
+        inj.schedule(FaultKind.NODE_DOWN, node)
+        assert len(inj.faults_of_kind(FaultKind.SWITCH_OFFLINE)) == 1
+
+    def test_is_degraded_uses_containment(self, world):
+        clock, cluster, inj, _ = world
+        cab = next(iter(cluster.cabinets))
+        node = next(iter(cluster.nodes))
+        inj.schedule(FaultKind.CABINET_LEAK, cab)
+        clock.advance(1)
+        assert inj.is_degraded(FaultKind.CABINET_LEAK, node)  # node inside cabinet
+        assert not inj.is_degraded(FaultKind.CABINET_LEAK, XName.parse("x99"))

@@ -1,0 +1,145 @@
+"""Tests for the Loki query frontend: split + results cache."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.common.errors import ValidationError
+from repro.common.simclock import SimClock, hours, minutes, seconds
+from repro.loki.frontend import QueryFrontend
+from repro.loki.logql.engine import LogQLEngine
+from repro.loki.model import PushRequest
+from repro.loki.store import LokiStore
+
+
+class CountingEngine:
+    """Wraps the real engine, counting calls."""
+
+    def __init__(self, engine):
+        self._engine = engine
+        self.calls = 0
+
+    def query_range(self, query, start_ns, end_ns, step_ns):
+        self.calls += 1
+        return self._engine.query_range(query, start_ns, end_ns, step_ns)
+
+
+@pytest.fixture
+def world():
+    clock = SimClock(0)
+    store = LokiStore()
+    # Events spread over six hours.
+    entries = [(minutes(10 * i), f"event {i}") for i in range(36)]
+    store.push(PushRequest.single({"app": "fm"}, entries))
+    clock.advance(hours(6))
+    engine = CountingEngine(LogQLEngine(store))
+    frontend = QueryFrontend(engine, clock, split_ns=hours(1))
+    return clock, engine, frontend
+
+
+QUERY = 'sum(count_over_time({app="fm"}[30m]))'
+
+
+class TestCorrectness:
+    def test_matches_direct_query(self, world):
+        clock, engine, frontend = world
+        direct = engine._engine.query_range(QUERY, 0, hours(6), minutes(10))
+        split = frontend.query_range(QUERY, 0, hours(6), minutes(10))
+        assert split == direct
+
+    def test_matches_with_offgrid_start(self, world):
+        clock, engine, frontend = world
+        start = minutes(7)  # not a multiple of the step
+        direct = engine._engine.query_range(QUERY, start, hours(5), minutes(10))
+        split = frontend.query_range(QUERY, start, hours(5), minutes(10))
+        assert split == direct
+
+    def test_indivisible_step_falls_through(self, world):
+        clock, engine, frontend = world
+        direct = engine._engine.query_range(QUERY, 0, hours(2), minutes(7))
+        split = frontend.query_range(QUERY, 0, hours(2), minutes(7))
+        assert split == direct
+
+    @given(
+        st.integers(0, int(hours(2))),
+        st.integers(1, int(hours(3))),
+        st.sampled_from([minutes(5), minutes(10), minutes(30)]),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_equivalence_property(self, start, width, step):
+        clock = SimClock(0)
+        store = LokiStore()
+        store.push(
+            PushRequest.single(
+                {"app": "fm"}, [(minutes(15 * i), f"e{i}") for i in range(20)]
+            )
+        )
+        clock.advance(hours(8))
+        engine = LogQLEngine(store)
+        frontend = QueryFrontend(engine, clock, split_ns=hours(1))
+        end = start + width
+        assert frontend.query_range(QUERY, start, end, step) == engine.query_range(
+            QUERY, start, end, step
+        )
+
+
+class TestCaching:
+    def test_repeat_query_hits_cache(self, world):
+        clock, engine, frontend = world
+        frontend.query_range(QUERY, 0, hours(5), minutes(10))
+        first_calls = engine.calls
+        frontend.query_range(QUERY, 0, hours(5), minutes(10))
+        assert engine.calls == first_calls  # everything cached
+        assert frontend.hit_rate() > 0.4
+
+    def test_tip_window_never_cached(self, world):
+        clock, engine, frontend = world
+        # Window ending exactly now: the last split is not in the past.
+        frontend.query_range(QUERY, 0, clock.now_ns, minutes(10))
+        calls_1 = engine.calls
+        frontend.query_range(QUERY, 0, clock.now_ns, minutes(10))
+        assert engine.calls == calls_1 + 1  # only the tip recomputed
+
+    def test_sliding_dashboard_refresh(self, world):
+        """The dashboard pattern: refresh a 3h window every 10 minutes."""
+        clock, engine, frontend = world
+        for _ in range(6):
+            end = clock.now_ns
+            frontend.query_range(QUERY, end - hours(3), end, minutes(10))
+            clock.advance(minutes(10))
+        # Later refreshes reuse interior windows: hits accumulate.
+        assert frontend.cache_hits >= 8
+
+    def test_invalidate(self, world):
+        clock, engine, frontend = world
+        frontend.query_range(QUERY, 0, hours(5), minutes(10))
+        frontend.invalidate()
+        calls = engine.calls
+        frontend.query_range(QUERY, 0, hours(5), minutes(10))
+        assert engine.calls > calls
+
+    def test_cache_bounded(self, world):
+        clock, engine, frontend = world
+        frontend = QueryFrontend(engine, clock, split_ns=hours(1), max_entries=2)
+        frontend.query_range(QUERY, 0, hours(5), minutes(10))
+        assert len(frontend._cache) <= 2
+
+    def test_different_phases_never_share_entries(self, world):
+        clock, engine, frontend = world
+        a = frontend.query_range(QUERY, 0, hours(4), minutes(10))
+        b = frontend.query_range(QUERY, minutes(3), hours(4), minutes(10))
+        direct = engine._engine.query_range(
+            QUERY, minutes(3), hours(4), minutes(10)
+        )
+        assert b == direct
+        assert a != b
+
+
+class TestValidation:
+    def test_bad_params(self, world):
+        _, _, frontend = world
+        with pytest.raises(ValidationError):
+            frontend.query_range(QUERY, 0, 10, 0)
+        with pytest.raises(ValidationError):
+            frontend.query_range(QUERY, 10, 0, 1)
+        with pytest.raises(ValidationError):
+            QueryFrontend(None, SimClock(0), split_ns=0)  # type: ignore[arg-type]

@@ -1,0 +1,72 @@
+"""Tests for the GPFS health model (paper §V future work)."""
+
+import pytest
+
+from repro.common.errors import NotFoundError, ValidationError
+from repro.cluster.gpfs import GpfsFilesystem, GpfsModel
+
+
+@pytest.fixture
+def model():
+    return GpfsModel(
+        [GpfsFilesystem("scratch", nsd_servers=8), GpfsFilesystem("community")],
+        seed=0,
+    )
+
+
+class TestConstruction:
+    def test_requires_filesystems(self):
+        with pytest.raises(ValidationError):
+            GpfsModel([])
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(ValidationError):
+            GpfsModel([GpfsFilesystem("a"), GpfsFilesystem("a")])
+
+    def test_nsd_count_positive(self):
+        with pytest.raises(ValidationError):
+            GpfsFilesystem("x", nsd_servers=0)
+
+    def test_filesystem_listing(self, model):
+        assert model.filesystems() == ["community", "scratch"]
+
+
+class TestSampling:
+    def test_healthy_sample(self, model):
+        s = model.sample("scratch")
+        assert s.healthy
+        assert s.crc_errors == 0
+        assert s.unhealthy_nsds == 0
+        assert s.write_mb_s > 0
+
+    def test_unknown_fs_raises(self, model):
+        with pytest.raises(NotFoundError):
+            model.sample("nope")
+
+    def test_degraded_drops_throughput_and_produces_crc(self, model):
+        healthy = [model.sample("scratch").write_mb_s for _ in range(10)]
+        model.set_degraded("scratch", True, fraction=0.5)
+        degraded = [model.sample("scratch") for _ in range(10)]
+        assert sum(s.write_mb_s for s in degraded) / 10 < sum(healthy) / 10 * 0.8
+        assert any(s.crc_errors > 0 for s in degraded)
+        assert all(s.unhealthy_nsds == 4 for s in degraded)
+        assert all(not s.healthy for s in degraded)
+
+    def test_recovery(self, model):
+        model.set_degraded("scratch", True)
+        model.set_degraded("scratch", False)
+        s = model.sample("scratch")
+        assert s.healthy and s.crc_errors == 0
+
+    def test_fraction_validated(self, model):
+        with pytest.raises(ValidationError):
+            model.set_degraded("scratch", True, fraction=1.5)
+
+    def test_sample_all_covers_every_fs(self, model):
+        names = [s.fs_name for s in model.sample_all()]
+        assert names == ["community", "scratch"]
+
+    def test_determinism(self):
+        a = GpfsModel([GpfsFilesystem("x")], seed=5)
+        b = GpfsModel([GpfsFilesystem("x")], seed=5)
+        assert a.sample("x").write_mb_s == b.sample("x").write_mb_s

@@ -1,0 +1,110 @@
+"""Integration tests: the two paper case studies end to end."""
+
+import json
+
+import pytest
+
+from repro.common.simclock import minutes
+from repro.core.casestudies import run_leak_case_study, run_switch_case_study
+from repro.servicenow.incidents import Priority
+
+
+@pytest.fixture(scope="module")
+def leak():
+    return run_leak_case_study()
+
+
+@pytest.fixture(scope="module")
+def switch():
+    return run_switch_case_study()
+
+
+class TestLeakCaseStudy:
+    def test_fig2_raw_payload_shape(self, leak):
+        messages = leak.fig2_payload["metrics"]["messages"]
+        assert messages[0]["Context"] == "x1203c1b0"  # the paper's context
+        event = messages[0]["Events"][0]
+        assert event["MessageId"] == "CrayAlerts.1.0.CabinetLeakDetected"
+        assert event["Severity"] == "Warning"
+        assert "MessageArgs" in event and "OriginOfCondition" in event
+
+    def test_fig3_transform(self, leak):
+        (stream,) = leak.fig3_payload["streams"]
+        assert stream["stream"]["Context"] == "x1203c1b0"
+        assert stream["stream"]["cluster"] == "perlmutter"
+        assert stream["stream"]["data_type"] == "redfish_event"
+        content = json.loads(stream["values"][0][1])
+        assert set(content) == {"Severity", "MessageId", "Message"}
+
+    def test_fig4_grafana_table(self, leak):
+        assert "CabinetLeakDetected" in leak.fig4_table
+        assert "x1203c1b0" in leak.fig4_table
+
+    def test_fig5_metric_steps_to_one(self, leak):
+        (series,) = leak.fig5_series
+        assert series.values()[0] == 1.0
+        assert series.labels["Context"] == "x1203c1b0"
+        assert series.labels["Severity"] == "Warning"
+
+    def test_fig6_slack_alert(self, leak):
+        assert leak.fig6_slack is not None
+        assert "PerlmutterCabinetLeak" in leak.fig6_slack
+        assert "x1203c1b0" in leak.fig6_slack
+
+    def test_incident_opened_p1(self, leak):
+        assert leak.incident is not None
+        assert leak.incident.priority is Priority.CRITICAL
+
+    def test_timeline_ordering(self, leak):
+        t = leak.timeline
+        assert t["fault_ns"] <= t["redfish_event_ns"]
+        assert t["redfish_event_ns"] < t["slack_ns"]
+        # Detection latency is minutes, not hours (the paper's point).
+        assert t["slack_ns"] - t["fault_ns"] < minutes(10)
+
+
+class TestSwitchCaseStudy:
+    def test_fig7_event_line_exact(self, switch):
+        assert switch.fig7_event_line == (
+            "[critical] problem:fm_switch_offline, "
+            "xname:x1002c1r7b0, state:UNKNOWN"
+        )
+
+    def test_pattern_extraction(self, switch):
+        assert switch.pattern_extracted == {
+            "severity": "critical",
+            "problem": "fm_switch_offline",
+            "xname": "x1002c1r7b0",
+            "state": "UNKNOWN",
+        }
+
+    def test_fig8_rule_shape(self, switch):
+        rule = switch.fig8_rule
+        assert rule["alert"] == "SwitchOffline"
+        assert "fm_switch_offline" in rule["expr"]
+        assert "pattern" in rule["expr"]
+        assert rule["for"] == "1m"
+        assert rule["severity"] == "critical"
+
+    def test_rule_series_fires(self, switch):
+        assert switch.rule_series
+        assert any(
+            s.labels.get("xname") == "x1002c1r7b0" and 1.0 in s.values()
+            for s in switch.rule_series
+        )
+
+    def test_fig9_slack_notification(self, switch):
+        assert switch.fig9_slack is not None
+        assert "SwitchOffline" in switch.fig9_slack
+        assert "x1002c1r7b0" in switch.fig9_slack
+        assert "UNKNOWN" in switch.fig9_slack
+
+    def test_incident_for_switch(self, switch):
+        assert switch.incident is not None
+        assert "x1002c1r7b0" in switch.incident.short_description
+
+    def test_timeline_ordering(self, switch):
+        t = switch.timeline
+        assert t["fault_ns"] <= t["monitor_event_ns"]
+        assert t["monitor_event_ns"] < t["slack_ns"]
+        assert t["slack_ns"] - t["fault_ns"] < minutes(10)

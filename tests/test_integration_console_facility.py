@@ -1,0 +1,98 @@
+"""Integration tests: console, LDMS and facility paths through the stack."""
+
+import pytest
+
+from repro.common.simclock import minutes
+from repro.cluster.topology import ClusterSpec
+from repro.core.framework import FrameworkConfig, MonitoringFramework
+
+
+@pytest.fixture
+def fw():
+    return MonitoringFramework(
+        FrameworkConfig(cluster_spec=ClusterSpec(cabinets=1, chassis_per_cabinet=1))
+    )
+
+
+class TestConsolePath:
+    def test_chatter_lands_in_loki(self, fw):
+        fw.run_for(minutes(5))
+        results = fw.logql.query_logs(
+            '{data_type="console_log"}', 0, fw.clock.now_ns + 1
+        )
+        total = sum(len(e) for _, e in results)
+        assert total == fw.console.lines_published
+
+    def test_kernel_panic_alerts(self, fw):
+        fw.start()
+        victim = sorted(fw.cluster.nodes)[0]
+        fw.clock.call_later(minutes(2), lambda: fw.console.emit_panic(victim))
+        fw.run_for(minutes(10))
+        panic_messages = [
+            m for m in fw.slack.messages if "NodeKernelPanic" in m.text
+        ]
+        assert panic_messages
+        assert str(victim) in panic_messages[0].text
+        # Critical => ServiceNow incident too.
+        assert any(
+            "NodeKernelPanic" in i.short_description
+            for i in fw.servicenow.incidents()
+        )
+
+    def test_no_panic_no_alert(self, fw):
+        fw.run_for(minutes(10))
+        assert not any("NodeKernelPanic" in m.text for m in fw.slack.messages)
+
+
+class TestLdmsPath:
+    def test_ldms_metrics_queryable(self, fw):
+        fw.run_for(minutes(3))
+        samples = fw.promql.query_instant("avg(ldms_loadavg_1m)", fw.clock.now_ns)
+        assert samples and samples[0].value > 0
+        per_node = fw.promql.query_instant("ldms_mem_used_gb", fw.clock.now_ns)
+        assert len(per_node) == len(fw.cluster.nodes)
+
+    def test_hsn_counter_rate(self, fw):
+        fw.run_for(minutes(10))
+        rates = fw.promql.query_instant(
+            "rate(ldms_hsn_tx_bytes[5m])", fw.clock.now_ns
+        )
+        assert rates and all(s.value > 0 for s in rates)
+
+
+class TestFacilityPath:
+    def test_facility_metrics_queryable(self, fw):
+        fw.run_for(minutes(3))
+        for metric in (
+            "facility_room_temp_celsius",
+            "facility_room_humidity_percent",
+            "facility_particle_count_m3",
+            "facility_cdu_flow_lpm",
+            "facility_pdu_load_kw",
+        ):
+            assert fw.promql.query_instant(metric, fw.clock.now_ns), metric
+
+    def test_cdu_degradation_alerts(self, fw):
+        fw.start()
+        fw.clock.call_later(
+            minutes(2), lambda: fw.facility.degrade_cdu("cdu-0", 0.3)
+        )
+        fw.run_for(minutes(10))
+        cdu_messages = [m for m in fw.slack.messages if "CduLowFlow" in m.text]
+        assert cdu_messages
+        assert "cdu-0" in cdu_messages[0].text
+
+    def test_pdu_breaker_alerts(self, fw):
+        fw.start()
+        fw.clock.call_later(minutes(2), lambda: fw.facility.trip_pdu_breaker("pdu-1"))
+        fw.run_for(minutes(10))
+        assert any("PduBreakerOpen" in m.text and "pdu-1" in m.text
+                   for m in fw.slack.messages)
+
+    def test_healthy_facility_quiet(self, fw):
+        fw.run_for(minutes(15))
+        assert not any(
+            "CduLowFlow" in m.text or "PduBreakerOpen" in m.text
+            or "FacilityHumidityHigh" in m.text
+            for m in fw.slack.messages
+        )

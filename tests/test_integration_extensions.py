@@ -1,0 +1,98 @@
+"""Integration tests for the extension features: proactive anomaly
+detection in the framework, and Promtail feeding the framework's Loki."""
+
+import pytest
+
+from repro.common.simclock import minutes, seconds
+from repro.cluster.faults import FaultKind
+from repro.cluster.topology import ClusterSpec
+from repro.core.framework import FrameworkConfig, MonitoringFramework
+from repro.loki.promtail import MatchStage, Promtail, RegexStage, ScrapeConfig
+
+
+@pytest.fixture
+def fw():
+    return MonitoringFramework(
+        FrameworkConfig(
+            cluster_spec=ClusterSpec(cabinets=1, chassis_per_cabinet=2),
+            enable_proactive_detection=True,
+            # Low threshold so a thermal excursion is *also* caught by the
+            # classic rule — the proactive path should win on time.
+            hot_node_threshold_c=70.0,
+        )
+    )
+
+
+class TestProactiveDetection:
+    def test_anomaly_alert_reaches_slack(self, fw):
+        fw.start()
+        node = sorted(fw.cluster.nodes)[0]
+        fw.faults.schedule(
+            FaultKind.THERMAL_EXCURSION, node, delay_ns=minutes(20), delta_c=40.0
+        )
+        fw.run_for(minutes(60))
+        anomaly_messages = [
+            m for m in fw.slack.messages if "AnomalyDetected" in m.text
+        ]
+        assert anomaly_messages
+        assert str(node) in anomaly_messages[0].text
+
+    def test_quiet_cluster_no_anomalies(self):
+        fw = MonitoringFramework(
+            FrameworkConfig(
+                cluster_spec=ClusterSpec(cabinets=1, chassis_per_cabinet=1),
+                enable_proactive_detection=True,
+            )
+        )
+        fw.run_for(minutes(40))
+        assert not any("AnomalyDetected" in m.text for m in fw.slack.messages)
+
+    def test_disabled_by_default(self):
+        fw = MonitoringFramework(
+            FrameworkConfig(cluster_spec=ClusterSpec(cabinets=1,
+                                                     chassis_per_cabinet=1))
+        )
+        assert fw.proactive is None
+
+
+class TestPromtailIntegration:
+    def test_promtail_feeds_framework_loki(self, fw):
+        fw.start()
+        promtail = Promtail(fw.warehouse.loki)
+        promtail.add_scrape_config(
+            ScrapeConfig(
+                job="varlog",
+                static_labels={"cluster": "perlmutter", "data_type": "syslog"},
+                stages=[
+                    RegexStage(r"(?P<facility>\w+)\["),
+                    MatchStage("DEBUG", invert=True),
+                ],
+            )
+        )
+        now = fw.clock.now_ns
+        promtail.collect(
+            "varlog",
+            [
+                (now, "sshd[123]: Accepted publickey for alice"),
+                (now + 1, "kernel[0]: DEBUG scheduler tick"),
+                (now + 2, "kernel[0]: nvme0: I/O error"),
+            ],
+        )
+        assert promtail.lines_dropped == 1
+        results = fw.logql.query_logs(
+            '{job="varlog", facility="kernel"}', 0, now + minutes(1)
+        )
+        assert sum(len(e) for _, e in results) == 1
+
+    def test_promtail_logs_visible_in_dashboard_queries(self, fw):
+        fw.start()
+        promtail = Promtail(fw.warehouse.loki)
+        promtail.add_scrape_config(
+            ScrapeConfig(job="app", static_labels={"data_type": "container_log"})
+        )
+        now = fw.clock.now_ns
+        promtail.collect("app", [(now + i, f"line {i}") for i in range(5)])
+        samples = fw.logql.query_instant(
+            'sum(count_over_time({job="app"}[5m]))', now + seconds(10)
+        )
+        assert samples[0].value == 5.0

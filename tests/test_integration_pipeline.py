@@ -1,0 +1,109 @@
+"""Integration tests across the full Figure-1 pipeline and the MTTR study."""
+
+import pytest
+
+from repro.common.simclock import minutes, seconds
+from repro.cluster.faults import FaultKind
+from repro.cluster.topology import ClusterSpec
+from repro.core.framework import FrameworkConfig, MonitoringFramework
+from repro.core.mttr import run_mttr_study
+from repro.workloads.scenarios import steady_state_mix
+
+
+@pytest.fixture
+def fw():
+    return MonitoringFramework(
+        FrameworkConfig(cluster_spec=ClusterSpec(cabinets=1, chassis_per_cabinet=2))
+    )
+
+
+class TestSinglePaneOfGlass:
+    def test_dashboard_renders_logs_and_metrics_together(self, fw):
+        fw.start()
+        cab = sorted(fw.cluster.cabinets)[0]
+        fw.faults.schedule(FaultKind.CABINET_LEAK, cab, delay_ns=minutes(1))
+        fw.run_for(minutes(5))
+        dash = fw.dashboards["overview"]
+        out = dash.render(
+            fw.clock.now_ns - minutes(5), fw.clock.now_ns, minutes(1)
+        )
+        # Log-derived panels and metric panels in one view.
+        assert "Redfish events" in out
+        assert "CabinetLeakDetected" in out
+        assert "Nodes up" in out
+        assert "Max node temp" in out
+
+
+class TestStormGrouping:
+    def test_many_switch_failures_grouped(self, fw):
+        """A whole chassis of switches fails; Alertmanager groups the
+        storm into few notifications (the paper's noise-reduction claim)."""
+        fw.start()
+        switches = sorted(fw.cluster.switches)
+        for sw in switches:
+            fw.faults.schedule(FaultKind.SWITCH_OFFLINE, sw, delay_ns=minutes(1))
+        fw.run_for(minutes(10))
+        events_in = fw.alertmanager.events_received
+        notifications = fw.alertmanager.notifications_sent
+        assert events_in >= len(switches)
+        assert notifications < events_in
+        assert fw.alertmanager.grouping_factor() > 1.5
+        # Every switch is mentioned across the Slack stream.
+        text = "\n".join(m.text for m in fw.slack.messages)
+        for sw in switches:
+            assert str(sw) in text
+
+
+class TestBackgroundNoise:
+    def test_steady_state_produces_no_alerts(self, fw):
+        fw.start()
+        logs = steady_state_mix(
+            sorted(fw.cluster.nodes)[:8], 500, fw.clock.now_ns, minutes(5), seed=1
+        )
+        for g in logs:
+            if g.labels["data_type"] == "syslog":
+                fw.publish_syslog(g.labels, g.timestamp_ns, g.line)
+            else:
+                fw.publish_container_log(g.labels, g.timestamp_ns, g.line)
+        fw.run_for(minutes(10))
+        assert not any(
+            "CabinetLeak" in m.text or "SwitchOffline" in m.text
+            for m in fw.slack.messages
+        )
+        # But the logs are all queryable.
+        results = fw.logql.query_logs(
+            '{cluster="perlmutter", data_type=~"syslog|container_log"}',
+            0,
+            fw.clock.now_ns + 1,
+        )
+        assert sum(len(e) for _, e in results) == 500
+
+    def test_error_rate_query_over_syslog(self, fw):
+        """§V future work: syslog monitoring via Loki queries."""
+        fw.start()
+        logs = steady_state_mix(
+            sorted(fw.cluster.nodes)[:8], 300, fw.clock.now_ns, minutes(5), seed=2
+        )
+        for g in logs:
+            fw.publish_syslog(g.labels, g.timestamp_ns, g.line)
+        fw.run_for(minutes(6))
+        samples = fw.logql.query_instant(
+            'sum(count_over_time({data_type="syslog", severity="err"}[10m]))',
+            fw.clock.now_ns,
+        )
+        assert samples and samples[0].value > 0
+
+
+class TestMttrStudy:
+    def test_automated_beats_manual(self):
+        result = run_mttr_study(fault_count=2, seed=3)
+        assert result.automated_mean_detect_ns < result.manual_mean_detect_ns
+        assert result.improvement_factor > 5.0
+        row = result.row()
+        assert row["auto_mttr_s"] < row["manual_mttr_s"]
+
+    def test_detection_breakdown_plausible(self):
+        """Automated detection ≈ poll + rule-for + group_wait budget."""
+        result = run_mttr_study(fault_count=2, seed=4)
+        for detect in result.automated_detect_ns:
+            assert seconds(30) <= detect <= minutes(5)

@@ -1,0 +1,109 @@
+"""Tests for LogCLI, the command-line query client (paper §III.A)."""
+
+import json
+
+import pytest
+
+from repro.common.errors import QueryError, ValidationError
+from repro.common.simclock import minutes, seconds
+from repro.loki.logcli import run_logcli
+from repro.loki.model import PushRequest
+from repro.loki.store import LokiStore
+
+
+@pytest.fixture
+def store():
+    s = LokiStore()
+    s.push(
+        PushRequest.single(
+            {"app": "fm", "cluster": "perlmutter"},
+            [
+                (seconds(1), "[critical] problem:fm_switch_offline, "
+                             "xname:x1002c1r7b0, state:UNKNOWN"),
+                (seconds(2), "[info] problem:fm_switch_online, "
+                             "xname:x1002c1r7b0, state:ONLINE"),
+            ],
+        )
+    )
+    s.push(PushRequest.single({"app": "api"}, [(seconds(3), "request ok")]))
+    return s
+
+
+class TestLogQueries:
+    def test_default_output(self, store):
+        out = run_logcli(
+            store,
+            ["query", '{app="fm"} |= "offline"', "--from", "0",
+             "--to", str(minutes(1))],
+        )
+        assert "fm_switch_offline" in out
+        assert "2022" not in out  # epoch 0-based timestamps
+        assert len(out.splitlines()) == 1
+
+    def test_jsonl_output(self, store):
+        out = run_logcli(
+            store,
+            ["query", '{app="fm"}', "--from", "0", "--to", str(minutes(1)),
+             "--output", "jsonl"],
+        )
+        rows = [json.loads(line) for line in out.splitlines()]
+        assert len(rows) == 2
+        assert rows[0]["labels"]["app"] == "fm"
+
+    def test_raw_output(self, store):
+        out = run_logcli(
+            store,
+            ["query", '{app="api"}', "--from", "0", "--to", str(minutes(1)),
+             "--output", "raw"],
+        )
+        assert out == "request ok"
+
+    def test_limit_keeps_newest(self, store):
+        out = run_logcli(
+            store,
+            ["query", '{app="fm"}', "--from", "0", "--to", str(minutes(1)),
+             "--limit", "1", "--output", "raw"],
+        )
+        assert "online" in out and "offline" not in out
+
+    def test_bad_window_rejected(self, store):
+        with pytest.raises(ValidationError):
+            run_logcli(store, ["query", '{app="fm"}', "--from", "10", "--to", "10"])
+
+
+class TestMetricQueries:
+    def test_instant(self, store):
+        out = run_logcli(
+            store,
+            ["query", 'sum(count_over_time({app="fm"}[1m])) by (app)',
+             "--from", "0", "--to", str(minutes(1))],
+        )
+        assert "=> 2" in out
+
+    def test_range_with_step(self, store):
+        out = run_logcli(
+            store,
+            ["query", 'count_over_time({app="fm"}[30s])',
+             "--from", "0", "--to", str(minutes(1)),
+             "--step", str(seconds(30))],
+        )
+        assert ":" in out  # ts:value pairs
+
+
+class TestBrowsing:
+    def test_labels(self, store):
+        out = run_logcli(store, ["labels"])
+        assert out.splitlines() == ["app", "cluster"]
+
+    def test_label_values(self, store):
+        out = run_logcli(store, ["label-values", "app"])
+        assert out.splitlines() == ["api", "fm"]
+
+    def test_series(self, store):
+        out = run_logcli(store, ["series", '{app="fm"}'])
+        assert "perlmutter" in out
+        assert len(out.splitlines()) == 1
+
+    def test_series_rejects_pipelines(self, store):
+        with pytest.raises(QueryError):
+            run_logcli(store, ["series", '{app="fm"} |= "x"'])

@@ -1,0 +1,103 @@
+"""Tests for LogQL line_format and label_format stages."""
+
+import json
+
+import pytest
+
+from repro.common.errors import QueryError
+from repro.loki.logql.engine import LogQLEngine
+from repro.loki.logql.parser import parse
+from repro.loki.logql.ast import LabelFormatStage, LineFormatStage
+from repro.loki.model import PushRequest
+from repro.loki.store import LokiStore
+
+
+@pytest.fixture
+def engine():
+    store = LokiStore()
+    store.push(
+        PushRequest.single(
+            {"app": "api"},
+            [
+                (1, json.dumps({"sev": "crit", "msg": "disk died", "code": 5})),
+                (2, json.dumps({"sev": "info", "msg": "all fine", "code": 0})),
+            ],
+        )
+    )
+    return LogQLEngine(store)
+
+
+class TestParsing:
+    def test_line_format_parses(self):
+        expr = parse('{a="b"} | json | line_format "{{.sev}}: {{.msg}}"')
+        assert isinstance(expr.stages[1], LineFormatStage)
+
+    def test_label_format_parses(self):
+        expr = parse('{a="b"} | json | label_format severity=sev')
+        stage = expr.stages[1]
+        assert isinstance(stage, LabelFormatStage)
+        assert (stage.dst, stage.src) == ("severity", "sev")
+
+    def test_empty_template_rejected(self):
+        with pytest.raises(QueryError):
+            parse('{a="b"} | line_format ""')
+
+
+class TestLineFormat:
+    def test_rewrites_line_from_labels(self, engine):
+        results = engine.query_logs(
+            '{app="api"} | json | line_format "[{{.sev}}] {{.msg}}"', 0, 10
+        )
+        lines = sorted(e.line for _, entries in results for e in entries)
+        assert lines == ["[crit] disk died", "[info] all fine"]
+
+    def test_line_placeholder(self, engine):
+        results = engine.query_logs(
+            '{app="api"} | json | sev="crit" | line_format "pre: {{.__line__}}"',
+            0, 10,
+        )
+        (_, entries), = results
+        assert entries[0].line.startswith("pre: {")
+
+    def test_unknown_label_renders_empty(self, engine):
+        results = engine.query_logs(
+            '{app="api"} | json | sev="crit" | line_format "x{{.ghost}}y"', 0, 10
+        )
+        assert results[0][1][0].line == "xy"
+
+    def test_whitespace_in_template_braces(self, engine):
+        results = engine.query_logs(
+            '{app="api"} | json | sev="crit" | line_format "{{ .sev }}"', 0, 10
+        )
+        assert results[0][1][0].line == "crit"
+
+    def test_filter_after_line_format_sees_new_line(self, engine):
+        results = engine.query_logs(
+            '{app="api"} | json | line_format "[{{.sev}}]" |= "[crit]"', 0, 10
+        )
+        total = sum(len(e) for _, e in results)
+        assert total == 1
+
+
+class TestLabelFormat:
+    def test_copies_label(self, engine):
+        results = engine.query_logs(
+            '{app="api"} | json | label_format severity=sev', 0, 10
+        )
+        for labels, _ in results:
+            assert labels["severity"] == labels["sev"]  # src kept
+
+    def test_missing_src_noop(self, engine):
+        results = engine.query_logs(
+            '{app="api"} | json | label_format new=nonexistent', 0, 10
+        )
+        for labels, _ in results:
+            assert "new" not in labels
+
+    def test_metric_grouping_on_formatted_label(self, engine):
+        samples = engine.query_instant(
+            'sum(count_over_time({app="api"} | json | label_format '
+            "severity=sev [1m])) by (severity)",
+            60_000_000_000,
+        )
+        assert {s.labels["severity"] for s in samples} == {"crit", "info"}

@@ -1,0 +1,149 @@
+"""Tests for chunk storage: compression, sealing, windows."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.common.errors import StateError, ValidationError
+from repro.loki.chunks import Chunk, ChunkPolicy
+from repro.loki.model import LogEntry
+
+
+def make_chunk(target=1024, max_age=10**12):
+    return Chunk(ChunkPolicy(target_size_bytes=target, max_age_ns=max_age))
+
+
+class TestPolicy:
+    def test_validation(self):
+        with pytest.raises(ValidationError):
+            ChunkPolicy(target_size_bytes=0)
+        with pytest.raises(ValidationError):
+            ChunkPolicy(max_age_ns=0)
+
+
+class TestAppend:
+    def test_append_and_read(self):
+        chunk = make_chunk()
+        chunk.append(LogEntry(1, "a"))
+        chunk.append(LogEntry(2, "b"))
+        assert [e.line for e in chunk.entries()] == ["a", "b"]
+        assert chunk.first_ts_ns == 1 and chunk.last_ts_ns == 2
+
+    def test_out_of_order_rejected(self):
+        chunk = make_chunk()
+        chunk.append(LogEntry(5, "a"))
+        with pytest.raises(ValidationError):
+            chunk.append(LogEntry(4, "b"))
+
+    def test_equal_timestamps_allowed(self):
+        chunk = make_chunk()
+        chunk.append(LogEntry(5, "a"))
+        chunk.append(LogEntry(5, "b"))
+        assert chunk.entry_count == 2
+
+    def test_separator_byte_rejected(self):
+        with pytest.raises(ValidationError):
+            make_chunk().append(LogEntry(0, "bad\x1eline"))
+
+    def test_space_for_respects_target(self):
+        chunk = make_chunk(target=10)
+        chunk.append(LogEntry(0, "12345"))
+        assert chunk.space_for(LogEntry(1, "12345"))
+        chunk.append(LogEntry(1, "12345"))
+        assert not chunk.space_for(LogEntry(2, "x"))
+
+    def test_empty_chunk_accepts_oversized_entry(self):
+        chunk = make_chunk(target=2)
+        assert chunk.space_for(LogEntry(0, "very long line"))
+
+
+class TestSeal:
+    def test_seal_preserves_entries(self):
+        chunk = make_chunk()
+        entries = [LogEntry(i, f"line {i} with some text") for i in range(50)]
+        for e in entries:
+            chunk.append(e)
+        chunk.seal()
+        assert chunk.sealed
+        assert chunk.entries() == entries
+
+    def test_seal_is_idempotent(self):
+        chunk = make_chunk()
+        chunk.append(LogEntry(0, "x"))
+        chunk.seal()
+        chunk.seal()
+        assert chunk.entry_count == 1
+
+    def test_append_after_seal_rejected(self):
+        chunk = make_chunk()
+        chunk.append(LogEntry(0, "x"))
+        chunk.seal()
+        with pytest.raises(StateError):
+            chunk.append(LogEntry(1, "y"))
+
+    def test_compression_shrinks_repetitive_content(self):
+        chunk = make_chunk(target=10**6)
+        for i in range(200):
+            chunk.append(LogEntry(i, "the same syslog-ish line " * 4))
+        raw = chunk.uncompressed_bytes()
+        chunk.seal()
+        assert chunk.stored_bytes() < raw / 5
+        assert chunk.uncompressed_bytes() == raw  # logical size preserved
+
+    def test_empty_chunk_seals(self):
+        chunk = make_chunk()
+        chunk.seal()
+        assert chunk.entries() == []
+
+    @given(
+        st.lists(
+            st.text(
+                alphabet=st.characters(
+                    blacklist_characters="\x1e", blacklist_categories=("Cs",)
+                ),
+                max_size=40,
+            ),
+            min_size=1,
+            max_size=30,
+        )
+    )
+    def test_roundtrip_property(self, lines):
+        chunk = make_chunk(target=10**9)
+        entries = [LogEntry(i, line) for i, line in enumerate(lines)]
+        for e in entries:
+            chunk.append(e)
+        chunk.seal()
+        assert chunk.entries() == entries
+
+
+class TestWindows:
+    def test_entries_between(self):
+        chunk = make_chunk()
+        for i in range(10):
+            chunk.append(LogEntry(i * 10, str(i)))
+        got = chunk.entries_between(20, 50)
+        assert [e.timestamp_ns for e in got] == [20, 30, 40]
+
+    def test_window_after_seal(self):
+        chunk = make_chunk()
+        for i in range(10):
+            chunk.append(LogEntry(i, str(i)))
+        chunk.seal()
+        assert len(chunk.entries_between(3, 7)) == 4
+
+    def test_overlaps(self):
+        chunk = make_chunk()
+        chunk.append(LogEntry(10, "x"))
+        chunk.append(LogEntry(20, "y"))
+        assert chunk.overlaps(15, 25)
+        assert chunk.overlaps(0, 11)
+        assert not chunk.overlaps(21, 30)
+        assert not chunk.overlaps(0, 10)  # end-exclusive
+
+    def test_empty_chunk_never_overlaps(self):
+        assert not make_chunk().overlaps(0, 10**18)
+
+    def test_age(self):
+        chunk = make_chunk()
+        chunk.append(LogEntry(100, "x"))
+        assert chunk.age_ns(150) == 50
+        assert make_chunk().age_ns(12345) == 0

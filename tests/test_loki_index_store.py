@@ -1,0 +1,201 @@
+"""Tests for the label index and the Loki store / sharded cluster."""
+
+import pytest
+
+from repro.common.errors import NotFoundError, ValidationError
+from repro.common.labels import LabelSet, label_matcher
+from repro.loki.chunks import ChunkPolicy
+from repro.loki.index import LabelIndex
+from repro.loki.model import LogEntry, PushRequest
+from repro.loki.store import LokiCluster, LokiStore
+
+
+class TestLabelIndex:
+    def test_get_or_create_is_stable(self):
+        idx = LabelIndex()
+        a = idx.get_or_create(LabelSet({"x": "1"}))
+        b = idx.get_or_create(LabelSet({"x": "1"}))
+        assert a == b and len(idx) == 1
+
+    def test_distinct_labelsets_get_distinct_ids(self):
+        idx = LabelIndex()
+        a = idx.get_or_create(LabelSet({"x": "1"}))
+        b = idx.get_or_create(LabelSet({"x": "2"}))
+        assert a != b
+
+    def test_labels_of_unknown_raises(self):
+        with pytest.raises(NotFoundError):
+            LabelIndex().labels_of(99)
+
+    def test_select_equality_uses_postings(self):
+        idx = LabelIndex()
+        for i in range(10):
+            idx.get_or_create(LabelSet({"app": f"a{i % 2}", "n": str(i)}))
+        hits = idx.select([label_matcher("app", "=", "a1")])
+        assert len(hits) == 5
+
+    def test_select_conjunction(self):
+        idx = LabelIndex()
+        idx.get_or_create(LabelSet({"app": "x", "env": "prod"}))
+        idx.get_or_create(LabelSet({"app": "x", "env": "dev"}))
+        hits = idx.select(
+            [label_matcher("app", "=", "x"), label_matcher("env", "=", "prod")]
+        )
+        assert len(hits) == 1
+
+    def test_select_regex(self):
+        idx = LabelIndex()
+        idx.get_or_create(LabelSet({"app": "frontend"}))
+        idx.get_or_create(LabelSet({"app": "backend"}))
+        hits = idx.select([label_matcher("app", "=~", ".*end")])
+        assert len(hits) == 2
+
+    def test_select_no_match_is_empty(self):
+        idx = LabelIndex()
+        idx.get_or_create(LabelSet({"a": "b"}))
+        assert idx.select([label_matcher("a", "=", "zzz")]) == []
+
+    def test_label_browsing(self):
+        idx = LabelIndex()
+        idx.get_or_create(LabelSet({"app": "x", "env": "prod"}))
+        idx.get_or_create(LabelSet({"app": "y"}))
+        assert idx.label_names() == ["app", "env"]
+        assert idx.label_values("app") == ["x", "y"]
+
+    def test_size_grows_with_streams_not_reuse(self):
+        idx = LabelIndex()
+        idx.get_or_create(LabelSet({"a": "1"}))
+        size1 = idx.size_bytes()
+        idx.get_or_create(LabelSet({"a": "1"}))  # same stream
+        assert idx.size_bytes() == size1
+        idx.get_or_create(LabelSet({"a": "2"}))
+        assert idx.size_bytes() > size1
+
+
+class TestStore:
+    def test_push_and_select(self):
+        store = LokiStore()
+        store.push(PushRequest.single({"app": "x"}, [(1, "hello"), (2, "world")]))
+        results = store.select([label_matcher("app", "=", "x")], 0, 10)
+        assert len(results) == 1
+        labels, entries = results[0]
+        assert labels == {"app": "x"}
+        assert [e.line for e in entries] == ["hello", "world"]
+
+    def test_select_time_window(self):
+        store = LokiStore()
+        store.push(PushRequest.single({"a": "b"}, [(i, str(i)) for i in range(10)]))
+        results = store.select([label_matcher("a", "=", "b")], 3, 6)
+        assert [e.timestamp_ns for e in results[0][1]] == [3, 4, 5]
+
+    def test_empty_range_rejected(self):
+        store = LokiStore()
+        with pytest.raises(ValidationError):
+            store.select([], 5, 5)
+
+    def test_out_of_order_rejected_and_counted(self):
+        store = LokiStore()
+        store.push(PushRequest.single({"a": "b"}, [(10, "x")]))
+        accepted = store.push(PushRequest.single({"a": "b"}, [(5, "late")]))
+        assert accepted == 0
+        assert store.stats.entries_rejected == 1
+
+    def test_separate_streams_independent_order(self):
+        store = LokiStore()
+        store.push(PushRequest.single({"a": "1"}, [(10, "x")]))
+        # Different stream may carry older timestamps.
+        assert store.push(PushRequest.single({"a": "2"}, [(5, "y")])) == 1
+
+    def test_chunk_rollover_on_size(self):
+        store = LokiStore(ChunkPolicy(target_size_bytes=64))
+        lines = [(i, "x" * 30) for i in range(10)]
+        store.push(PushRequest.single({"a": "b"}, lines))
+        assert store.chunk_count() > 1
+        # All entries still readable across chunks.
+        results = store.select([label_matcher("a", "=", "b")], 0, 100)
+        assert len(results[0][1]) == 10
+
+    def test_per_stream_chunks(self):
+        store = LokiStore()
+        store.push(PushRequest.single({"s": "1"}, [(1, "a")]))
+        store.push(PushRequest.single({"s": "2"}, [(1, "b")]))
+        assert store.stream_count() == 2
+        assert store.chunk_count() == 2  # each stream fills its own chunk
+
+    def test_flush_aged(self):
+        store = LokiStore(ChunkPolicy(target_size_bytes=10**6, max_age_ns=100))
+        store.push(PushRequest.single({"a": "b"}, [(0, "x")]))
+        assert store.flush_aged(now_ns=50) == 0
+        assert store.flush_aged(now_ns=150) == 1
+
+    def test_flush_all(self):
+        store = LokiStore()
+        store.push(PushRequest.single({"a": "b"}, [(0, "x")]))
+        assert store.flush_all() == 1
+        assert store.flush_all() == 0
+
+    def test_delete_before_drops_only_sealed_old_chunks(self):
+        store = LokiStore(ChunkPolicy(target_size_bytes=16))
+        store.push(
+            PushRequest.single({"a": "b"}, [(i, "0123456789abcd") for i in range(5)])
+        )
+        store.flush_all()
+        dropped = store.delete_before(3)
+        assert dropped >= 1
+        remaining = store.select([label_matcher("a", "=", "b")], 0, 100)
+        # Entries at ts >= 3 must survive.
+        surviving = [e.timestamp_ns for e in remaining[0][1]]
+        assert all(t >= 3 for t in surviving) or 3 in surviving
+
+    def test_compression_accounting(self):
+        store = LokiStore()
+        store.push(
+            PushRequest.single(
+                {"a": "b"}, [(i, "repetitive line " * 8) for i in range(100)]
+            )
+        )
+        store.flush_all()
+        assert store.compression_ratio() > 3.0
+        assert store.index_bytes() < 100  # one stream, one label
+
+
+class TestCluster:
+    def test_shards_validated(self):
+        with pytest.raises(ValidationError):
+            LokiCluster(shards=0)
+
+    def test_push_and_global_select(self):
+        cluster = LokiCluster(shards=4)
+        for i in range(20):
+            cluster.push(PushRequest.single({"stream": str(i)}, [(1, f"line{i}")]))
+        results = cluster.select([label_matcher("stream", "=~", ".*")], 0, 10)
+        assert len(results) == 20
+
+    def test_stream_affinity(self):
+        """The same stream always lands on the same shard (ordering holds)."""
+        cluster = LokiCluster(shards=4)
+        for i in range(10):
+            cluster.push(PushRequest.single({"s": "fixed"}, [(i, str(i))]))
+        counts = [c for c in cluster.shard_entry_counts() if c]
+        assert counts == [10]
+
+    def test_distribution_across_shards(self):
+        cluster = LokiCluster(shards=8)
+        for i in range(200):
+            cluster.push(PushRequest.single({"s": str(i)}, [(1, "x")]))
+        busy = [c for c in cluster.shard_entry_counts() if c > 0]
+        assert len(busy) == 8  # every shard participates
+
+    def test_parallel_speedup_grows_with_shards(self):
+        def speedup(shards):
+            cluster = LokiCluster(shards=shards)
+            for i in range(400):
+                cluster.push(PushRequest.single({"s": str(i)}, [(1, "x")]))
+            return cluster.parallel_speedup()
+
+        assert speedup(8) > speedup(2) > speedup(1) * 0.99
+
+    def test_total_entries(self):
+        cluster = LokiCluster(shards=2)
+        cluster.push(PushRequest.single({"a": "1"}, [(1, "x"), (2, "y")]))
+        assert cluster.total_entries() == 2

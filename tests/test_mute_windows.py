@@ -1,0 +1,107 @@
+"""Tests for Alertmanager mute time intervals (maintenance windows)."""
+
+import pytest
+
+from repro.common.errors import NotFoundError, ValidationError
+from repro.common.labels import LabelSet
+from repro.common.simclock import SimClock, hours, minutes
+from repro.alerting.alertmanager import Alertmanager, Route, TimeWindow
+from repro.alerting.events import AlertEvent, AlertState
+from repro.alerting.receivers import MemoryReceiver
+
+#: 2022-03-03 is a Thursday (weekday 3); PAPER epoch is 01:47:57 UTC.
+THURSDAY = 3
+
+
+def event(**labels):
+    labels.setdefault("alertname", "A")
+    return AlertEvent(LabelSet(labels), {}, AlertState.FIRING, 1.0, 0, 0)
+
+
+class TestTimeWindow:
+    def test_validation(self):
+        with pytest.raises(ValidationError):
+            TimeWindow(weekdays=())
+        with pytest.raises(ValidationError):
+            TimeWindow(weekdays=(7,))
+        with pytest.raises(ValidationError):
+            TimeWindow(start_minute=100, end_minute=100)
+
+    def test_contains_weekday_and_minutes(self):
+        clock = SimClock()  # Thursday 01:47:57 UTC
+        window = TimeWindow(weekdays=(THURSDAY,), start_minute=60, end_minute=180)
+        assert window.contains(clock.now_ns)  # 01:47 is inside 01:00-03:00
+        other_day = TimeWindow(weekdays=(0,), start_minute=0, end_minute=1440)
+        assert not other_day.contains(clock.now_ns)
+        later = TimeWindow(weekdays=(THURSDAY,), start_minute=300, end_minute=360)
+        assert not later.contains(clock.now_ns)
+
+
+class TestMuting:
+    def _build(self, mute_names=("maintenance",)):
+        clock = SimClock()  # Thursday 01:47:57 UTC
+        recv = MemoryReceiver("mem")
+        am = Alertmanager(
+            clock,
+            Route(
+                receiver="mem",
+                group_by=("alertname",),
+                group_wait="30s",
+                group_interval="5m",
+                mute_time_intervals=mute_names,
+            ),
+        )
+        am.register_receiver(recv)
+        return clock, am, recv
+
+    def test_notification_held_during_window(self):
+        clock, am, recv = self._build()
+        # Mute Thursday 01:00-03:00 (covers the epoch + the next hour).
+        am.add_mute_time_interval(
+            "maintenance",
+            (TimeWindow(weekdays=(THURSDAY,), start_minute=60, end_minute=180),),
+        )
+        am.receive(event(xname="x1"))
+        clock.advance(minutes(30))
+        assert recv.notifications == []
+        assert am.notifications_muted > 0
+        # Window ends at 03:00; the held notification goes out afterwards.
+        clock.advance(hours(2))
+        assert len(recv.notifications) == 1
+        assert len(recv.notifications[0].alerts) == 1
+
+    def test_outside_window_notifies_normally(self):
+        clock, am, recv = self._build()
+        am.add_mute_time_interval(
+            "maintenance",
+            (TimeWindow(weekdays=(THURSDAY,), start_minute=300, end_minute=360),),
+        )
+        am.receive(event(xname="x1"))
+        clock.advance(minutes(1))
+        assert len(recv.notifications) == 1
+        assert am.notifications_muted == 0
+
+    def test_unknown_interval_name_raises(self):
+        clock, am, recv = self._build(mute_names=("ghost",))
+        am.receive(event(xname="x1"))
+        with pytest.raises(NotFoundError):
+            clock.advance(minutes(1))
+
+    def test_duplicate_interval_rejected(self):
+        _, am, _ = self._build()
+        am.add_mute_time_interval("maintenance", (TimeWindow(),))
+        with pytest.raises(ValidationError):
+            am.add_mute_time_interval("maintenance", (TimeWindow(),))
+
+    def test_alerts_accumulate_while_muted(self):
+        clock, am, recv = self._build()
+        am.add_mute_time_interval(
+            "maintenance",
+            (TimeWindow(weekdays=(THURSDAY,), start_minute=60, end_minute=180),),
+        )
+        am.receive(event(xname="x1"))
+        clock.advance(minutes(10))
+        am.receive(event(xname="x2"))
+        clock.advance(hours(2))
+        assert len(recv.notifications) == 1
+        assert len(recv.notifications[0].alerts) == 2  # batch survived the mute

@@ -1,0 +1,158 @@
+"""Tests for OMNI: archive, retention, warehouse."""
+
+import pytest
+
+from repro.common.errors import RetentionError, ValidationError
+from repro.common.labels import LabelSet, label_matcher
+from repro.common.simclock import SimClock, days, hours
+from repro.loki.chunks import ChunkPolicy
+from repro.loki.model import LogEntry, PushRequest
+from repro.loki.store import LokiStore
+from repro.omni.archive import ArchiveStore
+from repro.omni.retention import RetentionManager, RetentionPolicy, TWO_YEARS_NS
+from repro.omni.warehouse import OmniWarehouse
+
+
+LABELS = LabelSet({"cluster": "perlmutter", "data_type": "syslog"})
+
+
+class TestArchive:
+    def test_roundtrip(self):
+        archive = ArchiveStore()
+        entries = [LogEntry(i, f"line {i}") for i in range(100)]
+        blob = archive.archive_logs(LABELS, entries)
+        assert blob.entry_count == 100
+        restored = archive.restore_between(0, 1000)
+        assert restored == [(LABELS, entries)]
+
+    def test_compression(self):
+        archive = ArchiveStore()
+        entries = [LogEntry(i, "repetitive " * 10) for i in range(100)]
+        blob = archive.archive_logs(LABELS, entries)
+        raw = sum(e.size_bytes() for e in entries)
+        assert blob.size_bytes() < raw / 5
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValidationError):
+            ArchiveStore().archive_logs(LABELS, [])
+
+    def test_restore_range_filtering(self):
+        archive = ArchiveStore()
+        archive.archive_logs(LABELS, [LogEntry(i * 10, str(i)) for i in range(10)])
+        restored = archive.restore_between(25, 55)
+        (labels, entries) = restored[0]
+        assert [e.timestamp_ns for e in entries] == [30, 40, 50]
+
+    def test_restore_outside_range_empty(self):
+        archive = ArchiveStore()
+        archive.archive_logs(LABELS, [LogEntry(5, "x")])
+        assert archive.restore_between(100, 200) == []
+
+    def test_restore_empty_range_rejected(self):
+        with pytest.raises(ValidationError):
+            ArchiveStore().restore_between(10, 10)
+
+    def test_entries_sorted_on_archive(self):
+        archive = ArchiveStore()
+        archive.archive_logs(LABELS, [LogEntry(5, "b"), LogEntry(1, "a")])
+        ((_, entries),) = archive.restore_between(0, 10)
+        assert [e.timestamp_ns for e in entries] == [1, 5]
+
+
+class TestRetention:
+    def make_world(self, hot_days=10):
+        clock = SimClock(0)
+        store = LokiStore(ChunkPolicy(target_size_bytes=64))
+        archive = ArchiveStore()
+        mgr = RetentionManager(
+            clock, store, archive, RetentionPolicy(hot_window_ns=days(hot_days))
+        )
+        return clock, store, archive, mgr
+
+    def test_default_policy_is_two_years(self):
+        assert RetentionPolicy().hot_window_ns == TWO_YEARS_NS == days(730)
+
+    def test_sweep_moves_old_sealed_chunks(self):
+        clock, store, archive, mgr = self.make_world(hot_days=10)
+        old = [(hours(i), "x" * 40) for i in range(5)]
+        store.push(PushRequest.single({"a": "b"}, old))
+        store.flush_all()
+        clock.advance(days(30))
+        moved = mgr.sweep()
+        assert moved == 5
+        assert archive.entries_archived == 5
+        # Hot store no longer serves them...
+        assert store.select([label_matcher("a", "=", "b")], 0, days(100)) == []
+
+    def test_sweep_keeps_hot_data(self):
+        clock, store, archive, mgr = self.make_world(hot_days=10)
+        store.push(PushRequest.single({"a": "b"}, [(0, "old " * 20)]))
+        store.flush_all()
+        clock.advance(days(5))  # inside the hot window
+        assert mgr.sweep() == 0
+        assert store.select([label_matcher("a", "=", "b")], 0, days(100)) != []
+
+    def test_restore_into_fresh_store(self):
+        clock, store, archive, mgr = self.make_world(hot_days=1)
+        store.push(
+            PushRequest.single({"a": "b"}, [(hours(i), "y" * 40) for i in range(4)])
+        )
+        store.flush_all()
+        clock.advance(days(10))
+        mgr.sweep()
+        sandbox = LokiStore()
+        restored = mgr.restore(0, days(1), into=sandbox)
+        assert restored == 4
+        results = sandbox.select([label_matcher("a", "=", "b")], 0, days(1))
+        assert len(results[0][1]) == 4
+
+    def test_restore_empty_range_rejected(self):
+        _, _, _, mgr = self.make_world()
+        with pytest.raises(RetentionError):
+            mgr.restore(5, 5, into=LokiStore())
+
+    def test_periodic_sweeps(self):
+        clock, store, archive, mgr = self.make_world(hot_days=1)
+        store.push(PushRequest.single({"a": "b"}, [(0, "z" * 64)]))
+        store.flush_all()
+        mgr.run_periodic(days(1))
+        clock.advance(days(3))
+        assert mgr.sweeps == 3
+        assert archive.entries_archived == 1
+
+
+class TestWarehouse:
+    def test_ingest_both_kinds(self):
+        clock = SimClock(0)
+        w = OmniWarehouse(clock)
+        w.ingest_log({"a": "b"}, 1, "line")
+        w.ingest_metric("m", {"x": "1"}, 2.0, 1)
+        assert w.messages_ingested == 2
+        report = w.storage_report()
+        assert report["log_entries"] == 1.0
+        assert report["metric_samples"] == 1.0
+
+    def test_rejected_metric_not_counted(self):
+        clock = SimClock(0)
+        w = OmniWarehouse(clock)
+        w.ingest_metric("m", {}, 1.0, 100)
+        assert not w.ingest_metric("m", {}, 1.0, 50)
+        assert w.messages_ingested == 1
+
+    def test_ingest_rate_accounting(self):
+        clock = SimClock(0)
+        w = OmniWarehouse(clock)
+        for i in range(100):
+            w.ingest_log({"a": "b"}, i, "x")
+        clock.advance(1_000_000_000)  # one simulated second
+        assert w.ingest_rate_per_simsecond() == pytest.approx(100.0)
+
+    def test_history_span(self):
+        clock = SimClock(0)
+        w = OmniWarehouse(clock)
+        w.ingest_log({"a": "b"}, 0, "x")
+        clock.advance(days(3))
+        assert w.history_span_days() == pytest.approx(3.0)
+
+    def test_history_span_empty(self):
+        assert OmniWarehouse(SimClock(0)).history_span_days() == 0.0

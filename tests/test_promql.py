@@ -1,0 +1,177 @@
+"""Tests for the PromQL subset parser and engine."""
+
+import pytest
+
+from repro.common.errors import QueryError
+from repro.common.labels import METRIC_NAME_LABEL, LabelSet
+from repro.common.simclock import minutes, seconds
+from repro.tsdb.promql import (
+    PromBinOp,
+    PromQLEngine,
+    PromRangeAgg,
+    PromRangeFunc,
+    PromVectorAgg,
+    VectorSelector,
+    parse_promql,
+)
+from repro.tsdb.storage import TimeSeriesStore
+
+
+class TestParser:
+    def test_bare_metric(self):
+        expr = parse_promql("node_up")
+        assert isinstance(expr, VectorSelector)
+        (m,) = expr.matchers
+        assert m.name == METRIC_NAME_LABEL and m.value == "node_up"
+
+    def test_metric_with_labels(self):
+        expr = parse_promql('node_up{cluster="perlmutter", xname=~"x1.*"}')
+        assert len(expr.matchers) == 3
+
+    def test_label_only_selector(self):
+        expr = parse_promql('{__name__="node_up"}')
+        assert isinstance(expr, VectorSelector)
+
+    def test_range_function(self):
+        expr = parse_promql('rate(kafka_topic_messages_total{topic="t"}[5m])')
+        assert isinstance(expr, PromRangeAgg)
+        assert expr.func is PromRangeFunc.RATE
+        assert expr.range_ns == minutes(5)
+
+    def test_aggregation_both_syntaxes(self):
+        a = parse_promql("sum by (xname) (node_temp_celsius)")
+        b = parse_promql("sum(node_temp_celsius) by (xname)")
+        assert a == b
+        assert isinstance(a, PromVectorAgg)
+
+    def test_comparison(self):
+        expr = parse_promql("node_up == 0")
+        assert isinstance(expr, PromBinOp)
+
+    def test_arithmetic_chain(self):
+        expr = parse_promql("avg(node_power_watts) / 1000 > 2")
+        assert isinstance(expr, PromBinOp)
+
+    @pytest.mark.parametrize("bad", ["", "sum(", "rate(m)", "m[5m]", "5", "(((m)"])
+    def test_invalid(self, bad):
+        with pytest.raises(QueryError):
+            parse_promql(bad)
+
+
+@pytest.fixture
+def engine():
+    store = TimeSeriesStore()
+    return store, PromQLEngine(store)
+
+
+class TestInstantSelector:
+    def test_latest_sample_within_lookback(self, engine):
+        store, eng = engine
+        store.ingest("m", {"i": "1"}, 1.0, seconds(10))
+        store.ingest("m", {"i": "1"}, 2.0, seconds(20))
+        samples = eng.query_instant("m", seconds(30))
+        assert samples[0].value == 2.0
+
+    def test_staleness_beyond_lookback(self, engine):
+        store, eng = engine
+        store.ingest("m", {}, 1.0, 0)
+        assert eng.query_instant("m", minutes(6)) == []
+
+    def test_label_filtering(self, engine):
+        store, eng = engine
+        store.ingest("m", {"x": "a"}, 1.0, 0)
+        store.ingest("m", {"x": "b"}, 2.0, 0)
+        samples = eng.query_instant('m{x="b"}', seconds(1))
+        assert len(samples) == 1 and samples[0].value == 2.0
+
+
+class TestRangeFunctions:
+    def _fill_counter(self, store, values):
+        for i, v in enumerate(values):
+            store.ingest("c", {}, float(v), seconds(i * 15))
+
+    def test_rate_simple(self, engine):
+        store, eng = engine
+        self._fill_counter(store, [0, 15, 30, 45, 60])
+        samples = eng.query_instant("rate(c[1m])", seconds(60))
+        # Left-open window (0s, 60s]: samples at 15..60, increase 45 over 60s.
+        assert samples[0].value == pytest.approx(0.75)
+        # Range functions drop the metric name.
+        assert METRIC_NAME_LABEL not in samples[0].labels
+
+    def test_rate_counter_reset(self, engine):
+        store, eng = engine
+        self._fill_counter(store, [100, 150, 10, 60])  # reset at sample 3
+        samples = eng.query_instant("increase(c[1m])", seconds(45))
+        # 100->150 (+50), reset, 10->60 (+50): increase = 60-100+150 = 110.
+        assert samples[0].value == pytest.approx(110.0)
+
+    def test_rate_needs_two_points(self, engine):
+        store, eng = engine
+        store.ingest("c", {}, 5.0, 0)
+        assert eng.query_instant("rate(c[1m])", seconds(30)) == []
+
+    def test_over_time_family(self, engine):
+        store, eng = engine
+        for i, v in enumerate([1.0, 3.0, 2.0]):
+            store.ingest("g", {}, v, seconds(i))
+        t = seconds(10)
+        assert eng.query_instant("avg_over_time(g[1m])", t)[0].value == 2.0
+        assert eng.query_instant("max_over_time(g[1m])", t)[0].value == 3.0
+        assert eng.query_instant("min_over_time(g[1m])", t)[0].value == 1.0
+        assert eng.query_instant("sum_over_time(g[1m])", t)[0].value == 6.0
+        assert eng.query_instant("count_over_time(g[1m])", t)[0].value == 3.0
+        assert eng.query_instant("last_over_time(g[1m])", t)[0].value == 2.0
+
+    def test_delta(self, engine):
+        store, eng = engine
+        store.ingest("g", {}, 10.0, 0)
+        store.ingest("g", {}, 4.0, seconds(30))
+        assert eng.query_instant("delta(g[1m])", seconds(30))[0].value == -6.0
+
+
+class TestAggregationAndBinops:
+    def test_sum_by(self, engine):
+        store, eng = engine
+        store.ingest("t", {"cab": "x1", "n": "a"}, 1.0, 0)
+        store.ingest("t", {"cab": "x1", "n": "b"}, 2.0, 0)
+        store.ingest("t", {"cab": "x2", "n": "c"}, 5.0, 0)
+        samples = eng.query_instant("sum by (cab) (t)", seconds(1))
+        assert [(s.labels["cab"], s.value) for s in samples] == [
+            ("x1", 3.0),
+            ("x2", 5.0),
+        ]
+
+    def test_aggregation_strips_metric_name(self, engine):
+        store, eng = engine
+        store.ingest("t", {"a": "1"}, 1.0, 0)
+        samples = eng.query_instant("sum(t)", seconds(1))
+        assert samples[0].labels == LabelSet()
+
+    def test_comparison_filters(self, engine):
+        store, eng = engine
+        store.ingest("up", {"j": "a"}, 1.0, 0)
+        store.ingest("up", {"j": "b"}, 0.0, 0)
+        samples = eng.query_instant("up == 0", seconds(1))
+        assert len(samples) == 1 and samples[0].labels["j"] == "b"
+
+    def test_arithmetic(self, engine):
+        store, eng = engine
+        store.ingest("w", {}, 1500.0, 0)
+        samples = eng.query_instant("w / 1000", seconds(1))
+        assert samples[0].value == 1.5
+
+    def test_query_range(self, engine):
+        store, eng = engine
+        for i in range(5):
+            store.ingest("g", {}, float(i), seconds(i * 30))
+        series = eng.query_range("g", 0, seconds(120), seconds(30))
+        assert len(series) == 1
+        assert series[0].values() == [0.0, 1.0, 2.0, 3.0, 4.0]
+
+    def test_bad_range_params(self, engine):
+        _, eng = engine
+        with pytest.raises(QueryError):
+            eng.query_range("g", 10, 0, 5)
+        with pytest.raises(QueryError):
+            eng.query_range("g", 0, 10, 0)

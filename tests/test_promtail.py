@@ -1,0 +1,149 @@
+"""Tests for Promtail: label, transform and filter logs (paper §III.A)."""
+
+import pytest
+
+from repro.common.errors import ValidationError
+from repro.common.labels import label_matcher
+from repro.loki.promtail import (
+    MatchStage,
+    Promtail,
+    RegexStage,
+    ScrapeConfig,
+    TemplateStage,
+)
+from repro.loki.store import LokiStore
+
+
+@pytest.fixture
+def world():
+    store = LokiStore()
+    return store, Promtail(store)
+
+
+class TestConfig:
+    def test_job_required(self):
+        with pytest.raises(ValidationError):
+            ScrapeConfig(job="")
+
+    def test_duplicate_job_rejected(self, world):
+        _, promtail = world
+        promtail.add_scrape_config(ScrapeConfig(job="syslog"))
+        with pytest.raises(ValidationError):
+            promtail.add_scrape_config(ScrapeConfig(job="syslog"))
+
+    def test_unknown_job_rejected(self, world):
+        _, promtail = world
+        with pytest.raises(ValidationError):
+            promtail.collect("ghost", [])
+
+    def test_bad_static_label_rejected(self):
+        with pytest.raises(ValidationError):
+            ScrapeConfig(job="j", static_labels={"bad-name": "x"})
+
+    def test_batch_size_positive(self):
+        with pytest.raises(ValidationError):
+            Promtail(LokiStore(), batch_size=0)
+
+
+class TestStages:
+    def test_static_labels_applied(self, world):
+        store, promtail = world
+        promtail.add_scrape_config(
+            ScrapeConfig(job="syslog", static_labels={"cluster": "perlmutter"})
+        )
+        promtail.collect("syslog", [(1, "hello")])
+        results = store.select([label_matcher("job", "=", "syslog")], 0, 10)
+        assert results[0][0]["cluster"] == "perlmutter"
+
+    def test_regex_stage_extracts_labels(self, world):
+        store, promtail = world
+        promtail.add_scrape_config(
+            ScrapeConfig(
+                job="sshd",
+                stages=[RegexStage(r"(?P<verb>Accepted|Failed) \w+ for "
+                                   r"(?P<user>\w+)")],
+            )
+        )
+        promtail.collect("sshd", [(1, "Accepted publickey for alice from 10.0.0.1")])
+        results = store.select([label_matcher("verb", "=", "Accepted")], 0, 10)
+        assert results[0][0]["user"] == "alice"
+
+    def test_regex_needs_named_groups(self):
+        with pytest.raises(ValidationError):
+            RegexStage(r"(no)(names)")
+
+    def test_match_stage_filters(self, world):
+        store, promtail = world
+        promtail.add_scrape_config(
+            ScrapeConfig(job="j", stages=[MatchStage("ERROR")])
+        )
+        shipped = promtail.collect("j", [(1, "ERROR boom"), (2, "INFO fine")])
+        assert shipped == 1
+        assert promtail.lines_dropped == 1
+
+    def test_match_stage_invert(self, world):
+        store, promtail = world
+        promtail.add_scrape_config(
+            ScrapeConfig(job="j", stages=[MatchStage("DEBUG", invert=True)])
+        )
+        shipped = promtail.collect("j", [(1, "DEBUG chatter"), (2, "real line")])
+        assert shipped == 1
+
+    def test_match_stage_regex(self, world):
+        _, promtail = world
+        promtail.add_scrape_config(
+            ScrapeConfig(job="j", stages=[MatchStage(r"code=5\d\d", regex=True)])
+        )
+        assert promtail.collect("j", [(1, "code=502"), (2, "code=200")]) == 1
+
+    def test_template_stage_rewrites(self, world):
+        store, promtail = world
+        promtail.add_scrape_config(
+            ScrapeConfig(
+                job="j",
+                static_labels={"host": "x1"},
+                stages=[TemplateStage("{host}: {line}")],
+            )
+        )
+        promtail.collect("j", [(1, "boom")])
+        results = store.select([label_matcher("job", "=", "j")], 0, 10)
+        assert results[0][1][0].line == "x1: boom"
+
+    def test_pipeline_order_matters(self, world):
+        """Filter after regex sees extracted labels' effect on the line."""
+        store, promtail = world
+        promtail.add_scrape_config(
+            ScrapeConfig(
+                job="j",
+                stages=[
+                    RegexStage(r"sev=(?P<sev>\w+)"),
+                    TemplateStage("[{sev}] {line}"),
+                    MatchStage("[crit]"),
+                ],
+            )
+        )
+        shipped = promtail.collect(
+            "j", [(1, "sev=crit disk died"), (2, "sev=info all good")]
+        )
+        assert shipped == 1
+
+
+class TestBatching:
+    def test_large_collect_batches(self, world):
+        store, promtail = world
+        promtail = Promtail(store, batch_size=10)
+        promtail.add_scrape_config(ScrapeConfig(job="bulk"))
+        records = [(i, f"line {i}") for i in range(35)]
+        assert promtail.collect("bulk", records) == 35
+        results = store.select([label_matcher("job", "=", "bulk")], 0, 100)
+        assert len(results[0][1]) == 35
+
+    def test_counters(self, world):
+        _, promtail = world
+        promtail.add_scrape_config(
+            ScrapeConfig(job="j", stages=[MatchStage("keep")])
+        )
+        promtail.collect("j", [(1, "keep a"), (2, "drop b"), (3, "keep c")])
+        assert promtail.lines_read == 3
+        assert promtail.lines_shipped == 2
+        assert promtail.lines_dropped == 1

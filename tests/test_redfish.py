@@ -1,0 +1,130 @@
+"""Tests for Redfish event generation — the paper's Figure 2 format."""
+
+import pytest
+
+from repro.common.simclock import SimClock, seconds
+from repro.common.xname import XName
+from repro.cluster.faults import FaultInjector, FaultKind
+from repro.cluster.topology import Cluster, ClusterSpec, NodeState
+from repro.shasta.redfish import (
+    MSG_ID_LEAK,
+    MSG_ID_LEAK_CLEARED,
+    MSG_ID_POWER_OFF,
+    RedfishEventSource,
+    cabinet_leak_event,
+    node_power_event,
+    telemetry_payload,
+)
+
+
+class TestLeakEvent:
+    def test_paper_message_text(self):
+        ev = cabinet_leak_event(XName.parse("x1203c1b0"), "Front", "A", 0)
+        assert ev.message == (
+            "Sensor 'A' of the redundant leak sensors in the 'Front' "
+            "cabinet zone has detected a leak."
+        )
+        assert ev.message_id == MSG_ID_LEAK
+        assert ev.severity == "Warning"
+        assert ev.message_args == ("A, Front",)
+        assert ev.context == "x1203c1b0"
+
+    def test_clear_event(self):
+        ev = cabinet_leak_event(XName.parse("x1c1b0"), "Rear", "B", 0, detected=False)
+        assert ev.message_id == MSG_ID_LEAK_CLEARED
+        assert ev.severity == "OK"
+
+    def test_json_obj_shape_matches_figure_2(self):
+        ts = 1646272077_000000000
+        obj = cabinet_leak_event(XName.parse("x1203c1b0"), "Front", "A", ts).to_json_obj()
+        assert obj["EventTimestamp"] == "2022-03-03T01:47:57+00:00"
+        assert set(obj) == {
+            "EventTimestamp",
+            "Severity",
+            "Message",
+            "MessageId",
+            "MessageArgs",
+            "OriginOfCondition",
+        }
+        assert obj["OriginOfCondition"] == {"@odata.id": "/redfish/v1/Chassis/Enclosure"}
+
+
+class TestPayload:
+    def test_groups_by_context(self):
+        a = cabinet_leak_event(XName.parse("x1c1b0"), "Front", "A", 0)
+        b = cabinet_leak_event(XName.parse("x1c1b0"), "Front", "B", 1)
+        c = cabinet_leak_event(XName.parse("x2c1b0"), "Rear", "A", 2)
+        payload = telemetry_payload([a, b, c])
+        messages = payload["metrics"]["messages"]
+        assert [m["Context"] for m in messages] == ["x1c1b0", "x2c1b0"]
+        assert len(messages[0]["Events"]) == 2
+
+    def test_power_event(self):
+        ev = node_power_event(XName.parse("x1c0s0b0n0"), 0, powered_on=False)
+        assert ev.message_id == MSG_ID_POWER_OFF
+        assert ev.severity == "Critical"
+        assert ev.context == "x1c0s0b0"
+
+
+class TestEventSource:
+    @pytest.fixture
+    def world(self):
+        clock = SimClock(0)
+        cluster = Cluster(ClusterSpec(cabinets=1, chassis_per_cabinet=2))
+        injector = FaultInjector(cluster, clock)
+        source = RedfishEventSource(cluster, clock)
+        return clock, cluster, injector, source
+
+    def test_no_events_at_steady_state(self, world):
+        _, _, _, source = world
+        assert source.poll() == []
+        assert source.poll() == []
+
+    def test_leak_transition_emits_once(self, world):
+        clock, cluster, injector, source = world
+        cab = next(iter(cluster.cabinets))
+        injector.schedule(FaultKind.CABINET_LEAK, cab)
+        clock.advance(seconds(1))
+        events = source.poll()
+        assert len(events) == 1
+        assert events[0].message_id == MSG_ID_LEAK
+        # Edge-triggered: no repeat while the state holds.
+        assert source.poll() == []
+
+    def test_clear_transition_emits_cleared(self, world):
+        clock, cluster, injector, source = world
+        cab = next(iter(cluster.cabinets))
+        fault = injector.schedule(FaultKind.CABINET_LEAK, cab)
+        clock.advance(seconds(1))
+        source.poll()
+        injector.repair(fault)
+        events = source.poll()
+        assert [e.message_id for e in events] == [MSG_ID_LEAK_CLEARED]
+
+    def test_reporting_controller_is_chassis_bmc(self, world):
+        clock, cluster, injector, source = world
+        cab = next(iter(cluster.cabinets))
+        injector.schedule(FaultKind.CABINET_LEAK, cab)
+        clock.advance(seconds(1))
+        (event,) = source.poll()
+        x = XName.parse(event.context)
+        assert x.is_controller and x.chassis is not None
+
+    def test_node_power_transitions(self, world):
+        clock, cluster, injector, source = world
+        node = next(iter(cluster.nodes))
+        cluster.set_node_state(node, NodeState.DOWN)
+        events = source.poll()
+        assert len(events) == 1
+        assert events[0].message_id == MSG_ID_POWER_OFF
+        cluster.set_node_state(node, NodeState.UP)
+        events = source.poll()
+        assert len(events) == 1 and "On" in events[0].message
+
+    def test_event_timestamp_is_poll_time(self, world):
+        clock, cluster, injector, source = world
+        cab = next(iter(cluster.cabinets))
+        injector.schedule(FaultKind.CABINET_LEAK, cab)
+        clock.advance(seconds(42))
+        (event,) = source.poll()
+        assert event.timestamp_ns == clock.now_ns

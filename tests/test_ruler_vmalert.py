@@ -1,0 +1,176 @@
+"""Tests for the shared rule state machine, Loki Ruler and vmalert."""
+
+import pytest
+
+from repro.common.errors import QueryError, ValidationError
+from repro.common.labels import LabelSet
+from repro.common.simclock import SimClock, minutes, seconds
+from repro.alerting.events import AlertState
+from repro.alerting.rules import RuleSpec, render_template
+from repro.loki.logql.engine import LogQLEngine
+from repro.loki.model import PushRequest
+from repro.loki.ruler import Ruler
+from repro.loki.store import LokiStore
+from repro.tsdb.promql import PromQLEngine
+from repro.tsdb.storage import TimeSeriesStore
+from repro.tsdb.vmalert import VMAlert
+
+
+class TestTemplates:
+    def test_labels_and_value(self):
+        out = render_template(
+            "Switch {{ $labels.xname }} is {{ $labels.state }} ({{ $value }})",
+            LabelSet({"xname": "x1002c1r7b0", "state": "UNKNOWN"}),
+            1.0,
+        )
+        assert out == "Switch x1002c1r7b0 is UNKNOWN (1)"
+
+    def test_nonintegral_value(self):
+        assert render_template("{{ $value }}", LabelSet(), 1.25) == "1.25"
+
+    def test_no_space_variant(self):
+        assert render_template("{{$value}}", LabelSet(), 2.0) == "2"
+
+
+class TestRuleSpec:
+    def test_requires_name(self):
+        with pytest.raises(ValidationError):
+            RuleSpec(name="", expr="x")
+
+    def test_for_validated(self):
+        with pytest.raises(ValidationError):
+            RuleSpec(name="r", expr="x", for_="notaduration")
+
+    def test_for_ns(self):
+        assert RuleSpec(name="r", expr="x", for_="1m").for_ns == minutes(1)
+
+
+@pytest.fixture
+def loki_world():
+    clock = SimClock(0)
+    store = LokiStore()
+    engine = LogQLEngine(store)
+    events = []
+    ruler = Ruler(engine, clock, events.append)
+    return clock, store, ruler, events
+
+
+class TestRuler:
+    def test_log_query_rule_rejected(self, loki_world):
+        _, _, ruler, _ = loki_world
+        with pytest.raises(QueryError):
+            ruler.add_rule(RuleSpec(name="bad", expr='{a="b"}'))
+
+    def test_duplicate_rule_rejected(self, loki_world):
+        _, _, ruler, _ = loki_world
+        rule = RuleSpec(name="r", expr='count_over_time({a="b"}[1m]) > 0')
+        ruler.add_rule(rule)
+        with pytest.raises(ValidationError):
+            ruler.add_rule(rule)
+
+    def test_pending_then_firing_after_for(self, loki_world):
+        clock, store, ruler, events = loki_world
+        ruler.add_rule(
+            RuleSpec(
+                name="R",
+                expr='count_over_time({a="b"}[10m]) > 0',
+                for_="1m",
+                labels={"severity": "critical"},
+            )
+        )
+        ruler.run_periodic(seconds(30))
+        clock.advance(seconds(30))
+        store.push(PushRequest.single({"a": "b"}, [(clock.now_ns, "boom")]))
+        clock.advance(seconds(30))  # first eval seeing it: pending
+        assert events == []
+        assert len(ruler.pending_series()) == 1
+        clock.advance(seconds(60))  # for=1m satisfied
+        assert len(events) == 1
+        assert events[0].state is AlertState.FIRING
+        assert events[0].labels["alertname"] == "R"
+        assert events[0].labels["severity"] == "critical"
+        assert len(ruler.firing_series()) == 1
+
+    def test_zero_for_fires_immediately(self, loki_world):
+        clock, store, ruler, events = loki_world
+        ruler.add_rule(RuleSpec(name="R", expr='count_over_time({a="b"}[10m]) > 0'))
+        store.push(PushRequest.single({"a": "b"}, [(clock.now_ns, "x")]))
+        clock.advance(seconds(1))
+        ruler.evaluate_all()
+        assert len(events) == 1
+
+    def test_resolution_when_series_disappears(self, loki_world):
+        clock, store, ruler, events = loki_world
+        ruler.add_rule(RuleSpec(name="R", expr='count_over_time({a="b"}[1m]) > 0'))
+        store.push(PushRequest.single({"a": "b"}, [(clock.now_ns, "x")]))
+        clock.advance(seconds(1))
+        ruler.evaluate_all()
+        clock.advance(minutes(2))  # window slides past the entry
+        ruler.evaluate_all()
+        assert [e.state for e in events] == [AlertState.FIRING, AlertState.RESOLVED]
+        assert ruler.firing_series() == []
+
+    def test_flap_resets_pending(self, loki_world):
+        """A blip shorter than `for` must never fire."""
+        clock, store, ruler, events = loki_world
+        ruler.add_rule(
+            RuleSpec(name="R", expr='count_over_time({a="b"}[30s]) > 0', for_="2m")
+        )
+        store.push(PushRequest.single({"a": "b"}, [(clock.now_ns, "x")]))
+        ruler.run_periodic(seconds(15))
+        clock.advance(minutes(10))
+        assert events == []
+
+    def test_annotations_rendered_per_series(self, loki_world):
+        clock, store, ruler, events = loki_world
+        ruler.add_rule(
+            RuleSpec(
+                name="R",
+                expr='sum(count_over_time({a=~".+"}[10m])) by (a) > 0',
+                annotations={"summary": "stream {{ $labels.a }} count {{ $value }}"},
+            )
+        )
+        store.push(PushRequest.single({"a": "one"}, [(clock.now_ns, "x")]))
+        store.push(PushRequest.single({"a": "two"}, [(clock.now_ns, "y"), (clock.now_ns, "z")]))
+        clock.advance(seconds(1))
+        ruler.evaluate_all()
+        summaries = sorted(e.annotations["summary"] for e in events)
+        assert summaries == ["stream one count 1", "stream two count 2"]
+
+
+class TestVMAlert:
+    def test_fires_on_metric_condition(self):
+        clock = SimClock(0)
+        store = TimeSeriesStore()
+        engine = PromQLEngine(store)
+        events = []
+        va = VMAlert(engine, clock, events.append)
+        va.add_rule(RuleSpec(name="NodeDown", expr="node_up == 0", for_="1m"))
+        va.run_periodic(seconds(30))
+        clock.advance(minutes(1))
+        store.ingest("node_up", {"xname": "x1c0s0b0n0"}, 0.0, clock.now_ns)
+        clock.advance(minutes(2))
+        firing = [e for e in events if e.state is AlertState.FIRING]
+        assert len(firing) == 1
+        assert firing[0].labels["xname"] == "x1c0s0b0n0"
+        assert firing[0].generator == "vmalert"
+
+    def test_invalid_promql_rejected(self):
+        clock = SimClock(0)
+        va = VMAlert(PromQLEngine(TimeSeriesStore()), clock, lambda e: None)
+        with pytest.raises(QueryError):
+            va.add_rule(RuleSpec(name="bad", expr="this is {{not}} promql"))
+
+    def test_resolves_when_metric_recovers(self):
+        clock = SimClock(0)
+        store = TimeSeriesStore()
+        events = []
+        va = VMAlert(PromQLEngine(store), clock, events.append)
+        va.add_rule(RuleSpec(name="Down", expr="up == 0"))
+        store.ingest("up", {"job": "j"}, 0.0, clock.now_ns)
+        clock.advance(seconds(1))
+        va.evaluate_all()
+        clock.advance(seconds(30))
+        store.ingest("up", {"job": "j"}, 1.0, clock.now_ns)
+        va.evaluate_all()
+        assert [e.state for e in events] == [AlertState.FIRING, AlertState.RESOLVED]

@@ -1,0 +1,110 @@
+"""Tests for the vectorised sensor bank."""
+
+import pytest
+
+from repro.common.errors import NotFoundError, ValidationError
+from repro.common.xname import XName
+from repro.cluster.sensors import (
+    SensorBank,
+    SensorId,
+    SensorKind,
+    build_standard_bank,
+)
+from repro.cluster.topology import Cluster, ClusterSpec
+
+
+def sid(kind=SensorKind.TEMPERATURE_C, xname="x1c0s0b0n0", index=0):
+    return SensorId(XName.parse(xname), kind, index)
+
+
+class TestBank:
+    def test_add_and_read(self):
+        bank = SensorBank(seed=1)
+        bank.add(sid())
+        value = bank.read(sid())
+        assert 10.0 < value < 60.0  # stationary distribution of temperature
+
+    def test_duplicate_rejected(self):
+        bank = SensorBank()
+        bank.add(sid())
+        with pytest.raises(ValidationError):
+            bank.add(sid())
+
+    def test_unknown_sensor_raises(self):
+        with pytest.raises(NotFoundError):
+            SensorBank().read(sid())
+
+    def test_determinism_same_seed(self):
+        a, b = SensorBank(seed=7), SensorBank(seed=7)
+        for bank in (a, b):
+            bank.add(sid())
+            bank.step(10)
+        assert a.read(sid()) == b.read(sid())
+
+    def test_different_seeds_differ(self):
+        a, b = SensorBank(seed=1), SensorBank(seed=2)
+        for bank in (a, b):
+            bank.add(sid())
+            bank.step(5)
+        assert a.read(sid()) != b.read(sid())
+
+    def test_step_requires_positive(self):
+        with pytest.raises(ValidationError):
+            SensorBank().step(0)
+
+    def test_mean_reversion(self):
+        """After many steps the ensemble mean stays near the target mean."""
+        bank = SensorBank(seed=3)
+        ids = [sid(xname=f"x1c0s{s}b0n{n}") for s in range(8) for n in range(2)]
+        for i in ids:
+            bank.add(i)
+        bank.step(200)
+        values = [v for _, v in bank.read_all()]
+        mean = sum(values) / len(values)
+        assert 25.0 < mean < 45.0  # temperature mean is 35
+
+    def test_offsets_apply_and_clear(self):
+        bank = SensorBank(seed=1)
+        bank.add(sid())
+        base = bank.read(sid())
+        bank.set_offset(sid(), 25.0)
+        assert bank.read(sid()) == pytest.approx(base + 25.0)
+        bank.clear_offsets()
+        assert bank.read(sid()) == pytest.approx(base)
+
+    def test_offset_unknown_sensor_raises(self):
+        with pytest.raises(NotFoundError):
+            SensorBank().set_offset(sid(), 1.0)
+
+    def test_incremental_registration_preserves_values(self):
+        bank = SensorBank(seed=1)
+        bank.add(sid())
+        v1 = bank.read(sid())
+        bank.add(sid(kind=SensorKind.POWER_W))
+        assert bank.read(sid()) == v1  # adding sensors must not disturb walks
+
+    def test_read_all_order_is_registration_order(self):
+        bank = SensorBank()
+        a, b = sid(), sid(kind=SensorKind.POWER_W)
+        bank.add(a)
+        bank.add(b)
+        assert [i for i, _ in bank.read_all()] == [a, b]
+
+
+class TestStandardBank:
+    def test_instrument_counts(self):
+        cluster = Cluster(ClusterSpec(cabinets=1, chassis_per_cabinet=2))
+        bank = build_standard_bank(cluster)
+        expected = (
+            2 * len(cluster.nodes)  # temp + power per node
+            + 2 * len(cluster.chassis)  # fan + coolant per chassis
+            + 2 * len(cluster.cabinets)  # temp + humidity per cabinet
+        )
+        assert len(bank) == expected
+
+    def test_kinds_present(self):
+        cluster = Cluster(ClusterSpec(cabinets=1, chassis_per_cabinet=1))
+        bank = build_standard_bank(cluster)
+        kinds = {s.kind for s in bank.sensors()}
+        assert SensorKind.FAN_RPM in kinds
+        assert SensorKind.HUMIDITY_PCT in kinds

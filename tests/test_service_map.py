@@ -1,0 +1,107 @@
+"""Tests for ServiceNow service maps (paper §III.D)."""
+
+import pytest
+
+from repro.common.errors import NotFoundError
+from repro.cluster.topology import Cluster, ClusterSpec
+from repro.servicenow.alerts import SnAlert, SnAlertState
+from repro.servicenow.cmdb import build_from_cluster
+from repro.servicenow.events import SnSeverity
+from repro.servicenow.service_map import ServiceMap
+
+
+@pytest.fixture
+def world():
+    cluster = Cluster(ClusterSpec(cabinets=1, chassis_per_cabinet=2))
+    cmdb = build_from_cluster(cluster, "perlmutter")
+    return cluster, cmdb, ServiceMap(cmdb, "perlmutter")
+
+
+def alert(node, severity=SnSeverity.CRITICAL, number="ALERT0000001",
+          state=SnAlertState.OPEN):
+    return SnAlert(
+        number=number,
+        message_key=f"k-{node}",
+        node=node,
+        metric_name="SwitchOffline",
+        severity=severity,
+        state=state,
+        opened_at_ns=0,
+    )
+
+
+class TestBuild:
+    def test_unknown_service_rejected(self, world):
+        _, cmdb, _ = world
+        with pytest.raises(NotFoundError):
+            ServiceMap(cmdb, "ghost")
+
+    def test_healthy_when_no_alerts(self, world):
+        _, _, smap = world
+        root = smap.build([])
+        assert root.healthy
+        assert all(c.healthy for c in root.children)
+
+    def test_alert_propagates_to_root(self, world):
+        cluster, _, smap = world
+        sw = str(sorted(cluster.switches)[0])
+        root = smap.build([alert(sw)])
+        assert not root.healthy
+        assert root.status is SnSeverity.CRITICAL
+
+    def test_worst_severity_wins(self, world):
+        cluster, _, smap = world
+        nodes = sorted(cluster.nodes)
+        root = smap.build(
+            [
+                alert(str(nodes[0]), SnSeverity.WARNING, "ALERT0000001"),
+                alert(str(nodes[1]), SnSeverity.CRITICAL, "ALERT0000002"),
+            ]
+        )
+        assert root.status is SnSeverity.CRITICAL
+
+    def test_closed_alerts_ignored(self, world):
+        cluster, _, smap = world
+        sw = str(sorted(cluster.switches)[0])
+        closed = alert(sw, state=SnAlertState.CLOSED)
+        assert smap.build([closed]).healthy
+
+    def test_degraded_descendants_listing(self, world):
+        cluster, _, smap = world
+        sw = str(sorted(cluster.switches)[0])
+        root = smap.build([alert(sw)])
+        degraded = root.degraded_descendants()
+        assert [n.ci.name for n in degraded] == [sw]
+
+    def test_siblings_unaffected(self, world):
+        cluster, _, smap = world
+        chassis = sorted(cluster.chassis)
+        sw_in_c0 = str(cluster.chassis[chassis[0]].switches[0])
+        root = smap.build([alert(sw_in_c0)])
+        cab = root.children[0]
+        statuses = {c.ci.name: c.healthy for c in cab.children}
+        assert statuses[str(chassis[0])] is False
+        assert statuses[str(chassis[1])] is True
+
+
+class TestRender:
+    def test_render_marks_and_collapses(self, world):
+        cluster, _, smap = world
+        sw = str(sorted(cluster.switches)[0])
+        out = smap.render([alert(sw)])
+        assert "[CRITICAL] perlmutter" in out
+        assert f"[CRITICAL] {sw}" in out
+        assert "ALERT0000001" in out
+        assert "healthy component(s)" in out  # collapsed siblings
+
+    def test_render_full(self, world):
+        cluster, _, smap = world
+        out = smap.render([], collapse_healthy=False)
+        # Every node and switch appears.
+        assert out.count("cmdb_ci_computer") == len(cluster.nodes)
+        assert out.count("cmdb_ci_netgear") == len(cluster.switches)
+
+    def test_render_healthy_summary(self, world):
+        _, _, smap = world
+        out = smap.render([])
+        assert out.startswith("OK perlmutter")

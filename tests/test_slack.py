@@ -1,0 +1,108 @@
+"""Tests for the Slack mock and message formatting (Figures 6 and 9)."""
+
+import pytest
+
+from repro.common.errors import ValidationError
+from repro.common.labels import LabelSet
+from repro.alerting.events import AlertEvent, AlertState
+from repro.alerting.receivers import Notification
+from repro.slackmock.formatting import format_notification
+from repro.slackmock.webhook import SlackReceiver, SlackWebhook
+
+
+def alert(name, alert_state=AlertState.FIRING, annotations=None, **labels):
+    labels.setdefault("alertname", name)
+    return AlertEvent(
+        labels=LabelSet(labels),
+        annotations=annotations or {},
+        state=alert_state,
+        value=1.0,
+        started_at_ns=0,
+        fired_at_ns=1_646_272_077_000_000_000,
+    )
+
+
+def notification(*alerts, receiver="slack"):
+    return Notification(
+        receiver=receiver,
+        group_key=LabelSet({"alertname": alerts[0].name}),
+        alerts=tuple(alerts),
+        timestamp_ns=0,
+    )
+
+
+class TestWebhook:
+    def test_records_messages(self):
+        hook = SlackWebhook()
+        hook.post("hello", 1)
+        hook.post("world", 2)
+        assert [m.text for m in hook.messages] == ["hello", "world"]
+        assert hook.last().text == "world"
+
+    def test_empty_message_rejected(self):
+        with pytest.raises(ValidationError):
+            SlackWebhook().post("", 0)
+
+    def test_default_channel(self):
+        hook = SlackWebhook()
+        hook.post("x", 0)
+        assert hook.messages[0].channel == "#perlmutter-alerts"
+
+
+class TestFormatting:
+    def test_firing_headline_and_bullets(self):
+        text = format_notification(
+            notification(
+                alert(
+                    "SwitchOffline",
+                    annotations={"summary": "Rosetta switch x1002c1r7b0 is UNKNOWN"},
+                    xname="x1002c1r7b0",
+                    state="UNKNOWN",
+                    severity="critical",
+                )
+            )
+        )
+        assert text.startswith("*[FIRING:1] SwitchOffline*")
+        assert "> Rosetta switch x1002c1r7b0 is UNKNOWN" in text
+        assert "• xname: `x1002c1r7b0`" in text
+        assert "• fired at: 2022-03-03T01:47:57+00:00" in text
+
+    def test_resolved_section(self):
+        text = format_notification(
+            notification(alert("LeakDetected", alert_state=AlertState.RESOLVED))
+        )
+        assert "[RESOLVED:1]" in text
+
+    def test_mixed_firing_and_resolved(self):
+        text = format_notification(
+            notification(
+                alert("A", xname="x1"),
+                alert("A", alert_state=AlertState.RESOLVED, xname="x2"),
+            )
+        )
+        assert "[FIRING:1]" in text and "[RESOLVED:1]" in text
+
+    def test_dashboard_link_enrichment(self):
+        text = format_notification(
+            notification(alert("A")),
+            dashboard_base_url="https://grafana.local/d/perlmutter-overview",
+        )
+        assert "<https://grafana.local/d/perlmutter-overview|" in text
+
+    def test_extra_annotations_listed(self):
+        text = format_notification(
+            notification(alert("A", annotations={"summary": "s", "runbook": "url"}))
+        )
+        assert "• runbook: url" in text
+
+
+class TestReceiver:
+    def test_notify_posts_formatted_message(self):
+        hook = SlackWebhook()
+        recv = SlackReceiver(hook)
+        recv.notify(notification(alert("NodeDown", xname="x1c0s0b0n0")))
+        assert len(hook.messages) == 1
+        assert "NodeDown" in hook.messages[0].text
+
+    def test_receiver_name(self):
+        assert SlackReceiver(SlackWebhook(), name="slack-hpc").name == "slack-hpc"

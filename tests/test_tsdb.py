@@ -1,0 +1,134 @@
+"""Tests for the TSDB storage engine."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.common.errors import ValidationError
+from repro.common.labels import METRIC_NAME_LABEL, label_matcher
+from repro.tsdb.storage import MetricSample, TimeSeriesStore
+from repro.common.labels import LabelSet
+
+
+@pytest.fixture
+def store():
+    return TimeSeriesStore()
+
+
+class TestIngest:
+    def test_basic(self, store):
+        assert store.ingest("m", {"a": "b"}, 1.5, 100)
+        assert store.samples_ingested == 1
+        assert store.series_count() == 1
+
+    def test_empty_name_rejected(self, store):
+        with pytest.raises(ValidationError):
+            store.ingest("", {}, 1.0, 0)
+
+    def test_out_of_order_rejected(self, store):
+        store.ingest("m", {}, 1.0, 100)
+        assert not store.ingest("m", {}, 2.0, 50)
+        assert store.samples_rejected == 1
+
+    def test_equal_timestamp_accepted(self, store):
+        store.ingest("m", {}, 1.0, 100)
+        assert store.ingest("m", {}, 2.0, 100)
+
+    def test_series_identity_includes_name_and_labels(self, store):
+        store.ingest("m", {"a": "1"}, 1.0, 0)
+        store.ingest("m", {"a": "2"}, 1.0, 0)
+        store.ingest("n", {"a": "1"}, 1.0, 0)
+        assert store.series_count() == 3
+
+    def test_ingest_many(self, store):
+        samples = [MetricSample("m", LabelSet({"i": str(i)}), float(i), i) for i in range(5)]
+        assert store.ingest_many(samples) == 5
+
+    @given(st.lists(st.integers(0, 10**6), min_size=1, max_size=50))
+    def test_sorted_ingest_always_accepted(self, timestamps):
+        store = TimeSeriesStore()
+        accepted = 0
+        for ts in sorted(timestamps):
+            if store.ingest("m", {}, 0.0, ts):
+                accepted += 1
+        assert accepted == len(timestamps)
+
+
+class TestSelect:
+    def test_by_name(self, store):
+        store.ingest("temp", {"x": "1"}, 10.0, 100)
+        store.ingest("power", {"x": "1"}, 20.0, 100)
+        results = store.select([label_matcher(METRIC_NAME_LABEL, "=", "temp")], 0, 200)
+        assert len(results) == 1
+        labels, ts, vals = results[0]
+        assert labels[METRIC_NAME_LABEL] == "temp"
+        assert vals.tolist() == [10.0]
+
+    def test_window_slicing(self, store):
+        for i in range(10):
+            store.ingest("m", {}, float(i), i * 10)
+        results = store.select([label_matcher(METRIC_NAME_LABEL, "=", "m")], 20, 50)
+        _, ts, vals = results[0]
+        assert ts.tolist() == [20, 30, 40]
+        assert vals.tolist() == [2.0, 3.0, 4.0]
+
+    def test_empty_window_drops_series(self, store):
+        store.ingest("m", {}, 1.0, 100)
+        assert store.select([label_matcher(METRIC_NAME_LABEL, "=", "m")], 0, 50) == []
+
+    def test_empty_range_rejected(self, store):
+        with pytest.raises(ValidationError):
+            store.select([], 10, 10)
+
+    def test_regex_matcher(self, store):
+        store.ingest("node_up", {"xname": "x1c0s0b0n0"}, 1.0, 0)
+        store.ingest("node_up", {"xname": "x2c0s0b0n0"}, 1.0, 0)
+        results = store.select(
+            [
+                label_matcher(METRIC_NAME_LABEL, "=", "node_up"),
+                label_matcher("xname", "=~", "x1.*"),
+            ],
+            0,
+            10,
+        )
+        assert len(results) == 1
+
+    def test_column_growth_beyond_initial_capacity(self, store):
+        for i in range(1000):
+            store.ingest("m", {}, float(i), i)
+        results = store.select([label_matcher(METRIC_NAME_LABEL, "=", "m")], 0, 1000)
+        assert len(results[0][1]) == 1000
+        assert np.all(np.diff(results[0][1]) >= 0)
+
+
+class TestRetention:
+    def test_delete_before(self, store):
+        for i in range(10):
+            store.ingest("m", {}, float(i), i * 10)
+        dropped = store.delete_before(50)
+        assert dropped == 5
+        results = store.select([label_matcher(METRIC_NAME_LABEL, "=", "m")], 0, 1000)
+        assert results[0][1].tolist() == [50, 60, 70, 80, 90]
+
+    def test_fully_expired_series_removed(self, store):
+        store.ingest("m", {}, 1.0, 10)
+        store.delete_before(100)
+        assert store.series_count() == 0
+        assert store.metric_names() == []
+
+    def test_ingest_after_retention(self, store):
+        store.ingest("m", {}, 1.0, 10)
+        store.delete_before(100)
+        assert store.ingest("m", {}, 2.0, 200)
+
+
+class TestIntrospection:
+    def test_metric_names(self, store):
+        store.ingest("b_metric", {}, 1.0, 0)
+        store.ingest("a_metric", {}, 1.0, 0)
+        assert store.metric_names() == ["a_metric", "b_metric"]
+
+    def test_retained_bytes(self, store):
+        store.ingest("m", {}, 1.0, 0)
+        store.ingest("m", {}, 2.0, 1)
+        assert store.retained_bytes() == 32

@@ -1,0 +1,94 @@
+"""Tests for vmagent scraping."""
+
+import pytest
+
+from repro.common.errors import ValidationError
+from repro.common.labels import label_matcher, METRIC_NAME_LABEL
+from repro.common.simclock import SimClock, minutes, seconds
+from repro.tsdb.storage import TimeSeriesStore
+from repro.tsdb.vmagent import ScrapeTarget, VMAgent
+
+
+class FakeExporter:
+    def __init__(self, text="m 1.0\n"):
+        self.text = text
+        self.calls = 0
+
+    def scrape(self):
+        self.calls += 1
+        return self.text
+
+
+class BrokenExporter:
+    def scrape(self):
+        raise RuntimeError("connection refused")
+
+
+@pytest.fixture
+def world():
+    clock = SimClock(0)
+    store = TimeSeriesStore()
+    agent = VMAgent(store, clock)
+    return clock, store, agent
+
+
+class TestScraping:
+    def test_samples_get_job_instance_labels(self, world):
+        _, store, agent = world
+        agent.add_target(ScrapeTarget("myjob", "host:9100", FakeExporter()))
+        agent.scrape_all()
+        results = store.select([label_matcher(METRIC_NAME_LABEL, "=", "m")], 0, 10)
+        labels = results[0][0]
+        assert labels["job"] == "myjob" and labels["instance"] == "host:9100"
+
+    def test_exporter_labels_not_overridden(self, world):
+        _, store, agent = world
+        agent.add_target(
+            ScrapeTarget("j", "i", FakeExporter('m{job="inner"} 1.0\n'))
+        )
+        agent.scrape_all()
+        results = store.select([label_matcher(METRIC_NAME_LABEL, "=", "m")], 0, 10)
+        assert results[0][0]["job"] == "inner"
+
+    def test_up_metric_recorded(self, world):
+        _, store, agent = world
+        agent.add_target(ScrapeTarget("j", "i", FakeExporter()))
+        agent.scrape_all()
+        results = store.select([label_matcher(METRIC_NAME_LABEL, "=", "up")], 0, 10)
+        assert results[0][2].tolist() == [1.0]
+
+    def test_failed_scrape_records_up_zero(self, world):
+        _, store, agent = world
+        agent.add_target(ScrapeTarget("j", "i", BrokenExporter()))
+        agent.scrape_all()
+        assert agent.scrape_errors == 1
+        results = store.select([label_matcher(METRIC_NAME_LABEL, "=", "up")], 0, 10)
+        assert results[0][2].tolist() == [0.0]
+
+    def test_duplicate_target_rejected(self, world):
+        _, _, agent = world
+        agent.add_target(ScrapeTarget("j", "i", FakeExporter()))
+        with pytest.raises(ValidationError):
+            agent.add_target(ScrapeTarget("j", "i", FakeExporter()))
+
+    def test_target_requires_identity(self):
+        with pytest.raises(ValidationError):
+            ScrapeTarget("", "i", FakeExporter())
+
+    def test_periodic_scraping(self, world):
+        clock, store, agent = world
+        exporter = FakeExporter()
+        agent.add_target(ScrapeTarget("j", "i", exporter))
+        agent.run_periodic(seconds(15))
+        clock.advance(minutes(1))
+        assert exporter.calls == 4
+        results = store.select([label_matcher(METRIC_NAME_LABEL, "=", "m")], 0, minutes(2))
+        assert len(results[0][1]) == 4
+
+    def test_counters(self, world):
+        _, _, agent = world
+        agent.add_target(ScrapeTarget("j", "i", FakeExporter("a 1\nb 2\n")))
+        pushed = agent.scrape_all()
+        assert pushed == 2
+        assert agent.samples_pushed == 2
+        assert agent.scrapes_done == 1
