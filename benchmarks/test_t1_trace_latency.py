@@ -1,0 +1,99 @@
+"""T1 — tracing the pipeline itself: end-to-end leak-alert latency, attributed.
+
+Re-runs the §IV.A leak scenario with head sampling at 1.0 and pulls the
+single trace born at the leak's Redfish event.  The trace's per-stage
+spans partition the F6 end-to-end latency exactly — the sum of stage
+durations equals the Redfish-event→Slack wall time on the simulated
+clock — which is the per-stage attribution CloudHeatMap-style systems
+use to find where alert latency actually lives.
+
+Times the TraceQL search path over the fully populated trace store.
+"""
+
+from conftest import report
+
+from repro.common.durations import format_duration_ns
+from repro.core.casestudies.leak import leak_case_config, run_leak_case_study
+from repro.grafana.render import render_trace_waterfall
+
+RULER_QUERY = (
+    '{ span.service = "ruler" && span.alertname = "PerlmutterCabinetLeak" }'
+)
+
+#: The acceptance floor: services the leak trace must cross.
+REQUIRED_SERVICES = {
+    "redfish",
+    "broker",
+    "telemetry_api",
+    "consumer",
+    "loki",
+    "ruler",
+    "alertmanager",
+    "slack",
+}
+
+
+def test_t1_trace_latency(benchmark):
+    config = leak_case_config()
+    config.tracing_sampling = 1.0
+    case = run_leak_case_study(config)
+    fw = case.framework
+
+    hits = benchmark(fw.traceql.find_spans, RULER_QUERY)
+
+    # Exactly one leak alert evaluation span, hence one trace.
+    assert len(hits) == 1
+    trace_id = hits[0].trace_id
+    spans = fw.traces.trace(trace_id)
+    services = fw.traces.services(trace_id)
+    assert REQUIRED_SERVICES <= services
+
+    # The spans partition the end-to-end window: stage durations sum to
+    # the trace duration, which is the Redfish-event→Slack latency the
+    # F6 timeline reports.
+    stage_sum = sum(s.duration_ns for s in spans)
+    trace_ns = fw.traces.duration_ns(trace_id)
+    end_to_end = case.timeline["slack_ns"] - case.timeline["redfish_event_ns"]
+    assert stage_sum == trace_ns == end_to_end
+
+    # The same trace is reachable through every query surface.
+    assert any(
+        t.trace_id == trace_id for t in fw.traceql.find_traces("{ duration > 1m }")
+    )
+    slow = fw.traceql.find_spans('{ duration > 10s }')
+    assert {s.service for s in slow} == {"ruler", "alertmanager"}
+
+    # Self-metrics made it into the TSDB with an exemplar pointing back.
+    from repro.common.labels import Matcher, MatchOp
+
+    exemplars = fw.warehouse.tsdb.exemplars(
+        [
+            Matcher("__name__", MatchOp.EQ, "tempo_stage_latency_p99_seconds"),
+            Matcher("service", MatchOp.EQ, "ruler"),
+        ],
+        0,
+        fw.clock.now_ns + 1,
+    )
+    assert exemplars and exemplars[0][1][-1].trace_id == trace_id
+
+    lines = [
+        f"end-to-end leak-alert latency: {format_duration_ns(end_to_end)} "
+        f"(Redfish event -> Slack, simulated clock)",
+        "",
+        f"{'stage':<14} {'operation':<22} {'duration':>10}  share",
+    ]
+    for s in spans:
+        share = s.duration_ns / end_to_end * 100 if end_to_end else 0.0
+        lines.append(
+            f"{s.service:<14} {s.name:<22} "
+            f"{format_duration_ns(s.duration_ns):>10}  {share:4.0f}%"
+        )
+    lines.append("")
+    lines.append(render_trace_waterfall(spans))
+    lines.append("")
+    lines.append(
+        f"trace store: {len(fw.traces)} traces / {fw.traces.span_count} spans "
+        f"from the full 20-minute run; TraceQL query above benchmarked over "
+        f"all of them"
+    )
+    report("T1_trace_latency", "\n".join(lines))

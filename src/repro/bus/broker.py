@@ -24,10 +24,19 @@ class Record:
     timestamp_ns: int
     key: str | None
     value: str
+    #: Kafka-style headers: out-of-band metadata (e.g. trace context)
+    #: that rides the record without touching the payload bytes.
+    headers: tuple[tuple[str, str], ...] = ()
 
     def size_bytes(self) -> int:
         """Approximate wire size (key + value, UTF-8)."""
         return len(self.value.encode()) + (len(self.key.encode()) if self.key else 0)
+
+    def header(self, name: str) -> str | None:
+        for key, value in self.headers:
+            if key == name:
+                return value
+        return None
 
 
 @dataclass
@@ -150,6 +159,7 @@ class Broker:
         value: str,
         key: str | None = None,
         timestamp_ns: int | None = None,
+        headers: tuple[tuple[str, str], ...] = (),
     ) -> Record:
         """Append a message; keyed messages land deterministically on one
         partition so per-key ordering holds (per-sensor, per-xname...)."""
@@ -167,6 +177,7 @@ class Broker:
             timestamp_ns=timestamp_ns if timestamp_ns is not None else self._clock.now_ns,
             key=key,
             value=value,
+            headers=headers,
         )
         part.append(record)
         t.total_produced += 1

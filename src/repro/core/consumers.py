@@ -5,7 +5,10 @@ Kubernetes environment. They read data in different Kafka topics via the
 Telemetry API and send them to either Victoriametrics or Loki."
 
 Each consumer owns one subscription and a ``pump()`` that drains the next
-batch; the framework registers the pumps on the simulated clock.
+batch; the framework registers the pumps on the simulated clock.  When
+the framework runs with tracing enabled, each record carrying a
+``traceparent`` header continues its trace here: queue-wait, API fetch,
+pod handling and the store write each become spans.
 """
 
 from __future__ import annotations
@@ -14,33 +17,60 @@ from repro.common.errors import ValidationError
 from repro.common.jsonutil import loads
 from repro.omni.warehouse import OmniWarehouse
 from repro.shasta.telemetry_api import Subscription, TelemetryAPI
+from repro.tempo.instrument import PipelineTracing
+from repro.tempo.model import SpanContext
 from repro.core.transform import redfish_payload_to_push
 
 
 class _BaseConsumer:
     """Shared subscription plumbing."""
 
+    #: Store service/operation this pod writes to, for its trace span.
+    STORE_SERVICE = "loki"
+    STORE_NAME = "push"
+
     def __init__(
-        self, api: TelemetryAPI, token: str, topic: str, warehouse: OmniWarehouse
+        self,
+        api: TelemetryAPI,
+        token: str,
+        topic: str,
+        warehouse: OmniWarehouse,
+        tracing: PipelineTracing | None = None,
     ) -> None:
         self._api = api
         self._warehouse = warehouse
         self._sub: Subscription = api.subscribe(token, topic)
+        self._tracing = tracing
+        self._record_ctx: SpanContext | None = None
         self.records_processed = 0
         self.records_failed = 0
 
     def pump(self, max_records: int = 1000) -> int:
         """Drain one batch; returns records successfully processed."""
         records = self._api.fetch(self._sub, max_records)
+        server = self._api.last_server_index
         done = 0
         for record in records:
+            if self._tracing is not None and record.headers:
+                self._record_ctx = self._tracing.begin_record(
+                    record, type(self).__name__, server
+                )
             try:
                 self._handle(record.value, record.timestamp_ns)
                 done += 1
             except ValidationError:
                 self.records_failed += 1
+            finally:
+                self._record_ctx = None
         self.records_processed += done
         return done
+
+    def _trace_store(self, label_sets) -> None:
+        """Span the store write of the record currently being handled."""
+        if self._tracing is not None and self._record_ctx is not None:
+            self._tracing.store_span(
+                self._record_ctx, self.STORE_SERVICE, self.STORE_NAME, label_sets
+            )
 
     def _handle(self, value: str, timestamp_ns: int) -> None:
         raise NotImplementedError
@@ -56,14 +86,16 @@ class RedfishEventConsumer(_BaseConsumer):
         topic: str,
         warehouse: OmniWarehouse,
         cluster: str = "perlmutter",
+        tracing: PipelineTracing | None = None,
     ) -> None:
-        super().__init__(api, token, topic, warehouse)
+        super().__init__(api, token, topic, warehouse, tracing=tracing)
         self._cluster = cluster
 
     def _handle(self, value: str, timestamp_ns: int) -> None:
         payload = loads(value)
         push = redfish_payload_to_push(payload, cluster=self._cluster)
         self._warehouse.ingest_logs(push)
+        self._trace_store([stream.labels for stream in push.streams])
 
 
 class SensorMetricConsumer(_BaseConsumer):
@@ -73,6 +105,9 @@ class SensorMetricConsumer(_BaseConsumer):
     ``shasta_temperature_celsius``.
     """
 
+    STORE_SERVICE = "tsdb"
+    STORE_NAME = "write"
+
     def __init__(
         self,
         api: TelemetryAPI,
@@ -80,8 +115,9 @@ class SensorMetricConsumer(_BaseConsumer):
         topic: str,
         warehouse: OmniWarehouse,
         cluster: str = "perlmutter",
+        tracing: PipelineTracing | None = None,
     ) -> None:
-        super().__init__(api, token, topic, warehouse)
+        super().__init__(api, token, topic, warehouse, tracing=tracing)
         self._cluster = cluster
 
     def _handle(self, value: str, timestamp_ns: int) -> None:
@@ -93,16 +129,13 @@ class SensorMetricConsumer(_BaseConsumer):
             ts = int(sample["Timestamp"])
         except (KeyError, TypeError, ValueError):
             raise ValidationError(f"malformed sensor sample: {value[:80]}") from None
-        self._warehouse.ingest_metric(
-            f"shasta_{physical}",
-            {
-                "xname": context,
-                "cluster": self._cluster,
-                "index": str(sample.get("Index", 0)),
-            },
-            reading,
-            ts,
-        )
+        labels = {
+            "xname": context,
+            "cluster": self._cluster,
+            "index": str(sample.get("Index", 0)),
+        }
+        self._warehouse.ingest_metric(f"shasta_{physical}", labels, reading, ts)
+        self._trace_store([labels])
 
 
 class LogLineConsumer(_BaseConsumer):
@@ -121,3 +154,4 @@ class LogLineConsumer(_BaseConsumer):
         except (KeyError, TypeError, ValueError):
             raise ValidationError(f"malformed log envelope: {value[:80]}") from None
         self._warehouse.ingest_log(labels, ts, line)
+        self._trace_store([labels])

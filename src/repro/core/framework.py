@@ -36,8 +36,18 @@ from repro.exporters.blackbox import BlackboxExporter, ProbeTarget
 from repro.exporters.kafka_exporter import KafkaExporter
 from repro.exporters.node import NodeExporter
 from repro.grafana.dashboard import Dashboard
-from repro.grafana.datasource import LokiDatasource, PrometheusDatasource
-from repro.grafana.panels import LogsPanel, StatPanel, TimeSeriesPanel, TopListPanel
+from repro.grafana.datasource import (
+    LokiDatasource,
+    PrometheusDatasource,
+    TempoDatasource,
+)
+from repro.grafana.panels import (
+    LogsPanel,
+    StatPanel,
+    TimeSeriesPanel,
+    TopListPanel,
+    TracePanel,
+)
 from repro.loki.logql.engine import LogQLEngine
 from repro.loki.ruler import Ruler
 from repro.omni.anomaly import EwmaDetector, ProactiveMonitor
@@ -64,6 +74,11 @@ from repro.shasta.ldms import LdmsAggregator, LdmsConsumer
 from repro.shasta.redfish import RedfishEventSource
 from repro.shasta.telemetry_api import TelemetryAPI
 from repro.slackmock.webhook import SlackReceiver, SlackWebhook
+from repro.tempo.instrument import PipelineTracing, TracingReceiver
+from repro.tempo.metrics import TraceMetricsExporter
+from repro.tempo.store import TraceStore
+from repro.tempo.tracer import Tracer
+from repro.tempo.traceql.engine import TraceQLEngine
 from repro.tsdb.promql import PromQLEngine
 from repro.tsdb.vmagent import ScrapeTarget, VMAgent
 from repro.tsdb.vmalert import VMAlert
@@ -123,8 +138,15 @@ class FrameworkConfig:
     # response": EWMA anomaly scanning over key metrics.
     enable_proactive_detection: bool = False
     proactive_interval_ns: int = seconds(300)
+    # Self-tracing of the pipeline (repro.tempo). 0.0 = off: no tracer is
+    # constructed and every instrumented site takes its untraced path.
+    tracing_sampling: float = 0.0
+    tracing_max_traces: int = 10_000
+    tracing_metrics_interval_ns: int = seconds(60)
 
     def __post_init__(self) -> None:
+        if not 0.0 <= self.tracing_sampling <= 1.0:
+            raise ValidationError("tracing_sampling must be in [0, 1]")
         for name in (
             "redfish_poll_interval_ns",
             "sensor_interval_ns",
@@ -160,11 +182,29 @@ class MonitoringFramework:
             [str(x) for x in sorted(self.cluster.cabinets)], seed=cfg.seed + 11
         )
 
+        # --- self-tracing (repro.tempo) ---------------------------------
+        self.traces: TraceStore | None = None
+        self.tracer: Tracer | None = None
+        self.traceql: TraceQLEngine | None = None
+        self.tracing: PipelineTracing | None = None
+        self.trace_metrics: TraceMetricsExporter | None = None
+        if cfg.tracing_sampling > 0.0:
+            self.traces = TraceStore(cfg.tracing_max_traces)
+            self.tracer = Tracer(
+                self.traces,
+                self.clock,
+                sampling=cfg.tracing_sampling,
+                seed=cfg.seed + 23,
+            )
+            self.traceql = TraceQLEngine(self.traces)
+            self.tracing = PipelineTracing(self.tracer)
+
         # --- the Shasta telemetry plane -----------------------------------
         self.broker = Broker(self.clock)
         self.redfish_source = RedfishEventSource(self.cluster, self.clock)
         self.hms = HmsCollector(
-            self.broker, self.clock, self.redfish_source, self.sensors
+            self.broker, self.clock, self.redfish_source, self.sensors,
+            tracer=self.tracer,
         )
         self.telemetry_api = TelemetryAPI(self.broker, servers=2)
         self.telemetry_api.register_client("nersc-k3s", "token-nersc-k3s")
@@ -181,25 +221,33 @@ class MonitoringFramework:
         self.warehouse = OmniWarehouse(self.clock)
         self.logql = LogQLEngine(self.warehouse.loki)
         self.promql = PromQLEngine(self.warehouse.tsdb)
+        if self.traces is not None:
+            self.trace_metrics = TraceMetricsExporter(
+                self.traces, self.warehouse.tsdb, self.clock,
+                cluster=cfg.cluster_name,
+            )
 
         # --- the k3s consumer pods -------------------------------------------
         token = "token-nersc-k3s"
         self.redfish_consumer = RedfishEventConsumer(
             self.telemetry_api, token, TOPIC_REDFISH_EVENTS, self.warehouse,
-            cluster=cfg.cluster_name,
+            cluster=cfg.cluster_name, tracing=self.tracing,
         )
         self.sensor_consumer = SensorMetricConsumer(
             self.telemetry_api, token, TOPIC_SENSOR_TELEMETRY, self.warehouse,
-            cluster=cfg.cluster_name,
+            cluster=cfg.cluster_name, tracing=self.tracing,
         )
         self.syslog_consumer = LogLineConsumer(
-            self.telemetry_api, token, TOPIC_SYSLOG, self.warehouse
+            self.telemetry_api, token, TOPIC_SYSLOG, self.warehouse,
+            tracing=self.tracing,
         )
         self.container_consumer = LogLineConsumer(
-            self.telemetry_api, token, TOPIC_CONTAINER_LOGS, self.warehouse
+            self.telemetry_api, token, TOPIC_CONTAINER_LOGS, self.warehouse,
+            tracing=self.tracing,
         )
         self.console_consumer = LogLineConsumer(
-            self.telemetry_api, token, TOPIC_CONSOLE_LOGS, self.warehouse
+            self.telemetry_api, token, TOPIC_CONSOLE_LOGS, self.warehouse,
+            tracing=self.tracing,
         )
         self.ldms_consumer = LdmsConsumer(
             self.telemetry_api, token, self.warehouse
@@ -274,17 +322,25 @@ class MonitoringFramework:
         )
         self.alertmanager = Alertmanager(self.clock, route)
         self.dashboards = self._build_dashboards()
-        self.alertmanager.register_receiver(
-            SlackReceiver(
-                self.slack,
-                dashboard_base_url=self.dashboards["overview"].url(),
+        slack_receiver: SlackReceiver | TracingReceiver = SlackReceiver(
+            self.slack,
+            dashboard_base_url=self.dashboards["overview"].url(),
+        )
+        sn_receiver: ServiceNowReceiver | TracingReceiver = ServiceNowReceiver(
+            self.servicenow
+        )
+        ruler_notify = vmalert_notify = self.alertmanager.receive
+        if self.tracing is not None:
+            slack_receiver = TracingReceiver(slack_receiver, self.tracing)
+            sn_receiver = TracingReceiver(sn_receiver, self.tracing)
+            ruler_notify = self.tracing.notifier(self.alertmanager.receive, "ruler")
+            vmalert_notify = self.tracing.notifier(
+                self.alertmanager.receive, "vmalert"
             )
-        )
-        self.alertmanager.register_receiver(
-            ServiceNowReceiver(self.servicenow)
-        )
-        self.ruler = Ruler(self.logql, self.clock, self.alertmanager.receive)
-        self.vmalert = VMAlert(self.promql, self.clock, self.alertmanager.receive)
+        self.alertmanager.register_receiver(slack_receiver)
+        self.alertmanager.register_receiver(sn_receiver)
+        self.ruler = Ruler(self.logql, self.clock, ruler_notify)
+        self.vmalert = VMAlert(self.promql, self.clock, vmalert_notify)
         if cfg.install_default_rules:
             self._install_default_rules()
 
@@ -321,6 +377,22 @@ class MonitoringFramework:
             event.timestamp_ns,
             event.to_line(),
         )
+        if self.tracer is not None and self.tracing is not None:
+            # The FM monitor bypasses the broker, so its trace starts at
+            # the event and goes straight to the store write; the switch
+            # alert correlates back via the xname label.
+            root = self.tracer.record(
+                "fabric_manager",
+                "switch_event",
+                None,
+                start_ns=event.timestamp_ns,
+                end_ns=self.clock.now_ns,
+                attributes={"xname": event.xname, "state": event.state},
+            )
+            if root is not None:
+                self.tracing.store_span(
+                    root, "loki", "push", [{"xname": event.xname}]
+                )
 
     def _scrape_gpfs(self) -> None:
         """GPFS health (paper §V future work) lands as metrics."""
@@ -521,7 +593,26 @@ class MonitoringFramework:
                 unit=" C",
             )
         )
-        return {"overview": overview}
+        dashboards = {"overview": overview}
+        if self.traceql is not None:
+            tempo_ds = TempoDatasource(self.traceql)
+            tracing = Dashboard("Pipeline Tracing", uid="pipeline-tracing")
+            tracing.add_panel(
+                TracePanel(
+                    title="Slowest delivered alert",
+                    datasource=tempo_ds,
+                    query='{ span.service = "alertmanager" }',
+                )
+            )
+            tracing.add_panel(
+                TimeSeriesPanel(
+                    title="Pipeline stage latency p99",
+                    datasource=prom_ds,
+                    query="tempo_stage_latency_p99_seconds",
+                )
+            )
+            dashboards["tracing"] = tracing
+        return dashboards
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -545,6 +636,10 @@ class MonitoringFramework:
         self.vmalert.run_periodic(cfg.vmalert_interval_ns)
         if self.proactive is not None:
             self.proactive.run_periodic(cfg.proactive_interval_ns)
+        if self.trace_metrics is not None:
+            self.clock.every(
+                cfg.tracing_metrics_interval_ns, self.trace_metrics.export
+            )
         self.clock.every(minutes(1), self._mirror_alert_events)
         self._started = True
 

@@ -14,6 +14,9 @@ from repro.common.labels import LabelSet
 from repro.common.vector import Sample, Series
 from repro.loki.logql.engine import LogQLEngine
 from repro.loki.model import LogEntry
+from repro.tempo.model import Span
+from repro.tempo.store import TraceSummary
+from repro.tempo.traceql.engine import TraceQLEngine
 from repro.tsdb.promql import PromQLEngine
 
 
@@ -73,3 +76,20 @@ class PrometheusDatasource:
         self, query: str, start_ns: int, end_ns: int
     ) -> list[tuple[LabelSet, list[LogEntry]]]:
         raise NotImplementedError("a metrics datasource cannot serve log panels")
+
+
+class TempoDatasource:
+    """Tempo datasource: TraceQL search plus trace retrieval by ID."""
+
+    def __init__(self, engine: TraceQLEngine, name: str = "tempo") -> None:
+        self.name = name
+        self._engine = engine
+
+    def search(self, query: str, limit: int | None = None) -> list[TraceSummary]:
+        return self._engine.find_traces(query, limit=limit)
+
+    def spans(self, query: str, limit: int | None = None) -> list[Span]:
+        return self._engine.find_spans(query, limit=limit)
+
+    def trace(self, trace_id: str) -> list[Span]:
+        return self._engine.store.trace(trace_id)

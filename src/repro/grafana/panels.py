@@ -5,8 +5,13 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.common.errors import ValidationError
-from repro.grafana.datasource import Datasource
-from repro.grafana.render import render_chart, render_log_table, render_stat
+from repro.grafana.datasource import Datasource, TempoDatasource
+from repro.grafana.render import (
+    render_chart,
+    render_log_table,
+    render_stat,
+    render_trace_waterfall,
+)
 
 
 @dataclass
@@ -59,6 +64,31 @@ class TopListPanel:
             name = sample.labels.get(self.label, str(sample.labels))
             lines.append(f"{rank:>2}. {name:<24} {sample.value:>10.2f}{self.unit}")
         return "\n".join(lines)
+
+
+@dataclass
+class TracePanel:
+    """A Tempo trace view: TraceQL search, slowest hit as a waterfall."""
+
+    title: str
+    datasource: TempoDatasource
+    query: str
+    width: int = 48
+
+    def render(self, start_ns: int, end_ns: int, step_ns: int) -> str:
+        hits = [
+            t
+            for t in self.datasource.search(self.query)
+            if start_ns <= t.start_ns < end_ns
+        ]
+        header = f"== {self.title} =="
+        if not hits:
+            return f"{header}\n(no matching traces)"
+        slowest = max(hits, key=lambda t: (t.duration_ns, t.trace_id))
+        waterfall = render_trace_waterfall(
+            self.datasource.trace(slowest.trace_id), self.width
+        )
+        return f"{header}\n{len(hits)} matching trace(s); slowest:\n{waterfall}"
 
 
 @dataclass

@@ -7,10 +7,12 @@ become log tables.
 
 from __future__ import annotations
 
+from repro.common.durations import format_duration_ns
 from repro.common.jsonutil import ns_to_iso8601
 from repro.common.labels import LabelSet
 from repro.common.vector import Series
 from repro.loki.model import LogEntry
+from repro.tempo.model import Span
 
 
 def render_chart(
@@ -77,6 +79,41 @@ def render_log_table(
         lines.append(f"{ns_to_iso8601(ts):<26} {str(labels):<48.48} {line}")
     if len(rows) > max_rows:
         lines.append(f"... {len(rows) - max_rows} more rows")
+    return "\n".join(lines)
+
+
+def render_trace_waterfall(spans: list[Span], width: int = 48, title: str = "") -> str:
+    """Render one trace as Grafana Tempo's waterfall view, in ASCII.
+
+    One row per span in start order: service, operation, duration, and a
+    bar positioned on the trace's time axis.  Zero-duration spans (the
+    synchronous stages of the simulated pipeline) render as a tick mark.
+    """
+    if not spans:
+        return f"{title}\n(no spans)" if title else "(no spans)"
+    ordered = sorted(spans, key=lambda s: s.start_ns)
+    t0 = min(s.start_ns for s in ordered)
+    t1 = max(s.end_ns if s.end_ns is not None else s.start_ns for s in ordered)
+    span_ns = max(t1 - t0, 1)
+
+    svc_w = max(len(s.service) for s in ordered)
+    name_w = max(len(s.name) for s in ordered)
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(
+        f"trace {ordered[0].trace_id}  "
+        f"({len(ordered)} spans, {format_duration_ns(t1 - t0)})"
+    )
+    for s in ordered:
+        end = s.end_ns if s.end_ns is not None else s.start_ns
+        col0 = int((s.start_ns - t0) / span_ns * (width - 1))
+        col1 = int((end - t0) / span_ns * (width - 1))
+        bar = " " * col0 + ("▏" if col1 == col0 else "█" * (col1 - col0 + 1))
+        lines.append(
+            f"{s.service:<{svc_w}}  {s.name:<{name_w}}  "
+            f"{format_duration_ns(s.duration_ns):>8}  {bar}"
+        )
     return "\n".join(lines)
 
 

@@ -16,6 +16,7 @@ from repro.common.jsonutil import dumps_compact
 from repro.common.simclock import SimClock, days
 from repro.cluster.sensors import SensorBank
 from repro.shasta.redfish import RedfishEvent, RedfishEventSource, telemetry_payload
+from repro.tempo.tracer import Tracer
 
 TOPIC_REDFISH_EVENTS = "cray-dmtf-resource-event"
 TOPIC_SENSOR_TELEMETRY = "cray-telemetry-sensor"
@@ -43,17 +44,32 @@ class HmsCollector:
         clock: SimClock,
         event_source: RedfishEventSource | None = None,
         sensors: SensorBank | None = None,
+        tracer: Tracer | None = None,
     ) -> None:
         self._broker = broker
         self._clock = clock
         self._event_source = event_source
         self._sensors = sensors
+        self._tracer = tracer if tracer is not None and tracer.enabled else None
         self.events_collected = 0
         self.samples_collected = 0
         for topic in ALL_TOPICS:
             broker.ensure_topic(
                 topic, TopicConfig(partitions=4, retention_ns=HPE_RETENTION_NS)
             )
+
+    def _trace_headers(
+        self, name: str, start_ns: int, attributes: dict[str, str]
+    ) -> tuple[tuple[str, str], ...]:
+        """Root a trace at data birth; empty when tracing is off/sampled out."""
+        if self._tracer is None:
+            return ()
+        ctx = self._tracer.record(
+            "redfish", name, None, start_ns, self._clock.now_ns, attributes
+        )
+        if ctx is None:
+            return ()
+        return tuple(Tracer.inject(ctx).items())
 
     # ------------------------------------------------------------------
     # Events
@@ -65,8 +81,16 @@ class HmsCollector:
             by_context.setdefault(ev.context, []).append(ev)
         for context, ctx_events in by_context.items():
             payload = telemetry_payload(ctx_events)
+            headers = self._trace_headers(
+                "hms.publish_events",
+                min(ev.timestamp_ns for ev in ctx_events),
+                {"context": context, "events": str(len(ctx_events))},
+            )
             self._broker.produce(
-                TOPIC_REDFISH_EVENTS, dumps_compact(payload), key=context
+                TOPIC_REDFISH_EVENTS,
+                dumps_compact(payload),
+                key=context,
+                headers=headers,
             )
         self.events_collected += len(events)
         return len(events)
@@ -97,8 +121,16 @@ class HmsCollector:
                 "Timestamp": now,
                 "Value": round(value, 3),
             }
+            headers = self._trace_headers(
+                "hms.sensor_sample",
+                now,
+                {"xname": str(sid.xname), "physical": sid.kind.value},
+            )
             self._broker.produce(
-                TOPIC_SENSOR_TELEMETRY, dumps_compact(sample), key=str(sid.xname)
+                TOPIC_SENSOR_TELEMETRY,
+                dumps_compact(sample),
+                key=str(sid.xname),
+                headers=headers,
             )
             n += 1
         self.samples_collected += n

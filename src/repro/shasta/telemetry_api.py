@@ -49,6 +49,8 @@ class TelemetryAPI:
         self._servers = [_ServerStats() for _ in range(servers)]
         self._next_server = 0
         self._sub_counter = 0
+        #: Which replica served the most recent fetch (span attribution).
+        self.last_server_index: int | None = None
 
     # ------------------------------------------------------------------
     # Authentication
@@ -95,6 +97,7 @@ class TelemetryAPI:
         if sub.subscription_id not in self._subscriptions:
             raise StateError("unknown subscription")
         server = self._servers[self._next_server]
+        self.last_server_index = self._next_server
         self._next_server = (self._next_server + 1) % len(self._servers)
         records = self._broker.poll(sub.group_id, sub.topic, max_records)
         server.requests_served += 1

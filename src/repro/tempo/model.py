@@ -1,0 +1,110 @@
+"""Span model and W3C-traceparent-style context propagation.
+
+A *span* is one timed stage of work attributed to a *service* (``redfish``,
+``broker``, ``loki``, ...).  Spans sharing a ``trace_id`` form a trace; the
+parent/child links reconstruct the pipeline's causal chain.  Context rides
+on message envelopes as a single ``traceparent`` header in the W3C Trace
+Context wire format (``00-<trace-id>-<span-id>-<flags>``), the same header
+real Tempo/OpenTelemetry deployments propagate through Kafka.
+
+Timestamps are nanoseconds on the simulated clock, like everything else in
+the stack — which is what makes per-stage latency attribution exact rather
+than sampled.
+"""
+
+from __future__ import annotations
+
+import enum
+import re
+from dataclasses import dataclass, field
+
+from repro.common.errors import ValidationError
+
+#: Header/envelope key carrying the serialized context.
+TRACEPARENT_KEY = "traceparent"
+
+#: The only version of the W3C format we emit or accept.
+_TRACEPARENT_RE = re.compile(
+    r"^00-(?P<trace>[0-9a-f]{32})-(?P<span>[0-9a-f]{16})-(?P<flags>[0-9a-f]{2})$"
+)
+
+_SAMPLED_FLAG = 0x01
+
+
+@dataclass(frozen=True)
+class SpanContext:
+    """The propagated identity of a span: enough to parent a child to it."""
+
+    trace_id: str
+    span_id: str
+    sampled: bool = True
+
+    def __post_init__(self) -> None:
+        if not re.fullmatch(r"[0-9a-f]{32}", self.trace_id):
+            raise ValidationError(f"bad trace id: {self.trace_id!r}")
+        if not re.fullmatch(r"[0-9a-f]{16}", self.span_id):
+            raise ValidationError(f"bad span id: {self.span_id!r}")
+
+    def to_traceparent(self) -> str:
+        """Serialize as a W3C ``traceparent`` header value."""
+        flags = _SAMPLED_FLAG if self.sampled else 0
+        return f"00-{self.trace_id}-{self.span_id}-{flags:02x}"
+
+    @classmethod
+    def from_traceparent(cls, value: str) -> "SpanContext | None":
+        """Parse a header value; returns ``None`` on any malformation
+        (tracing must never break the pipeline it observes)."""
+        m = _TRACEPARENT_RE.match(value)
+        if m is None:
+            return None
+        return cls(
+            trace_id=m.group("trace"),
+            span_id=m.group("span"),
+            sampled=bool(int(m.group("flags"), 16) & _SAMPLED_FLAG),
+        )
+
+
+class SpanStatus(enum.Enum):
+    OK = "ok"
+    ERROR = "error"
+
+
+@dataclass
+class Span:
+    """One timed, attributed stage of work inside a trace.
+
+    ``end_ns`` is ``None`` while the span is open; an open span has zero
+    duration for search and summary purposes.
+    """
+
+    trace_id: str
+    span_id: str
+    parent_id: str | None
+    service: str
+    name: str
+    start_ns: int
+    end_ns: int | None = None
+    attributes: dict[str, str] = field(default_factory=dict)
+    status: SpanStatus = SpanStatus.OK
+
+    def __post_init__(self) -> None:
+        if not self.service:
+            raise ValidationError("span needs a service name")
+        if not self.name:
+            raise ValidationError("span needs a name")
+        if self.end_ns is not None and self.end_ns < self.start_ns:
+            raise ValidationError("span cannot end before it starts")
+
+    @property
+    def duration_ns(self) -> int:
+        """Completed duration; an open span counts as zero."""
+        if self.end_ns is None:
+            return 0
+        return self.end_ns - self.start_ns
+
+    @property
+    def is_root(self) -> bool:
+        return self.parent_id is None
+
+    def context(self) -> SpanContext:
+        return SpanContext(self.trace_id, self.span_id, sampled=True)

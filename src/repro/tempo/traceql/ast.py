@@ -1,0 +1,137 @@
+"""TraceQL AST: a span filter over predicates combined with ``&&``/``||``.
+
+Every node evaluates against a single :class:`~repro.tempo.model.Span`;
+trace-level semantics ("find traces containing a matching span") live in
+the engine, matching Tempo's model where the filter selects spansets.
+"""
+
+from __future__ import annotations
+
+import enum
+import re
+from dataclasses import dataclass
+
+from repro.common.errors import QueryError
+from repro.tempo.model import Span
+
+
+class BinaryOp(enum.Enum):
+    EQ = "="
+    NEQ = "!="
+    RE = "=~"
+    NRE = "!~"
+    GT = ">"
+    GTE = ">="
+    LT = "<"
+    LTE = "<="
+
+
+class PredicateExpr:
+    """Base class for anything that can judge a span."""
+
+    def matches(self, span: Span) -> bool:  # pragma: no cover - interface
+        raise NotImplementedError
+
+
+#: Intrinsic fields addressable without the ``span.`` prefix.
+_INTRINSICS = frozenset({"name", "duration"})
+
+#: ``span.<field>`` paths that read span identity rather than attributes.
+_WELL_KNOWN = frozenset({"service", "name"})
+
+
+@dataclass(frozen=True)
+class FieldPredicate(PredicateExpr):
+    """``span.service = "loki"``, ``name =~ "push.*"``, ``span.xname != ""``.
+
+    ``field`` is the path without the ``span.`` prefix.  Unknown fields
+    read span attributes; a missing attribute fails every operator, so
+    ``span.absent != "x"`` is *false*, not vacuously true — Tempo's
+    "unscoped attributes match nothing when absent" behaviour.
+    """
+
+    field: str
+    op: BinaryOp
+    value: str
+
+    def __post_init__(self) -> None:
+        if self.op in (BinaryOp.RE, BinaryOp.NRE):
+            try:
+                re.compile(self.value)
+            except re.error as exc:
+                raise QueryError(f"bad regex {self.value!r}: {exc}") from exc
+        elif self.op not in (BinaryOp.EQ, BinaryOp.NEQ):
+            raise QueryError(
+                f"operator {self.op.value!r} needs a duration or number, "
+                f"not string field {self.field!r}"
+            )
+
+    def _lookup(self, span: Span) -> str | None:
+        if self.field == "service":
+            return span.service
+        if self.field == "name":
+            return span.name
+        return span.attributes.get(self.field)
+
+    def matches(self, span: Span) -> bool:
+        actual = self._lookup(span)
+        if actual is None:
+            return False
+        if self.op is BinaryOp.EQ:
+            return actual == self.value
+        if self.op is BinaryOp.NEQ:
+            return actual != self.value
+        if self.op is BinaryOp.RE:
+            return re.search(self.value, actual) is not None
+        return re.search(self.value, actual) is None
+
+
+@dataclass(frozen=True)
+class DurationPredicate(PredicateExpr):
+    """``duration > 5ms`` — compares the span's own duration."""
+
+    op: BinaryOp
+    threshold_ns: int
+
+    def __post_init__(self) -> None:
+        if self.op in (BinaryOp.RE, BinaryOp.NRE):
+            raise QueryError("duration does not support regex operators")
+
+    def matches(self, span: Span) -> bool:
+        d = span.duration_ns
+        t = self.threshold_ns
+        if self.op is BinaryOp.EQ:
+            return d == t
+        if self.op is BinaryOp.NEQ:
+            return d != t
+        if self.op is BinaryOp.GT:
+            return d > t
+        if self.op is BinaryOp.GTE:
+            return d >= t
+        if self.op is BinaryOp.LT:
+            return d < t
+        return d <= t
+
+
+@dataclass(frozen=True)
+class BooleanExpr(PredicateExpr):
+    """``left && right`` / ``left || right``."""
+
+    left: PredicateExpr
+    right: PredicateExpr
+    conjunction: bool  # True for &&, False for ||
+
+    def matches(self, span: Span) -> bool:
+        if self.conjunction:
+            return self.left.matches(span) and self.right.matches(span)
+        return self.left.matches(span) or self.right.matches(span)
+
+
+@dataclass(frozen=True)
+class SpanFilter:
+    """A whole query: ``{ <expr> }``."""
+
+    expr: PredicateExpr
+
+    def matches(self, span: Span) -> bool:
+        return self.expr.matches(span)

@@ -1,0 +1,50 @@
+"""TraceQL evaluation over a :class:`~repro.tempo.store.TraceStore`.
+
+Two result shapes, matching Tempo's API split:
+
+* :meth:`TraceQLEngine.find_spans` — every stored span satisfying the
+  filter (the "spanset" view, with exact timings for waterfalls);
+* :meth:`TraceQLEngine.find_traces` — summaries of traces containing at
+  least one matching span (the search-results view).
+"""
+
+from __future__ import annotations
+
+from repro.tempo.model import Span
+from repro.tempo.store import TraceStore, TraceSummary
+from repro.tempo.traceql.ast import SpanFilter
+from repro.tempo.traceql.parser import parse_query
+
+
+class TraceQLEngine:
+    def __init__(self, store: TraceStore) -> None:
+        self.store = store
+
+    def compile(self, query: str) -> SpanFilter:
+        return parse_query(query)
+
+    def find_spans(self, query: str, limit: int | None = None) -> list[Span]:
+        """All spans matching ``query``, in trace order then start order."""
+        span_filter = parse_query(query)
+        out: list[Span] = []
+        for span in self.store.all_spans():
+            if span_filter.matches(span):
+                out.append(span)
+                if limit is not None and len(out) >= limit:
+                    break
+        return out
+
+    def find_traces(
+        self, query: str, limit: int | None = None
+    ) -> list[TraceSummary]:
+        """Summaries of traces with at least one span matching ``query``."""
+        span_filter = parse_query(query)
+        out: list[TraceSummary] = []
+        for trace_id in self.store.trace_ids():
+            if any(span_filter.matches(s) for s in self.store.trace(trace_id)):
+                summary = self.store.summary(trace_id)
+                assert summary is not None
+                out.append(summary)
+                if limit is not None and len(out) >= limit:
+                    break
+        return out

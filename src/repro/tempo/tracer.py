@@ -1,0 +1,221 @@
+"""The in-process tracer: ID generation, head sampling, span recording.
+
+Two recording styles are offered:
+
+* :meth:`Tracer.start_trace` / :meth:`Tracer.start_span` return a
+  :class:`SpanHandle` that is closed with ``end()`` — the familiar
+  open/close style for synchronous work;
+* :meth:`Tracer.record` writes a finished span with explicit start/end
+  timestamps in one call — the natural style in a discrete-event
+  simulation, where a stage like "broker queue wait" is only known to be
+  over at the *consumer* side, long after the producer returned.
+
+Sampling is head-based and decided once per trace at the root: a sampled-
+out root returns ``None`` and every downstream stage, seeing no context,
+records nothing.  ``sampling <= 0`` short-circuits before the RNG is
+touched, so a disabled tracer is a pure no-op and perturbs nothing.
+"""
+
+from __future__ import annotations
+
+import random
+from collections.abc import Mapping
+
+from repro.common.simclock import SimClock
+from repro.tempo.model import TRACEPARENT_KEY, Span, SpanContext, SpanStatus
+from repro.tempo.store import TraceStore
+
+
+class SpanHandle:
+    """An open span; ``end()`` stamps the finish time and stores it."""
+
+    def __init__(self, tracer: "Tracer", span: Span) -> None:
+        self._tracer = tracer
+        self._span = span
+        self._ended = False
+
+    @property
+    def context(self) -> SpanContext:
+        return self._span.context()
+
+    @property
+    def span(self) -> Span:
+        return self._span
+
+    def set_attribute(self, key: str, value: str) -> None:
+        self._span.attributes[key] = value
+
+    def end(self, status: SpanStatus = SpanStatus.OK) -> Span:
+        if not self._ended:
+            self._ended = True
+            self._span.end_ns = self._tracer.now_ns
+            self._span.status = status
+            self._tracer._commit(self._span)
+        return self._span
+
+
+class Tracer:
+    """Creates spans against the simulated clock and a :class:`TraceStore`."""
+
+    def __init__(
+        self,
+        store: TraceStore,
+        clock: SimClock,
+        sampling: float = 1.0,
+        seed: int = 0,
+    ) -> None:
+        if not 0.0 <= sampling <= 1.0:
+            raise ValueError(f"sampling must be in [0, 1], got {sampling}")
+        self.store = store
+        self._clock = clock
+        self._sampling = sampling
+        self._rng = random.Random(seed)
+        self.traces_started = 0
+        self.traces_sampled_out = 0
+        self.spans_recorded = 0
+
+    @property
+    def enabled(self) -> bool:
+        return self._sampling > 0.0
+
+    @property
+    def now_ns(self) -> int:
+        """Clock passthrough for instrumentation sites without a clock."""
+        return self._clock.now_ns
+
+    # ------------------------------------------------------------------
+    # ID generation and sampling
+    # ------------------------------------------------------------------
+    def _new_trace_id(self) -> str:
+        return f"{self._rng.getrandbits(128):032x}"
+
+    def _new_span_id(self) -> str:
+        return f"{self._rng.getrandbits(64):016x}"
+
+    def _sample_root(self) -> bool:
+        """One head-sampling decision per new trace."""
+        if self._sampling <= 0.0:
+            return False
+        self.traces_started += 1
+        if self._sampling >= 1.0:
+            return True
+        if self._rng.random() < self._sampling:
+            return True
+        self.traces_sampled_out += 1
+        return False
+
+    # ------------------------------------------------------------------
+    # Open/close recording
+    # ------------------------------------------------------------------
+    def start_trace(
+        self,
+        service: str,
+        name: str,
+        start_ns: int | None = None,
+        attributes: dict[str, str] | None = None,
+    ) -> SpanHandle | None:
+        """Begin a new root span, or ``None`` if the trace is sampled out."""
+        if not self._sample_root():
+            return None
+        span = Span(
+            trace_id=self._new_trace_id(),
+            span_id=self._new_span_id(),
+            parent_id=None,
+            service=service,
+            name=name,
+            start_ns=self.now_ns if start_ns is None else start_ns,
+            attributes=dict(attributes or {}),
+        )
+        return SpanHandle(self, span)
+
+    def start_span(
+        self,
+        parent: SpanContext,
+        service: str,
+        name: str,
+        start_ns: int | None = None,
+        attributes: dict[str, str] | None = None,
+    ) -> SpanHandle:
+        """Begin a child span under an already-sampled context."""
+        span = Span(
+            trace_id=parent.trace_id,
+            span_id=self._new_span_id(),
+            parent_id=parent.span_id,
+            service=service,
+            name=name,
+            start_ns=self.now_ns if start_ns is None else start_ns,
+            attributes=dict(attributes or {}),
+        )
+        return SpanHandle(self, span)
+
+    # ------------------------------------------------------------------
+    # One-shot recording
+    # ------------------------------------------------------------------
+    def record(
+        self,
+        service: str,
+        name: str,
+        parent: SpanContext | None,
+        start_ns: int,
+        end_ns: int,
+        attributes: dict[str, str] | None = None,
+        status: SpanStatus = SpanStatus.OK,
+    ) -> SpanContext | None:
+        """Record a finished span with explicit timestamps.
+
+        With ``parent=None`` this roots a new trace (subject to the head-
+        sampling decision); otherwise the span joins the parent's trace
+        unconditionally.  Returns the new span's context for further
+        children, or ``None`` if the root was sampled out.
+        """
+        if parent is None:
+            if not self._sample_root():
+                return None
+            trace_id = self._new_trace_id()
+            parent_id = None
+        else:
+            trace_id = parent.trace_id
+            parent_id = parent.span_id
+        span = Span(
+            trace_id=trace_id,
+            span_id=self._new_span_id(),
+            parent_id=parent_id,
+            service=service,
+            name=name,
+            start_ns=start_ns,
+            end_ns=end_ns,
+            attributes=dict(attributes or {}),
+            status=status,
+        )
+        self._commit(span)
+        return span.context()
+
+    def _commit(self, span: Span) -> None:
+        self.store.add(span)
+        self.spans_recorded += 1
+
+    # ------------------------------------------------------------------
+    # Context propagation
+    # ------------------------------------------------------------------
+    @staticmethod
+    def inject(ctx: SpanContext) -> dict[str, str]:
+        """Context → carrier headers for a message envelope."""
+        return {TRACEPARENT_KEY: ctx.to_traceparent()}
+
+    @staticmethod
+    def extract(carrier: Mapping[str, str]) -> SpanContext | None:
+        """Carrier headers → context; ``None`` if absent or malformed."""
+        value = carrier.get(TRACEPARENT_KEY)
+        if value is None:
+            return None
+        return SpanContext.from_traceparent(value)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def counters(self) -> dict[str, int]:
+        return {
+            "traces_started": self.traces_started,
+            "traces_sampled_out": self.traces_sampled_out,
+            "spans_recorded": self.spans_recorded,
+        }

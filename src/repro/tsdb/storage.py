@@ -8,6 +8,7 @@ append.  (HPC guide: vectorise the hot path, use views not copies.)
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass
 from typing import Iterable, Mapping
 
@@ -21,6 +22,10 @@ from repro.common.labels import (
     MatchOp,
 )
 
+#: Exemplars kept per series — enough for "why is this spiking" clicks
+#: without unbounded growth (Prometheus keeps a similar small ring).
+EXEMPLARS_PER_SERIES = 10
+
 
 @dataclass(frozen=True)
 class MetricSample:
@@ -28,6 +33,19 @@ class MetricSample:
 
     name: str
     labels: LabelSet
+    value: float
+    timestamp_ns: int
+
+
+@dataclass(frozen=True)
+class Exemplar:
+    """A trace reference attached to a sample (OpenMetrics exemplars).
+
+    Grafana uses these to jump from a metric chart straight to the trace
+    that produced the outlying value.
+    """
+
+    trace_id: str
     value: float
     timestamp_ns: int
 
@@ -76,6 +94,7 @@ class TimeSeriesStore:
     def __init__(self) -> None:
         self._series: dict[LabelSet, _Column] = {}
         self._postings: dict[tuple[str, str], set[LabelSet]] = {}
+        self._exemplars: dict[LabelSet, deque[Exemplar]] = {}
         self.samples_ingested = 0
         self.samples_rejected = 0
 
@@ -88,6 +107,7 @@ class TimeSeriesStore:
         labels: Mapping[str, str] | LabelSet,
         value: float,
         timestamp_ns: int,
+        exemplar: Exemplar | None = None,
     ) -> bool:
         """Ingest one sample; returns False if rejected (out of order)."""
         if not name:
@@ -105,6 +125,11 @@ class TimeSeriesStore:
             self.samples_rejected += 1
             return False
         column.append(timestamp_ns, value)
+        if exemplar is not None:
+            ring = self._exemplars.get(full)
+            if ring is None:
+                ring = self._exemplars[full] = deque(maxlen=EXEMPLARS_PER_SERIES)
+            ring.append(exemplar)
         self.samples_ingested += 1
         return True
 
@@ -155,6 +180,22 @@ class TimeSeriesStore:
             }
         return sorted(candidates, key=lambda s: s.items_tuple())
 
+    def exemplars(
+        self, matchers: Iterable[Matcher], start_ns: int, end_ns: int
+    ) -> list[tuple[LabelSet, list[Exemplar]]]:
+        """Exemplars of matching series with ``start <= ts < end``."""
+        if end_ns <= start_ns:
+            raise ValidationError("empty time range")
+        out: list[tuple[LabelSet, list[Exemplar]]] = []
+        for labels in self._select_series(matchers):
+            ring = self._exemplars.get(labels)
+            if not ring:
+                continue
+            hits = [e for e in ring if start_ns <= e.timestamp_ns < end_ns]
+            if hits:
+                out.append((labels, hits))
+        return out
+
     # ------------------------------------------------------------------
     # Introspection
     # ------------------------------------------------------------------
@@ -187,8 +228,17 @@ class TimeSeriesStore:
             if keep_from == 0:
                 continue
             dropped += keep_from
+            ring = self._exemplars.get(labels)
+            if ring is not None:
+                kept = [e for e in ring if e.timestamp_ns >= cutoff_ns]
+                if kept:
+                    ring.clear()
+                    ring.extend(kept)
+                else:
+                    del self._exemplars[labels]
             if keep_from == len(ts):
                 del self._series[labels]
+                self._exemplars.pop(labels, None)
                 for pair in labels.items_tuple():
                     postings = self._postings.get(pair)
                     if postings:

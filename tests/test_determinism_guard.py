@@ -1,0 +1,41 @@
+"""Guard against wall-clock leaks into the simulated-time library.
+
+Every component runs on ``SimClock``; the only file allowed to mention a
+real-time API is ``common/simclock.py`` itself (its docstring contrasts
+the two).  A stray ``time.time()`` would silently break determinism, so
+this test fails loudly on any banned call appearing anywhere else under
+``src/repro``.
+"""
+
+from pathlib import Path
+
+SRC = Path(__file__).resolve().parent.parent / "src" / "repro"
+
+BANNED = ("time.time(", "perf_counter", "datetime.now(", "monotonic(")
+
+ALLOWED = {SRC / "common" / "simclock.py"}
+
+
+def test_no_wall_clock_outside_simclock():
+    offenders = []
+    for path in sorted(SRC.rglob("*.py")):
+        if path in ALLOWED:
+            continue
+        text = path.read_text()
+        for needle in BANNED:
+            if needle in text:
+                line = next(
+                    i
+                    for i, raw in enumerate(text.splitlines(), 1)
+                    if needle in raw
+                )
+                offenders.append(f"{path.relative_to(SRC)}:{line}: {needle}")
+    assert not offenders, (
+        "wall-clock APIs found in simulated-time code:\n" + "\n".join(offenders)
+    )
+
+
+def test_guard_sees_the_tree():
+    # Sanity check the glob actually walks the package; an empty walk
+    # would make the guard above pass vacuously.
+    assert len(list(SRC.rglob("*.py"))) > 50

@@ -134,6 +134,69 @@ class TestCaching:
         assert a != b
 
 
+class TestLateArrivingData:
+    """The stale-read edge: chunks landing inside an already-cached window.
+
+    Completed sub-windows are cached as immutable.  Per-stream ordering
+    is enforced on push, but a *new* stream matching the same selector —
+    a collector reconnecting under a fresh label set — can still land
+    chunks whose timestamps fall inside a window the frontend already
+    cached.  The cache then serves results that predate those entries
+    until it is invalidated.  These tests pin down both halves of that
+    contract: the stale read happens, and ``invalidate()`` is the cure.
+    """
+
+    @pytest.fixture
+    def late_world(self):
+        clock = SimClock(0)
+        store = LokiStore()
+        store.push(
+            PushRequest.single(
+                {"app": "fm"}, [(minutes(10 * i), f"event {i}") for i in range(12)]
+            )
+        )
+        clock.advance(hours(6))
+        engine = CountingEngine(LogQLEngine(store))
+        frontend = QueryFrontend(engine, clock, split_ns=hours(1))
+        return clock, store, engine, frontend
+
+    def test_cached_window_serves_stale_results(self, late_world):
+        clock, store, engine, frontend = late_world
+        before = frontend.query_range(QUERY, 0, hours(2), minutes(10))
+        # A straggler stream delivers entries inside the cached window.
+        store.push(
+            PushRequest.single(
+                {"app": "fm", "host": "late"},
+                [(minutes(35), "late a"), (minutes(95), "late b")],
+            )
+        )
+        stale = frontend.query_range(QUERY, 0, hours(2), minutes(10))
+        fresh = engine._engine.query_range(QUERY, 0, hours(2), minutes(10))
+        assert stale == before  # cache still answers with the old counts
+        assert stale != fresh  # ...which no longer match the store
+
+    def test_invalidate_restores_freshness(self, late_world):
+        clock, store, engine, frontend = late_world
+        frontend.query_range(QUERY, 0, hours(2), minutes(10))
+        store.push(
+            PushRequest.single({"app": "fm", "host": "late"}, [(minutes(35), "late")])
+        )
+        frontend.invalidate()
+        fresh = frontend.query_range(QUERY, 0, hours(2), minutes(10))
+        assert fresh == engine._engine.query_range(QUERY, 0, hours(2), minutes(10))
+
+    def test_late_data_outside_cached_range_is_unaffected(self, late_world):
+        clock, store, engine, frontend = late_world
+        frontend.query_range(QUERY, 0, hours(2), minutes(10))
+        # The straggler lands in a window that was never queried/cached:
+        # subsequent queries over it see the data with no invalidation.
+        store.push(PushRequest.single({"app": "fm"}, [(hours(3), "late")]))
+        got = frontend.query_range(QUERY, hours(3), hours(4), minutes(10))
+        assert got == engine._engine.query_range(
+            QUERY, hours(3), hours(4), minutes(10)
+        )
+
+
 class TestValidation:
     def test_bad_params(self, world):
         _, _, frontend = world

@@ -1,0 +1,160 @@
+"""PipelineTracing edge cases: missing context, correlation, re-fires."""
+
+from repro.alerting.events import AlertEvent, AlertState
+from repro.alerting.receivers import MemoryReceiver, Notification
+from repro.bus.broker import Broker
+from repro.common.labels import LabelSet
+from repro.common.simclock import SimClock, seconds
+from repro.tempo.instrument import PipelineTracing, TracingReceiver
+from repro.tempo.store import TraceStore
+from repro.tempo.tracer import Tracer
+
+
+def make_tracing(max_pending=4096):
+    clock = SimClock()
+    store = TraceStore()
+    tracer = Tracer(store, clock)
+    return PipelineTracing(tracer, max_pending=max_pending), store, clock
+
+
+def alert_event(state=AlertState.FIRING, ts=0, **labels):
+    labels.setdefault("alertname", "Leak")
+    labels.setdefault("severity", "critical")
+    return AlertEvent(
+        labels=LabelSet(labels),
+        annotations={},
+        state=state,
+        value=1.0,
+        started_at_ns=ts,
+        fired_at_ns=ts,
+    )
+
+
+class TestBeginRecord:
+    def test_record_without_headers_is_untraced(self):
+        tracing, store, clock = make_tracing()
+        broker = Broker(clock)
+        broker.create_topic("t")
+        record = broker.produce("t", "payload")
+        assert record.headers == ()
+        assert tracing.begin_record(record, "C") is None
+        assert store.spans_added == 0
+
+    def test_record_with_context_builds_consume_chain(self):
+        tracing, store, clock = make_tracing()
+        broker = Broker(clock)
+        broker.create_topic("t")
+        root = tracing.tracer.record("redfish", "birth", None, 0, 0)
+        record = broker.produce(
+            "t", "payload", headers=tuple(Tracer.inject(root).items())
+        )
+        clock.advance(seconds(10))
+        ctx = tracing.begin_record(record, "RedfishEventConsumer", server_index=1)
+        assert ctx is not None and ctx.trace_id == root.trace_id
+        spans = store.trace(root.trace_id)
+        assert [s.service for s in spans] == [
+            "redfish", "broker", "telemetry_api", "consumer",
+        ]
+        queue = spans[1]
+        assert queue.duration_ns == seconds(10)
+        assert queue.attributes["topic"] == "t"
+        assert spans[2].attributes["server"] == "1"
+
+    def test_malformed_header_ignored(self):
+        tracing, store, clock = make_tracing()
+        broker = Broker(clock)
+        broker.create_topic("t")
+        record = broker.produce("t", "v", headers=(("traceparent", "junk"),))
+        assert tracing.begin_record(record, "C") is None
+        assert store.spans_added == 0
+
+
+class TestCorrelation:
+    def test_alert_joins_trace_via_label(self):
+        tracing, store, clock = make_tracing()
+        root = tracing.tracer.record("redfish", "birth", None, 0, 0)
+        tracing.store_span(root, "loki", "push", [{"Context": "x1203c1b0"}])
+        clock.advance(seconds(90))
+        received = []
+        notify = tracing.notifier(received.append, "ruler")
+        notify(alert_event(Context="x1203c1b0", ts=clock.now_ns))
+        assert len(received) == 1
+        spans = store.trace(root.trace_id)
+        assert [s.service for s in spans] == ["redfish", "loki", "ruler"]
+        assert spans[-1].duration_ns == seconds(90)
+
+    def test_uncorrelated_alert_records_nothing_but_passes_through(self):
+        tracing, store, _ = make_tracing()
+        received = []
+        notify = tracing.notifier(received.append, "ruler")
+        notify(alert_event(Context="unseen"))
+        assert len(received) == 1
+        assert store.spans_added == 0
+
+    def test_refire_after_resolve_gets_a_new_span(self):
+        tracing, store, clock = make_tracing()
+        root = tracing.tracer.record("redfish", "birth", None, 0, 0)
+        tracing.store_span(root, "loki", "push", [{"Context": "x1"}])
+        notify = tracing.notifier(lambda e: None, "ruler")
+        firing = alert_event(Context="x1")
+        notify(firing)
+        notify(firing)  # repeat while firing: no duplicate span
+        assert sum(1 for s in store.all_spans() if s.service == "ruler") == 1
+        notify(alert_event(state=AlertState.RESOLVED, Context="x1"))
+        clock.advance(seconds(30))
+        notify(alert_event(Context="x1"))
+        assert sum(1 for s in store.all_spans() if s.service == "ruler") == 2
+
+    def test_pending_registry_is_bounded(self):
+        tracing, _, _ = make_tracing(max_pending=2)
+        root = tracing.tracer.record("redfish", "birth", None, 0, 0)
+        for i in range(5):
+            tracing.store_span(root, "loki", "push", [{"xname": f"x{i}"}])
+        assert len(tracing._pending) == 2
+
+
+class TestDelivery:
+    def test_receiver_wrapper_spans_firing_alerts_only(self):
+        tracing, store, clock = make_tracing()
+        root = tracing.tracer.record("redfish", "birth", None, 0, 0)
+        tracing.store_span(root, "loki", "push", [{"Context": "x1"}])
+        notify = tracing.notifier(lambda e: None, "ruler")
+        firing = alert_event(Context="x1")
+        notify(firing)
+        clock.advance(seconds(30))
+        inner = MemoryReceiver(name="slack")
+        receiver = TracingReceiver(inner, tracing)
+        assert receiver.name == "slack"
+        notification = Notification(
+            receiver="slack",
+            group_key=LabelSet({"alertname": "Leak"}),
+            alerts=(firing, alert_event(state=AlertState.RESOLVED, Context="x2")),
+            timestamp_ns=clock.now_ns,
+        )
+        receiver.notify(notification)
+        assert len(inner.notifications) == 1
+        services = [s.service for s in store.trace(root.trace_id)]
+        assert services == ["redfish", "loki", "ruler", "alertmanager", "slack"]
+        am = [s for s in store.trace(root.trace_id) if s.service == "alertmanager"]
+        assert am[0].duration_ns == seconds(30)
+
+    def test_delivery_without_eval_span_is_noop(self):
+        tracing, store, _ = make_tracing()
+        tracing.delivery_span("slack", alert_event(Context="x9"), 0)
+        assert store.spans_added == 0
+
+    def test_two_receivers_share_one_alertmanager_span(self):
+        tracing, store, clock = make_tracing()
+        root = tracing.tracer.record("redfish", "birth", None, 0, 0)
+        tracing.store_span(root, "loki", "push", [{"Context": "x1"}])
+        notify = tracing.notifier(lambda e: None, "ruler")
+        firing = alert_event(Context="x1")
+        notify(firing)
+        clock.advance(seconds(30))
+        tracing.delivery_span("slack", firing, clock.now_ns)
+        tracing.delivery_span("servicenow", firing, clock.now_ns)
+        spans = store.trace(root.trace_id)
+        assert sum(1 for s in spans if s.service == "alertmanager") == 1
+        assert {s.service for s in spans if s.name == "notify"} == {
+            "slack", "servicenow",
+        }

@@ -1,0 +1,206 @@
+"""End-to-end pipeline tracing: one leak event → one coherent trace.
+
+Covers the issue's acceptance criteria directly: ≥6 services on the
+trace, TraceQL reachability, stage durations summing to the end-to-end
+latency, metric exemplars linking back, and — the no-observer-effect
+guarantee — byte-identical case-study artifacts with tracing on and off.
+"""
+
+import pytest
+
+from repro.common.labels import Matcher, MatchOp
+from repro.common.simclock import SimClock, minutes, seconds
+from repro.core.casestudies.leak import leak_case_config, run_leak_case_study
+from repro.core.casestudies.switch import run_switch_case_study, switch_case_config
+from repro.core.framework import FrameworkConfig
+from repro.grafana.render import render_trace_waterfall
+from repro.tempo.metrics import TraceMetricsExporter
+from repro.tempo.store import TraceStore
+from repro.tempo.tracer import Tracer
+from repro.tsdb.storage import Exemplar, TimeSeriesStore
+
+
+@pytest.fixture(scope="module")
+def traced_leak():
+    config = leak_case_config()
+    config.tracing_sampling = 1.0
+    return run_leak_case_study(config)
+
+
+class TestLeakTrace:
+    def test_one_leak_event_one_coherent_trace(self, traced_leak):
+        fw = traced_leak.framework
+        hits = fw.traceql.find_spans(
+            '{ span.service = "ruler" && span.alertname = "PerlmutterCabinetLeak" }'
+        )
+        assert len(hits) == 1
+        trace_id = hits[0].trace_id
+        services = fw.traces.services(trace_id)
+        assert {
+            "redfish", "broker", "telemetry_api", "consumer",
+            "loki", "ruler", "alertmanager", "slack",
+        } <= services
+
+    def test_stage_durations_sum_to_end_to_end_latency(self, traced_leak):
+        fw = traced_leak.framework
+        trace_id = fw.traceql.find_spans(
+            '{ span.alertname = "PerlmutterCabinetLeak" }'
+        )[0].trace_id
+        spans = fw.traces.trace(trace_id)
+        stage_sum = sum(s.duration_ns for s in spans)
+        end_to_end = (
+            traced_leak.timeline["slack_ns"]
+            - traced_leak.timeline["redfish_event_ns"]
+        )
+        assert stage_sum == fw.traces.duration_ns(trace_id) == end_to_end
+
+    def test_trace_is_a_single_parent_chain(self, traced_leak):
+        fw = traced_leak.framework
+        trace_id = fw.traceql.find_spans(
+            '{ span.alertname = "PerlmutterCabinetLeak" }'
+        )[0].trace_id
+        spans = fw.traces.trace(trace_id)
+        by_id = {s.span_id: s for s in spans}
+        roots = [s for s in spans if s.parent_id is None]
+        assert len(roots) == 1 and roots[0].service == "redfish"
+        for s in spans:
+            if s.parent_id is not None:
+                assert s.parent_id in by_id
+
+    def test_both_receivers_close_the_trace(self, traced_leak):
+        fw = traced_leak.framework
+        trace_id = fw.traceql.find_spans(
+            '{ span.alertname = "PerlmutterCabinetLeak" }'
+        )[0].trace_id
+        receivers = {
+            s.service for s in fw.traces.trace(trace_id) if s.name == "notify"
+        }
+        assert receivers == {"slack", "servicenow"}
+
+    def test_self_metrics_with_exemplars(self, traced_leak):
+        fw = traced_leak.framework
+        leak_trace = fw.traceql.find_spans(
+            '{ span.alertname = "PerlmutterCabinetLeak" }'
+        )[0].trace_id
+        samples = fw.promql.query_instant(
+            'tempo_stage_latency_p99_seconds{service="ruler"}', fw.clock.now_ns
+        )
+        assert samples and samples[0].value == pytest.approx(90.0)
+        exemplars = fw.warehouse.tsdb.exemplars(
+            [
+                Matcher("__name__", MatchOp.EQ, "tempo_stage_latency_p99_seconds"),
+                Matcher("service", MatchOp.EQ, "ruler"),
+            ],
+            0,
+            fw.clock.now_ns + 1,
+        )
+        assert exemplars
+        assert exemplars[0][1][-1].trace_id == leak_trace
+
+    def test_tracing_dashboard_renders_waterfall(self, traced_leak):
+        fw = traced_leak.framework
+        out = fw.dashboards["tracing"].render(
+            fw.clock.now_ns - minutes(30), fw.clock.now_ns + 1, minutes(1)
+        )
+        assert "Slowest delivered alert" in out
+        assert "PerlmutterCabinetLeak" in out
+        assert "alertmanager" in out
+
+
+class TestSwitchTrace:
+    def test_fm_path_is_traced_via_xname_correlation(self):
+        config = switch_case_config()
+        config.tracing_sampling = 1.0
+        case = run_switch_case_study(config)
+        fw = case.framework
+        hits = fw.traceql.find_spans(
+            '{ span.service = "ruler" && span.alertname = "SwitchOffline" }'
+        )
+        assert len(hits) == 1
+        services = fw.traces.services(hits[0].trace_id)
+        assert {"fabric_manager", "loki", "ruler", "alertmanager", "slack"} <= services
+
+
+class TestNoObserverEffect:
+    def test_disabled_tracing_produces_identical_artifacts(self):
+        baseline = run_leak_case_study(leak_case_config())
+        config = leak_case_config()
+        config.tracing_sampling = 1.0
+        traced = run_leak_case_study(config)
+        assert traced.fig2_payload == baseline.fig2_payload
+        assert traced.fig3_payload == baseline.fig3_payload
+        assert traced.fig4_table == baseline.fig4_table
+        assert traced.fig5_chart == baseline.fig5_chart
+        assert traced.fig6_slack == baseline.fig6_slack
+        assert traced.timeline == baseline.timeline
+        assert baseline.framework.tracer is None
+        assert baseline.framework.traces is None
+
+    def test_default_config_has_tracing_off(self):
+        assert FrameworkConfig().tracing_sampling == 0.0
+
+
+class TestTraceMetricsExporter:
+    def test_export_writes_counts_and_quantiles(self):
+        clock = SimClock()
+        store = TraceStore()
+        tracer = Tracer(store, clock)
+        tsdb = TimeSeriesStore()
+        root = tracer.record("loki", "push", None, 0, seconds(1))
+        tracer.record("loki", "push", root, 0, seconds(3))
+        exporter = TraceMetricsExporter(store, tsdb, clock, cluster="test")
+        clock.advance(seconds(10))
+        written = exporter.export()
+        assert written == 4  # traces + spans + p50 + p99
+        sel = tsdb.select(
+            [Matcher("__name__", MatchOp.EQ, "tempo_spans")], 0, clock.now_ns + 1
+        )
+        assert sel[0][2][-1] == 2.0
+        p99 = tsdb.select(
+            [Matcher("__name__", MatchOp.EQ, "tempo_stage_latency_p99_seconds")],
+            0,
+            clock.now_ns + 1,
+        )
+        assert p99[0][2][-1] == pytest.approx(3.0)
+        ex = tsdb.exemplars(
+            [Matcher("__name__", MatchOp.EQ, "tempo_stage_latency_p99_seconds")],
+            0,
+            clock.now_ns + 1,
+        )
+        assert ex[0][1][-1].trace_id == root.trace_id
+        assert ex[0][1][-1].value == pytest.approx(3.0)
+
+
+class TestExemplarStorage:
+    def test_exemplars_survive_and_trim_with_retention(self):
+        tsdb = TimeSeriesStore()
+        for i in range(5):
+            tsdb.ingest(
+                "m",
+                {"a": "b"},
+                float(i),
+                seconds(i),
+                exemplar=Exemplar(f"{i:032x}", float(i), seconds(i)),
+            )
+        matchers = [Matcher("__name__", MatchOp.EQ, "m")]
+        assert len(tsdb.exemplars(matchers, 0, seconds(10))[0][1]) == 5
+        # Window filter applies to exemplar timestamps.
+        assert len(tsdb.exemplars(matchers, seconds(3), seconds(10))[0][1]) == 2
+        tsdb.delete_before(seconds(3))
+        remaining = tsdb.exemplars(matchers, 0, seconds(10))[0][1]
+        assert [e.trace_id for e in remaining] == [f"{3:032x}", f"{4:032x}"]
+
+
+class TestWaterfallRender:
+    def test_empty_and_zero_duration(self):
+        assert "(no spans)" in render_trace_waterfall([], title="t")
+        clock = SimClock()
+        store = TraceStore()
+        tracer = Tracer(store, clock)
+        root = tracer.record("redfish", "birth", None, 0, 0)
+        tracer.record("ruler", "Leak", root, 0, seconds(90))
+        out = render_trace_waterfall(store.trace(root.trace_id))
+        assert "2 spans" in out
+        assert "1m30s" in out
+        assert "▏" in out  # zero-duration tick
+        assert "█" in out  # real bar
