@@ -11,12 +11,16 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 from repro.common.errors import ValidationError
 from repro.common.simclock import SimClock
 from repro.common.xname import XName
 from repro.cluster.sensors import SensorBank, SensorId, SensorKind
 from repro.cluster.topology import Cluster, NodeState, SwitchState
+
+if TYPE_CHECKING:
+    from repro.ring.cluster import RingLokiCluster
 
 
 class FaultKind(enum.Enum):
@@ -26,6 +30,17 @@ class FaultKind(enum.Enum):
     NODE_DOWN = "node_down"
     THERMAL_EXCURSION = "thermal_excursion"
     GPFS_DEGRADED = "gpfs_degraded"
+    # Faults against the monitoring pipeline itself: a Loki ingest-ring
+    # member dies (and, at fault end, restarts with WAL replay) or is
+    # bounced immediately.  Targets are ingester ids, not xnames.
+    INGESTER_CRASH = "ingester_crash"
+    INGESTER_RESTART = "ingester_restart"
+
+
+#: Fault kinds whose target is an ingest-ring member id, not an xname.
+_INGESTER_KINDS = frozenset(
+    {FaultKind.INGESTER_CRASH, FaultKind.INGESTER_RESTART}
+)
 
 
 @dataclass
@@ -33,7 +48,7 @@ class Fault:
     """One injected fault with ground-truth timing."""
 
     kind: FaultKind
-    target: XName
+    target: XName | str  # str = ingester id for the INGESTER_* kinds
     start_ns: int
     end_ns: int | None  # None = until repaired
     detail: dict[str, object] = field(default_factory=dict)
@@ -49,11 +64,18 @@ class FaultInjector:
         cluster: Cluster,
         clock: SimClock,
         sensors: SensorBank | None = None,
+        ring: "RingLokiCluster | None" = None,
     ) -> None:
         self._cluster = cluster
         self._clock = clock
         self._sensors = sensors
+        self._ring = ring
         self.faults: list[Fault] = []
+
+    def attach_ring(self, ring: "RingLokiCluster") -> None:
+        """Late-bind the ingest ring (the framework builds it after the
+        injector, since the warehouse needs the fault-free clock first)."""
+        self._ring = ring
 
     # ------------------------------------------------------------------
     # Scheduling
@@ -70,7 +92,10 @@ class FaultInjector:
         (or until :meth:`repair`)."""
         if delay_ns < 0:
             raise ValidationError("delay must be non-negative")
-        x = XName.parse(target) if isinstance(target, str) else target
+        if kind in _INGESTER_KINDS:
+            x: XName | str = str(target)
+        else:
+            x = XName.parse(target) if isinstance(target, str) else target
         start = self._clock.now_ns + delay_ns
         end = start + duration_ns if duration_ns is not None else None
         fault = Fault(kind=kind, target=x, start_ns=start, end_ns=end, detail=detail)
@@ -112,8 +137,24 @@ class FaultInjector:
         elif kind is FaultKind.GPFS_DEGRADED:
             # Recorded as ground truth; the GPFS health model polls it.
             pass
+        elif kind is FaultKind.INGESTER_CRASH:
+            self._require_ring().crash_ingester(str(target))
+        elif kind is FaultKind.INGESTER_RESTART:
+            # A bounce: the process restarts immediately, rebuilding its
+            # store from the checkpoint + WAL before serving again.
+            ring = self._require_ring()
+            ingester = ring.ingesters.get(str(target))
+            if ingester is not None and ingester.active:
+                ingester.crash()
+            fault.detail["replayed"] = ring.restart_ingester(str(target))
+            fault.active = False  # instantaneous by construction
         else:  # pragma: no cover - exhaustive over enum
             raise ValidationError(f"unhandled fault kind {kind}")
+
+    def _require_ring(self) -> "RingLokiCluster":
+        if self._ring is None:
+            raise ValidationError("ingester fault requires an ingest ring")
+        return self._ring
 
     def _end(self, fault: Fault) -> None:
         if not fault.active:
@@ -133,6 +174,12 @@ class FaultInjector:
                 self._sensors.set_offset(
                     SensorId(target, SensorKind.TEMPERATURE_C), 0.0
                 )
+        elif kind is FaultKind.INGESTER_CRASH:
+            # Fault end = the operator restarts the process; WAL replay
+            # recovers every acknowledged entry the replica held.
+            fault.detail["replayed"] = self._require_ring().restart_ingester(
+                str(target)
+            )
 
     # ------------------------------------------------------------------
     # Ground truth
@@ -143,9 +190,14 @@ class FaultInjector:
     def faults_of_kind(self, kind: FaultKind) -> list[Fault]:
         return [f for f in self.faults if f.kind is kind]
 
-    def is_degraded(self, kind: FaultKind, target: XName) -> bool:
+    def is_degraded(self, kind: FaultKind, target: XName | str) -> bool:
         """Whether an active fault of ``kind`` covers ``target``."""
-        return any(
-            f.active and f.kind is kind and f.target.contains(target)
-            for f in self.faults
-        )
+        out = False
+        for f in self.faults:
+            if not (f.active and f.kind is kind):
+                continue
+            if isinstance(f.target, str) or isinstance(target, str):
+                out = out or str(f.target) == str(target)
+            else:
+                out = out or f.target.contains(target)
+        return out

@@ -94,7 +94,7 @@ class RedfishEventConsumer(_BaseConsumer):
     def _handle(self, value: str, timestamp_ns: int) -> None:
         payload = loads(value)
         push = redfish_payload_to_push(payload, cluster=self._cluster)
-        self._warehouse.ingest_logs(push)
+        self._warehouse.ingest_logs(push, trace_ctx=self._record_ctx)
         self._trace_store([stream.labels for stream in push.streams])
 
 
@@ -153,5 +153,5 @@ class LogLineConsumer(_BaseConsumer):
             line = envelope["line"]
         except (KeyError, TypeError, ValueError):
             raise ValidationError(f"malformed log envelope: {value[:80]}") from None
-        self._warehouse.ingest_log(labels, ts, line)
+        self._warehouse.ingest_log(labels, ts, line, trace_ctx=self._record_ctx)
         self._trace_store([labels])

@@ -35,6 +35,7 @@ from repro.exporters.aruba import ArubaExporter
 from repro.exporters.blackbox import BlackboxExporter, ProbeTarget
 from repro.exporters.kafka_exporter import KafkaExporter
 from repro.exporters.node import NodeExporter
+from repro.exporters.ring_exporter import RingExporter
 from repro.grafana.dashboard import Dashboard
 from repro.grafana.datasource import (
     LokiDatasource,
@@ -53,6 +54,7 @@ from repro.loki.ruler import Ruler
 from repro.omni.anomaly import EwmaDetector, ProactiveMonitor
 from repro.omni.eventstore import EventStore, record_from_alert
 from repro.omni.warehouse import OmniWarehouse
+from repro.ring.cluster import RingLokiCluster
 from repro.servicenow.cmdb import build_from_cluster
 from repro.servicenow.platform import ServiceNowPlatform, ServiceNowReceiver
 from repro.servicenow.service_map import ServiceMap
@@ -143,10 +145,23 @@ class FrameworkConfig:
     tracing_sampling: float = 0.0
     tracing_max_traces: int = 10_000
     tracing_metrics_interval_ns: int = seconds(60)
+    # Replicated ingest (repro.ring).  Off by default: logs land in a
+    # single LokiStore as before.  On: pushes go through a distributor to
+    # a consistent-hash ring of WAL-backed ingesters at write quorum.
+    enable_ingest_ring: bool = False
+    ring_ingesters: int = 4
+    ring_replication: int = 3
 
     def __post_init__(self) -> None:
         if not 0.0 <= self.tracing_sampling <= 1.0:
             raise ValidationError("tracing_sampling must be in [0, 1]")
+        if self.enable_ingest_ring:
+            if self.ring_ingesters < 1:
+                raise ValidationError("ring needs at least one ingester")
+            if not 1 <= self.ring_replication <= self.ring_ingesters:
+                raise ValidationError(
+                    "ring_replication must be in [1, ring_ingesters]"
+                )
         for name in (
             "redfish_poll_interval_ns",
             "sensor_interval_ns",
@@ -218,7 +233,17 @@ class MonitoringFramework:
         )
 
         # --- OMNI: the stores ------------------------------------------------
-        self.warehouse = OmniWarehouse(self.clock)
+        self.ring: RingLokiCluster | None = None
+        self.ring_exporter: RingExporter | None = None
+        if cfg.enable_ingest_ring:
+            self.ring = RingLokiCluster(
+                ingesters=cfg.ring_ingesters,
+                replication_factor=cfg.ring_replication,
+                tracer=self.tracer,
+            )
+            self.ring_exporter = RingExporter(self.ring)
+            self.faults.attach_ring(self.ring)
+        self.warehouse = OmniWarehouse(self.clock, loki=self.ring)
         self.logql = LogQLEngine(self.warehouse.loki)
         self.promql = PromQLEngine(self.warehouse.tsdb)
         if self.traces is not None:
@@ -285,6 +310,10 @@ class MonitoringFramework:
         self.vmagent.add_target(
             ScrapeTarget("blackbox", "blackbox-exporter:9115", self.blackbox_exporter)
         )
+        if self.ring_exporter is not None:
+            self.vmagent.add_target(
+                ScrapeTarget("loki-ring", "ring-exporter:9102", self.ring_exporter)
+            )
 
         # --- alerting plane ---------------------------------------------------------
         self.slack = SlackWebhook()
@@ -369,14 +398,7 @@ class MonitoringFramework:
     # ------------------------------------------------------------------
     def _fm_sink(self, event: SwitchEvent) -> None:
         """The FM monitor pushes its event lines straight to Loki."""
-        self.warehouse.ingest_log(
-            {
-                "app": MONITOR_APP_LABEL,
-                "cluster": self.config.cluster_name,
-            },
-            event.timestamp_ns,
-            event.to_line(),
-        )
+        root = None
         if self.tracer is not None and self.tracing is not None:
             # The FM monitor bypasses the broker, so its trace starts at
             # the event and goes straight to the store write; the switch
@@ -389,10 +411,19 @@ class MonitoringFramework:
                 end_ns=self.clock.now_ns,
                 attributes={"xname": event.xname, "state": event.state},
             )
-            if root is not None:
-                self.tracing.store_span(
-                    root, "loki", "push", [{"xname": event.xname}]
-                )
+        self.warehouse.ingest_log(
+            {
+                "app": MONITOR_APP_LABEL,
+                "cluster": self.config.cluster_name,
+            },
+            event.timestamp_ns,
+            event.to_line(),
+            trace_ctx=root,
+        )
+        if root is not None and self.tracing is not None:
+            self.tracing.store_span(
+                root, "loki", "push", [{"xname": event.xname}]
+            )
 
     def _scrape_gpfs(self) -> None:
         """GPFS health (paper §V future work) lands as metrics."""
@@ -532,6 +563,21 @@ class MonitoringFramework:
                 },
             )
         )
+        if self.ring is not None:
+            self.vmalert.add_rule(
+                RuleSpec(
+                    name="IngesterDown",
+                    expr="loki_ring_ingester_up == 0",
+                    for_=cfg.rule_for,
+                    labels={"severity": "warning", "category": "pipeline"},
+                    annotations={
+                        "summary": "Loki ingester {{ $labels.ingester }} is "
+                        "down; writes continue at quorum "
+                        f"{self.ring.distributor.write_quorum}/"
+                        f"{self.ring.distributor.replication_factor}"
+                    },
+                )
+            )
         self.vmalert.add_rule(
             RuleSpec(
                 name="GpfsDegraded",
@@ -594,6 +640,45 @@ class MonitoringFramework:
             )
         )
         dashboards = {"overview": overview}
+        if self.ring is not None:
+            ring_dash = Dashboard("Ingest Ring", uid="ingest-ring")
+            ring_dash.add_panel(
+                StatPanel(
+                    title="Ingesters up",
+                    datasource=prom_ds,
+                    query="sum(loki_ring_ingester_up)",
+                )
+            )
+            ring_dash.add_panel(
+                TopListPanel(
+                    title="Entries per ingester",
+                    datasource=prom_ds,
+                    query="topk(16, loki_ring_ingester_entries_total)",
+                    label="ingester",
+                )
+            )
+            ring_dash.add_panel(
+                TimeSeriesPanel(
+                    title="Distributor quorum failures",
+                    datasource=prom_ds,
+                    query="loki_distributor_quorum_failures_total",
+                )
+            )
+            ring_dash.add_panel(
+                StatPanel(
+                    title="WAL segments awaiting checkpoint",
+                    datasource=prom_ds,
+                    query="sum(loki_ring_wal_segments)",
+                )
+            )
+            ring_dash.add_panel(
+                StatPanel(
+                    title="Records recovered by WAL replay",
+                    datasource=prom_ds,
+                    query="sum(loki_ring_wal_replayed_records_total)",
+                )
+            )
+            dashboards["ring"] = ring_dash
         if self.traceql is not None:
             tempo_ds = TempoDatasource(self.traceql)
             tracing = Dashboard("Pipeline Tracing", uid="pipeline-tracing")

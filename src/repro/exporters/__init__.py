@@ -22,6 +22,7 @@ from repro.exporters.node import NodeExporter
 from repro.exporters.blackbox import BlackboxExporter, ProbeTarget
 from repro.exporters.kafka_exporter import KafkaExporter
 from repro.exporters.aruba import ArubaExporter
+from repro.exporters.ring_exporter import RingExporter
 
 __all__ = [
     "MetricFamily",
@@ -33,4 +34,5 @@ __all__ = [
     "ProbeTarget",
     "KafkaExporter",
     "ArubaExporter",
+    "RingExporter",
 ]

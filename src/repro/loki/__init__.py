@@ -20,7 +20,7 @@ the paper's design leans on (§III.A, §IV.A):
 
 from repro.loki.model import LogEntry, PushRequest, PushStream
 from repro.loki.chunks import Chunk, ChunkPolicy
-from repro.loki.store import LokiStore, LokiCluster
+from repro.loki.store import LokiStore, LokiCluster, StoreStats, aggregate_stats
 from repro.loki.ruler import Ruler, AlertingRule
 
 __all__ = [
@@ -31,6 +31,8 @@ __all__ = [
     "ChunkPolicy",
     "LokiStore",
     "LokiCluster",
+    "StoreStats",
+    "aggregate_stats",
     "Ruler",
     "AlertingRule",
 ]

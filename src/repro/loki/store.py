@@ -28,6 +28,19 @@ class StoreStats:
     chunks_sealed: int = 0
 
 
+def aggregate_stats(stores: Iterable["LokiStore"]) -> StoreStats:
+    """Field-wise sum of many stores' stats — the cluster-wide totals
+    benches and exporters read off a sharded or replicated deployment."""
+    total = StoreStats()
+    for store in stores:
+        total.entries_ingested += store.stats.entries_ingested
+        total.bytes_ingested += store.stats.bytes_ingested
+        total.entries_rejected += store.stats.entries_rejected
+        total.chunks_created += store.stats.chunks_created
+        total.chunks_sealed += store.stats.chunks_sealed
+    return total
+
+
 class LokiStore:
     """A single-ingester Loki.
 
@@ -153,6 +166,25 @@ class LokiStore:
             self._chunks[sid] = keep
         return dropped
 
+    def expired_entries(
+        self, cutoff_ns: int
+    ) -> list[tuple[LabelSet, list[LogEntry]]]:
+        """Entries :meth:`delete_before` would drop at ``cutoff_ns``,
+        grouped per stream — what a retention sweep archives first."""
+        out = []
+        for sid, chunks in self._chunks.items():
+            doomed: list[LogEntry] = []
+            for chunk in chunks:
+                if (
+                    chunk.sealed
+                    and chunk.last_ts_ns is not None
+                    and chunk.last_ts_ns < cutoff_ns
+                ):
+                    doomed.extend(chunk.entries())
+            if doomed:
+                out.append((self.index.labels_of(sid), doomed))
+        return out
+
     # ------------------------------------------------------------------
     # Accounting
     # ------------------------------------------------------------------
@@ -173,6 +205,17 @@ class LokiStore:
 
     def index_bytes(self) -> int:
         return self.index.size_bytes()
+
+    def oldest_entry_ns(self) -> int | None:
+        """Timestamp of the oldest resident entry, or ``None`` if empty."""
+        oldest: int | None = None
+        for chunks in self._chunks.values():
+            for chunk in chunks:
+                if chunk.first_ts_ns is not None and (
+                    oldest is None or chunk.first_ts_ns < oldest
+                ):
+                    oldest = chunk.first_ts_ns
+        return oldest
 
     def compression_ratio(self) -> float:
         stored = self.stored_bytes()
@@ -236,6 +279,11 @@ class LokiCluster:
 
     def flush_all(self) -> int:
         return sum(s.store.flush_all() for s in self._shards)
+
+    @property
+    def stats(self) -> StoreStats:
+        """Cluster-wide ingest/storage totals across every shard."""
+        return aggregate_stats(s.store for s in self._shards)
 
     def shard_entry_counts(self) -> list[int]:
         return [s.entries for s in self._shards]

@@ -11,10 +11,15 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from typing import TYPE_CHECKING
+
 from repro.common.errors import RetentionError, ValidationError
 from repro.common.simclock import SimClock, days
 from repro.loki.store import LokiStore
 from repro.omni.archive import ArchiveStore
+
+if TYPE_CHECKING:  # avoid an import cycle; the ring imports loki
+    from repro.ring.cluster import RingLokiCluster
 
 #: "at least two years of data immediately [available]" (paper §I).
 TWO_YEARS_NS = days(2 * 365)
@@ -37,7 +42,7 @@ class RetentionManager:
     def __init__(
         self,
         clock: SimClock,
-        store: LokiStore,
+        store: "LokiStore | RingLokiCluster",
         archive: ArchiveStore,
         policy: RetentionPolicy | None = None,
     ) -> None:
@@ -59,21 +64,12 @@ class RetentionManager:
         """
         cutoff = self.cutoff_ns()
         moved = 0
-        index = self._store.index
-        for sid in index.all_stream_ids():
-            labels = index.labels_of(sid)
-            # Read what delete_before would drop, then archive it.
-            doomed = []
-            for chunk in self._store._chunks.get(sid, []):
-                if (
-                    chunk.sealed
-                    and chunk.last_ts_ns is not None
-                    and chunk.last_ts_ns < cutoff
-                ):
-                    doomed.extend(chunk.entries())
-            if doomed:
-                self._archive.archive_logs(labels, doomed)
-                moved += len(doomed)
+        # Read what delete_before would drop, then archive it.  A
+        # replicated store deduplicates across replicas here, so the
+        # archive holds each entry once regardless of replication factor.
+        for labels, doomed in self._store.expired_entries(cutoff):
+            self._archive.archive_logs(labels, doomed)
+            moved += len(doomed)
         self._store.delete_before(cutoff)
         self.sweeps += 1
         return moved

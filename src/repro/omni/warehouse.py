@@ -16,21 +16,30 @@ from repro.loki.model import LogEntry, PushRequest
 from repro.loki.store import LokiStore
 from repro.omni.archive import ArchiveStore
 from repro.omni.retention import RetentionManager, RetentionPolicy
+from repro.ring.cluster import RingLokiCluster
+from repro.tempo.model import SpanContext
 from repro.tsdb.storage import TimeSeriesStore
 
 
 class OmniWarehouse:
-    """Logs → Loki, metrics → VictoriaMetrics, one roof, one history."""
+    """Logs → Loki, metrics → VictoriaMetrics, one roof, one history.
+
+    The log backend is either a single :class:`LokiStore` (the default)
+    or a replicated :class:`~repro.ring.cluster.RingLokiCluster` — both
+    expose the same store surface; only the ring accepts a trace context
+    so distributor→ingester spans join the pipeline's trace.
+    """
 
     def __init__(
         self,
         clock: SimClock,
-        loki: LokiStore | None = None,
+        loki: LokiStore | RingLokiCluster | None = None,
         tsdb: TimeSeriesStore | None = None,
         policy: RetentionPolicy | None = None,
     ) -> None:
         self._clock = clock
         self.loki = loki or LokiStore()
+        self._ring = self.loki if isinstance(self.loki, RingLokiCluster) else None
         self.tsdb = tsdb or TimeSeriesStore()
         self.archive = ArchiveStore()
         self.retention = RetentionManager(clock, self.loki, self.archive, policy)
@@ -41,14 +50,27 @@ class OmniWarehouse:
     # Ingest
     # ------------------------------------------------------------------
     def ingest_log(
-        self, labels: Mapping[str, str] | LabelSet, timestamp_ns: int, line: str
+        self,
+        labels: Mapping[str, str] | LabelSet,
+        timestamp_ns: int,
+        line: str,
+        trace_ctx: SpanContext | None = None,
     ) -> int:
-        accepted = self.loki.push_stream(labels, [LogEntry(timestamp_ns, line)])
+        entries = [LogEntry(timestamp_ns, line)]
+        if self._ring is not None:
+            accepted = self._ring.push_stream(labels, entries, trace_ctx=trace_ctx)
+        else:
+            accepted = self.loki.push_stream(labels, entries)
         self.messages_ingested += accepted
         return accepted
 
-    def ingest_logs(self, request: PushRequest) -> int:
-        accepted = self.loki.push(request)
+    def ingest_logs(
+        self, request: PushRequest, trace_ctx: SpanContext | None = None
+    ) -> int:
+        if self._ring is not None:
+            accepted = self._ring.push(request, trace_ctx=trace_ctx)
+        else:
+            accepted = self.loki.push(request)
         self.messages_ingested += accepted
         return accepted
 
@@ -92,12 +114,7 @@ class OmniWarehouse:
 
     def history_span_days(self) -> float:
         """How far back immediately-queryable log data reaches, in days."""
-        oldest: int | None = None
-        for chunks in self.loki._chunks.values():
-            for chunk in chunks:
-                if chunk.first_ts_ns is not None:
-                    if oldest is None or chunk.first_ts_ns < oldest:
-                        oldest = chunk.first_ts_ns
+        oldest = self.loki.oldest_entry_ns()
         if oldest is None:
             return 0.0
         return (self._clock.now_ns - oldest) / days(1)

@@ -1,0 +1,216 @@
+"""RingLokiCluster: the replicated write path behind a LokiStore facade.
+
+Owns the ring, the ingesters and the distributor, and exposes the store
+surface the rest of the stack consumes (``push``/``push_stream``/
+``select`` plus the accounting and maintenance methods), so the OMNI
+warehouse, the LogQL engine, Promtail and the retention manager can run
+unchanged against a replicated, crash-tolerant ingest tier.
+
+Sizes and chunk counts reported here are **physical** — summed across
+replicas, so RF=3 really shows 3× the storage, which is the point of the
+storage accounting.  Logical (acknowledged-once) ingest lives on the
+distributor: ``distributor.entries_accepted``.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping
+
+from repro.common.errors import NotFoundError, ValidationError
+from repro.common.labels import LabelSet, Matcher
+from repro.loki.chunks import ChunkPolicy
+from repro.loki.model import LogEntry, PushRequest, PushStream
+from repro.loki.store import StoreStats, aggregate_stats
+from repro.ring.distributor import Distributor
+from repro.ring.hashring import HashRing
+from repro.ring.ingester import Ingester
+from repro.tempo.model import SpanContext
+from repro.tempo.tracer import Tracer
+
+
+class RingLokiCluster:
+    """N ingesters on a hash ring behind one distributor."""
+
+    def __init__(
+        self,
+        ingesters: int = 4,
+        replication_factor: int = 3,
+        policy: ChunkPolicy | None = None,
+        vnodes: int = 64,
+        wal_segment_bytes: int = 64 * 1024,
+        tracer: Tracer | None = None,
+    ) -> None:
+        if ingesters < 1:
+            raise ValidationError("need at least one ingester")
+        self.ring = HashRing(vnodes=vnodes)
+        self.ingesters: dict[str, Ingester] = {}
+        for i in range(ingesters):
+            ingester_id = f"ingester-{i}"
+            self.ingesters[ingester_id] = Ingester(
+                ingester_id, policy=policy, wal_segment_bytes=wal_segment_bytes
+            )
+            self.ring.join(ingester_id)
+        self._policy = policy
+        self._wal_segment_bytes = wal_segment_bytes
+        self.distributor = Distributor(
+            self.ring,
+            self.ingesters,
+            replication_factor=replication_factor,
+            tracer=tracer,
+        )
+
+    # ------------------------------------------------------------------
+    # Store facade: ingest
+    # ------------------------------------------------------------------
+    def push(
+        self, request: PushRequest, trace_ctx: SpanContext | None = None
+    ) -> int:
+        return self.distributor.push(request, parent_ctx=trace_ctx).accepted
+
+    def push_stream(
+        self,
+        labels: LabelSet | Mapping[str, str],
+        entries: Iterable[LogEntry],
+        trace_ctx: SpanContext | None = None,
+    ) -> int:
+        labelset = labels if isinstance(labels, LabelSet) else LabelSet(labels)
+        request = PushRequest(
+            streams=(PushStream(labels=labelset, entries=tuple(entries)),)
+        )
+        return self.push(request, trace_ctx=trace_ctx)
+
+    # ------------------------------------------------------------------
+    # Store facade: reads + maintenance
+    # ------------------------------------------------------------------
+    def select(
+        self, matchers: Iterable[Matcher], start_ns: int, end_ns: int
+    ) -> list[tuple[LabelSet, list[LogEntry]]]:
+        return self.distributor.select(matchers, start_ns, end_ns)
+
+    def _active_stores(self):
+        return (i.store for i in self.ingesters.values() if i.active)
+
+    def flush_all(self) -> int:
+        return sum(store.flush_all() for store in self._active_stores())
+
+    def flush_aged(self, now_ns: int) -> int:
+        return sum(store.flush_aged(now_ns) for store in self._active_stores())
+
+    def delete_before(self, cutoff_ns: int) -> int:
+        return sum(
+            store.delete_before(cutoff_ns) for store in self._active_stores()
+        )
+
+    def expired_entries(
+        self, cutoff_ns: int
+    ) -> list[tuple[LabelSet, list[LogEntry]]]:
+        """What retention would archive, deduplicated across replicas:
+        per stream the fullest replica's expired run is authoritative."""
+        best: dict[LabelSet, list[LogEntry]] = {}
+        for store in self._active_stores():
+            for labels, entries in store.expired_entries(cutoff_ns):
+                if len(entries) > len(best.get(labels, ())):
+                    best[labels] = entries
+        return sorted(best.items(), key=lambda pair: pair[0].items_tuple())
+
+    # ------------------------------------------------------------------
+    # Lifecycle / chaos hooks
+    # ------------------------------------------------------------------
+    def _ingester(self, ingester_id: str) -> Ingester:
+        try:
+            return self.ingesters[ingester_id]
+        except KeyError:
+            raise NotFoundError(f"no such ingester: {ingester_id}") from None
+
+    def crash_ingester(self, ingester_id: str) -> None:
+        self._ingester(ingester_id).crash()
+
+    def restart_ingester(self, ingester_id: str) -> int:
+        """Restart (WAL replay included); returns records replayed."""
+        return self._ingester(ingester_id).restart()
+
+    def checkpoint_all(self) -> int:
+        """Checkpoint every live ingester; returns segments dropped."""
+        return sum(
+            i.checkpoint() for i in self.ingesters.values() if i.active
+        )
+
+    def join_ingester(self, ingester_id: str) -> Ingester:
+        """Scale out: new empty ingester takes its token ranges for
+        *future* writes (historical chunks stay put; reads fan out to
+        every replica, so nothing needs migrating to stay queryable)."""
+        if ingester_id in self.ingesters:
+            raise ValidationError(f"ingester {ingester_id} already exists")
+        ingester = Ingester(
+            ingester_id,
+            policy=self._policy,
+            wal_segment_bytes=self._wal_segment_bytes,
+        )
+        self.ingesters[ingester_id] = ingester
+        self.ring.join(ingester_id)
+        return ingester
+
+    def leave_ingester(self, ingester_id: str) -> None:
+        """Scale in: the member leaves the ring; its store keeps serving
+        reads for data it already holds until it is finally removed."""
+        self._ingester(ingester_id)
+        self.ring.leave(ingester_id)
+
+    # ------------------------------------------------------------------
+    # Accounting
+    # ------------------------------------------------------------------
+    @property
+    def stats(self) -> StoreStats:
+        """Physical totals summed across every replica store."""
+        return aggregate_stats(i.store for i in self.ingesters.values())
+
+    def stream_count(self) -> int:
+        """Distinct streams cluster-wide (union across replicas)."""
+        seen: set[LabelSet] = set()
+        for ingester in self.ingesters.values():
+            index = ingester.store.index
+            seen.update(index.labels_of(sid) for sid in index.all_stream_ids())
+        return len(seen)
+
+    def chunk_count(self) -> int:
+        return sum(i.store.chunk_count() for i in self.ingesters.values())
+
+    def stored_bytes(self) -> int:
+        return sum(i.store.stored_bytes() for i in self.ingesters.values())
+
+    def uncompressed_bytes(self) -> int:
+        return sum(
+            i.store.uncompressed_bytes() for i in self.ingesters.values()
+        )
+
+    def index_bytes(self) -> int:
+        return sum(i.store.index_bytes() for i in self.ingesters.values())
+
+    def compression_ratio(self) -> float:
+        stored = self.stored_bytes()
+        return self.uncompressed_bytes() / stored if stored else 0.0
+
+    def oldest_entry_ns(self) -> int | None:
+        oldest: int | None = None
+        for ingester in self.ingesters.values():
+            candidate = ingester.store.oldest_entry_ns()
+            if candidate is not None and (oldest is None or candidate < oldest):
+                oldest = candidate
+        return oldest
+
+    def ring_health(self) -> dict[str, dict[str, float]]:
+        """Per-ingester health snapshot for the exporter/dashboard."""
+        out = {}
+        for ingester_id, ingester in sorted(self.ingesters.items()):
+            out[ingester_id] = {
+                "up": 1.0 if ingester.active else 0.0,
+                "entries": float(ingester.store.stats.entries_ingested),
+                "chunks": float(ingester.store.chunk_count()),
+                "wal_segments": float(ingester.wal.segment_count()),
+                "wal_bytes": float(ingester.wal.size_bytes()),
+                "wal_records": float(ingester.wal.records_appended),
+                "crashes": float(ingester.crashes),
+                "restarts": float(ingester.restarts),
+                "replayed": float(ingester.records_replayed_total),
+            }
+        return out

@@ -1,0 +1,212 @@
+"""The distributor: validated, replicated, quorum-acknowledged pushes.
+
+Loki's distributor is the stateless front of the write path: it
+validates each push, hashes every stream onto the ring, fans the stream
+out to ``replication_factor`` ingesters, and acknowledges once a write
+**quorum** (``rf // 2 + 1``) of replicas accepted.  With RF=3 the tier
+keeps accepting writes — and keeps every acknowledged entry — while any
+single ingester is down.
+
+The read path is the mirror image: entries are gathered from every live
+replica, then merged and deduplicated per stream, so a query returns the
+complete acknowledged history while a replica is crashed or still
+replaying its WAL.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+from typing import Iterable, Mapping
+
+from repro.common.errors import StateError, ValidationError
+from repro.common.labels import LabelSet, Matcher
+from repro.loki.model import LogEntry, PushRequest
+from repro.ring.hashring import HashRing, stream_key
+from repro.ring.ingester import Ingester
+from repro.tempo.model import SpanContext
+from repro.tempo.tracer import Tracer
+
+
+class QuorumError(StateError):
+    """Fewer than a write quorum of replicas accepted a stream."""
+
+
+@dataclass(frozen=True)
+class PushResult:
+    """Outcome of one distributed push."""
+
+    accepted: int  # entries acknowledged at quorum
+    replicas_ok: int
+    replicas_failed: int
+
+
+class Distributor:
+    """Fans streams out to ring replicas; acknowledges at quorum."""
+
+    def __init__(
+        self,
+        ring: HashRing,
+        ingesters: Mapping[str, Ingester],
+        replication_factor: int = 3,
+        tracer: Tracer | None = None,
+    ) -> None:
+        if replication_factor < 1:
+            raise ValidationError("replication factor must be >= 1")
+        if replication_factor > len(ingesters):
+            raise ValidationError(
+                f"replication factor {replication_factor} exceeds "
+                f"{len(ingesters)} ingester(s)"
+            )
+        self.ring = ring
+        self.ingesters = ingesters
+        self.replication_factor = replication_factor
+        self.tracer = tracer
+        # Accounting for the ring exporter and bench R1.
+        self.pushes = 0
+        self.entries_accepted = 0
+        self.replica_writes_ok = 0
+        self.replica_writes_failed = 0
+        self.quorum_failures = 0
+        self.reads = 0
+
+    @property
+    def write_quorum(self) -> int:
+        return self.replication_factor // 2 + 1
+
+    # ------------------------------------------------------------------
+    # Write path
+    # ------------------------------------------------------------------
+    def push(
+        self, request: PushRequest, parent_ctx: SpanContext | None = None
+    ) -> PushResult:
+        """Replicate every stream; raise :class:`QuorumError` if any
+        stream lands on fewer than ``write_quorum`` live replicas."""
+        self.pushes += 1
+        span_ctx = None
+        # Only join an existing (sampled) trace: rooting a fresh trace per
+        # push would swamp the store and skew the sampling counters.
+        if self.tracer is not None and parent_ctx is not None:
+            now = self.tracer.now_ns
+            span_ctx = self.tracer.record(
+                "distributor",
+                "push",
+                parent_ctx,
+                start_ns=now,
+                end_ns=now,
+                attributes={
+                    "streams": str(len(request.streams)),
+                    "rf": str(self.replication_factor),
+                },
+            )
+        accepted_total = 0
+        ok_total = failed_total = 0
+        for stream in request.streams:
+            key = stream_key(stream.labels)
+            replicas = self.ring.preference_list(key, self.replication_factor)
+            accepted_counts = []
+            for replica_id in replicas:
+                ingester = self.ingesters[replica_id]
+                try:
+                    got = ingester.push_stream(stream.labels, stream.entries)
+                except StateError:
+                    failed_total += 1
+                    self.replica_writes_failed += 1
+                    continue
+                accepted_counts.append(got)
+                ok_total += 1
+                self.replica_writes_ok += 1
+                if span_ctx is not None and self.tracer is not None:
+                    now = self.tracer.now_ns
+                    self.tracer.record(
+                        "ingester",
+                        "append",
+                        span_ctx,
+                        start_ns=now,
+                        end_ns=now,
+                        attributes={
+                            "ingester": replica_id,
+                            "entries": str(got),
+                        },
+                    )
+            if len(accepted_counts) < self.write_quorum:
+                self.quorum_failures += 1
+                raise QuorumError(
+                    f"stream {stream.labels!r}: {len(accepted_counts)} of "
+                    f"{self.replication_factor} replicas accepted, quorum is "
+                    f"{self.write_quorum}"
+                )
+            # Replicas apply the same deterministic rejection logic; a
+            # replica that missed earlier pushes (crash window) may reject
+            # more, so the healthiest replica's count is the truth.
+            accepted_total += max(accepted_counts)
+        self.entries_accepted += accepted_total
+        return PushResult(
+            accepted=accepted_total,
+            replicas_ok=ok_total,
+            replicas_failed=failed_total,
+        )
+
+    # ------------------------------------------------------------------
+    # Read path
+    # ------------------------------------------------------------------
+    def select(
+        self, matchers: Iterable[Matcher], start_ns: int, end_ns: int
+    ) -> list[tuple[LabelSet, list[LogEntry]]]:
+        """Quorum read: gather from every live replica, merge, dedupe."""
+        self.reads += 1
+        matchers = list(matchers)
+        per_stream: dict[LabelSet, list[list[LogEntry]]] = {}
+        for ingester in self.ingesters.values():
+            if not ingester.active:
+                continue
+            for labels, entries in ingester.select(matchers, start_ns, end_ns):
+                per_stream.setdefault(labels, []).append(entries)
+        out = [
+            (labels, _merge_replicas(replica_lists))
+            for labels, replica_lists in per_stream.items()
+        ]
+        out.sort(key=lambda pair: pair[0].items_tuple())
+        return out
+
+
+def _merge_replicas(replica_lists: list[list[LogEntry]]) -> list[LogEntry]:
+    """Merge one stream's entries across replicas, deduplicating.
+
+    Replicas hold consistent prefixes/subsequences of the same logical
+    stream (they applied the same pushes in the same order, minus crash
+    windows), so per timestamp the fullest replica's ordering is
+    authoritative; an identical ``(ts, line)`` seen on several replicas
+    is the same write and appears once — its multiplicity is the *max*
+    across replicas, never the sum.
+    """
+    if len(replica_lists) == 1:
+        return list(replica_lists[0])
+    # Group each replica's entries by timestamp, preserving intra-ts order.
+    by_ts: dict[int, list[list[str]]] = {}
+    for entries in replica_lists:
+        groups: dict[int, list[str]] = {}
+        for entry in entries:
+            groups.setdefault(entry.timestamp_ns, []).append(entry.line)
+        for ts, lines in groups.items():
+            by_ts.setdefault(ts, []).append(lines)
+    merged: list[LogEntry] = []
+    for ts in sorted(by_ts):
+        groups = by_ts[ts]
+        base = max(groups, key=len)
+        counts = Counter(base)
+        merged.extend(LogEntry(ts, line) for line in base)
+        # Any line a smaller group saw more often than the base is a
+        # genuine extra write the base replica missed.
+        extras: Counter[str] = Counter()
+        for group in groups:
+            if group is base:
+                continue
+            group_counts = Counter(group)
+            for line, n in group_counts.items():
+                short = n - counts[line]
+                if short > extras[line]:
+                    extras[line] = short
+        for line in sorted(extras):
+            merged.extend(LogEntry(ts, line) for _ in range(extras[line]))
+    return merged

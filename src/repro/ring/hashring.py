@@ -1,0 +1,125 @@
+"""The consistent-hash ring: deterministic stream → ingester placement.
+
+Same mechanism as the Loki/Cortex distributor ring: every ingester owns
+``vnodes`` tokens on a 64-bit circle, a stream key hashes to a point on
+the circle, and the owning replicas are the next ``n`` *distinct*
+ingesters clockwise.  Placement is a pure function of the member set and
+the hash, so every distributor sharing the ring agrees without
+coordination, and a join/leave only re-homes the keys adjacent to the
+tokens that appeared/vanished — the bounded-movement property the
+property-based test in ``tests/test_ring_hash.py`` pins down.
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Iterable, Mapping
+
+from repro.common.errors import StateError, ValidationError
+from repro.common.labels import LabelSet
+
+_FNV_OFFSET = 0xCBF29CE484222325
+_FNV_PRIME = 0x100000001B3
+_MASK = 0xFFFFFFFFFFFFFFFF
+
+
+def fnv1a_64(data: bytes) -> int:
+    """64-bit FNV-1a — stable across runs (unlike builtin ``hash``)."""
+    h = _FNV_OFFSET
+    for byte in data:
+        h ^= byte
+        h = (h * _FNV_PRIME) & _MASK
+    return h
+
+
+def stream_key(labels: LabelSet | Mapping[str, str]) -> str:
+    """Canonical ring key for a stream's label set."""
+    labelset = labels if isinstance(labels, LabelSet) else LabelSet(labels)
+    return ";".join(f"{n}={v}" for n, v in labelset.items_tuple())
+
+
+class HashRing:
+    """Token ring with virtual nodes and clockwise preference lists."""
+
+    def __init__(self, vnodes: int = 64) -> None:
+        if vnodes < 1:
+            raise ValidationError("need at least one vnode per member")
+        self.vnodes = vnodes
+        # Sorted token positions with their owning member, kept in lockstep.
+        self._tokens: list[int] = []
+        self._owners: list[str] = []
+        self._members: set[str] = set()
+
+    # ------------------------------------------------------------------
+    # Membership
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._members)
+
+    def members(self) -> list[str]:
+        return sorted(self._members)
+
+    def _member_tokens(self, member: str) -> list[int]:
+        return [fnv1a_64(f"{member}#{i}".encode()) for i in range(self.vnodes)]
+
+    def join(self, member: str) -> None:
+        """Add a member; only keys adjacent to its tokens re-home."""
+        if not member:
+            raise ValidationError("member id must be non-empty")
+        if member in self._members:
+            raise StateError(f"member {member!r} already in the ring")
+        self._members.add(member)
+        for token in self._member_tokens(member):
+            pos = bisect.bisect_left(self._tokens, token)
+            # Token collisions across members are possible in principle;
+            # insertion order then breaks the tie deterministically by id.
+            while pos < len(self._tokens) and self._tokens[pos] == token and (
+                self._owners[pos] < member
+            ):
+                pos += 1
+            self._tokens.insert(pos, token)
+            self._owners.insert(pos, member)
+
+    def leave(self, member: str) -> None:
+        """Remove a member; only keys it owned re-home."""
+        if member not in self._members:
+            raise StateError(f"member {member!r} not in the ring")
+        self._members.discard(member)
+        keep = [(t, o) for t, o in zip(self._tokens, self._owners) if o != member]
+        self._tokens = [t for t, _ in keep]
+        self._owners = [o for _, o in keep]
+
+    # ------------------------------------------------------------------
+    # Placement
+    # ------------------------------------------------------------------
+    def owner(self, key: str) -> str:
+        """The single member owning ``key`` (first token clockwise)."""
+        return self.preference_list(key, 1)[0]
+
+    def preference_list(self, key: str, n: int) -> list[str]:
+        """The first ``n`` *distinct* members clockwise of ``key``'s hash.
+
+        This is the replica set for the key.  Asking for more members
+        than the ring holds raises: a distributor must degrade its
+        replication factor explicitly, not silently.
+        """
+        if n < 1:
+            raise ValidationError("preference list size must be >= 1")
+        if n > len(self._members):
+            raise StateError(
+                f"ring has {len(self._members)} member(s), wanted {n} replicas"
+            )
+        h = fnv1a_64(key.encode())
+        start = bisect.bisect_right(self._tokens, h)
+        out: list[str] = []
+        for i in range(len(self._tokens)):
+            member = self._owners[(start + i) % len(self._tokens)]
+            if member not in out:
+                out.append(member)
+                if len(out) == n:
+                    break
+        return out
+
+    def placement(self, keys: Iterable[str], n: int = 1) -> dict[str, tuple[str, ...]]:
+        """Replica sets for many keys — the property tests' workhorse."""
+        return {key: tuple(self.preference_list(key, n)) for key in keys}

@@ -1,0 +1,203 @@
+"""The per-ingester write-ahead log: segmented, checkpointed, replayable.
+
+Same contract as Loki's ingester WAL: every entry is logged *before* it
+is applied to the in-memory store, so an acknowledged write survives a
+crash of the process.  The log is a sequence of **segments** (bounded
+byte arrays standing in for the on-disk segment files); a **checkpoint**
+durably captures the store's compacted state and lets all earlier
+segments be dropped, bounding replay time.
+
+Records are length-prefixed, so a torn final write (the crash happened
+mid-``write()``) shows up as a partial record at the very tail.  Replay
+tolerates exactly that: a short record at the end of the *last* segment
+is dropped and counted; a short record anywhere else means real
+corruption and raises.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator
+
+from repro.common.errors import StateError, ValidationError
+from repro.common.jsonutil import dumps_compact, loads
+from repro.common.labels import LabelSet
+from repro.loki.model import LogEntry
+
+_LEN = struct.Struct(">I")
+
+
+@dataclass(frozen=True)
+class WalRecord:
+    """One logged entry: the stream's labels plus the entry itself."""
+
+    labels: tuple[tuple[str, str], ...]
+    timestamp_ns: int
+    line: str
+
+    def encode(self) -> bytes:
+        payload = dumps_compact(
+            {"l": dict(self.labels), "t": self.timestamp_ns, "x": self.line}
+        ).encode()
+        return _LEN.pack(len(payload)) + payload
+
+    @classmethod
+    def decode(cls, payload: bytes) -> "WalRecord":
+        try:
+            obj = loads(payload.decode())
+            labels = tuple(sorted((str(k), str(v)) for k, v in obj["l"].items()))
+            return cls(labels, int(obj["t"]), str(obj["x"]))
+        except Exception as exc:  # noqa: BLE001 - any decode failure is corruption
+            raise StateError(f"undecodable WAL record: {exc}") from exc
+
+    def labelset(self) -> LabelSet:
+        return LabelSet(self.labels)
+
+    def entry(self) -> LogEntry:
+        return LogEntry(self.timestamp_ns, self.line)
+
+
+@dataclass
+class WalSegment:
+    """One bounded append-only byte region (a segment file)."""
+
+    index: int
+    data: bytearray = field(default_factory=bytearray)
+    records: int = 0
+    sealed: bool = False
+
+    def append(self, encoded: bytes) -> None:
+        if self.sealed:
+            raise StateError("cannot append to a sealed WAL segment")
+        self.data.extend(encoded)
+        self.records += 1
+
+    def size_bytes(self) -> int:
+        return len(self.data)
+
+    def truncate_tail(self, nbytes: int) -> None:
+        """Simulate a torn write: chop ``nbytes`` off the segment end."""
+        if nbytes < 0 or nbytes > len(self.data):
+            raise ValidationError("truncation out of range")
+        del self.data[len(self.data) - nbytes :]
+
+
+class WriteAheadLog:
+    """Segmented append log with a single durable checkpoint slot."""
+
+    def __init__(self, segment_max_bytes: int = 64 * 1024) -> None:
+        if segment_max_bytes < 32:
+            raise ValidationError("segment size too small to hold a record")
+        self.segment_max_bytes = segment_max_bytes
+        self.segments: list[WalSegment] = [WalSegment(index=0)]
+        #: Opaque snapshot written by the owner at the last checkpoint;
+        #: replay = restore this, then apply the remaining segments.
+        self.checkpoint_blob: bytes | None = None
+        self._next_index = 1
+        # Accounting for the ring exporter / benches.
+        self.records_appended = 0
+        self.bytes_appended = 0
+        self.segments_sealed = 0
+        self.checkpoints = 0
+        self.torn_records_dropped = 0
+
+    # ------------------------------------------------------------------
+    # Writing
+    # ------------------------------------------------------------------
+    def _active(self) -> WalSegment:
+        return self.segments[-1]
+
+    def _roll(self) -> None:
+        self._active().sealed = True
+        self.segments_sealed += 1
+        self.segments.append(WalSegment(index=self._next_index))
+        self._next_index += 1
+
+    def append(
+        self, labels: LabelSet, entries: Iterable[LogEntry]
+    ) -> list[WalRecord]:
+        """Log entries for one stream, rolling segments as they fill.
+
+        Returns the records written (the ingester applies exactly these
+        to its store afterwards — log first, apply second).
+        """
+        items = labels.items_tuple()
+        written = []
+        for entry in entries:
+            record = WalRecord(items, entry.timestamp_ns, entry.line)
+            encoded = record.encode()
+            active = self._active()
+            if active.size_bytes() and (
+                active.size_bytes() + len(encoded) > self.segment_max_bytes
+            ):
+                self._roll()
+                active = self._active()
+            active.append(encoded)
+            self.records_appended += 1
+            self.bytes_appended += len(encoded)
+            written.append(record)
+        return written
+
+    # ------------------------------------------------------------------
+    # Checkpointing
+    # ------------------------------------------------------------------
+    def checkpoint(self, blob: bytes) -> int:
+        """Durably record ``blob`` and drop every logged segment.
+
+        Returns the number of segments dropped.  The owner must ensure
+        ``blob`` captures all state the dropped segments described.
+        """
+        dropped = len(self.segments)
+        self.checkpoint_blob = blob
+        self.segments = [WalSegment(index=self._next_index)]
+        self._next_index += 1
+        self.checkpoints += 1
+        return dropped
+
+    # ------------------------------------------------------------------
+    # Replay
+    # ------------------------------------------------------------------
+    def replay(self) -> Iterator[WalRecord]:
+        """Yield every decodable record in append order.
+
+        A partial record at the tail of the *final* segment is dropped
+        (torn last write); a partial record anywhere else raises
+        :class:`~repro.common.errors.StateError`.
+        """
+        for segment in self.segments:
+            is_tail = segment is self.segments[-1]
+            data = segment.data
+            offset = 0
+            while offset < len(data):
+                header = bytes(data[offset : offset + _LEN.size])
+                if len(header) < _LEN.size:
+                    if is_tail:
+                        self.torn_records_dropped += 1
+                        break
+                    raise StateError(
+                        f"WAL segment {segment.index} truncated mid-record"
+                    )
+                (length,) = _LEN.unpack(header)
+                payload = bytes(
+                    data[offset + _LEN.size : offset + _LEN.size + length]
+                )
+                if len(payload) < length:
+                    if is_tail:
+                        self.torn_records_dropped += 1
+                        break
+                    raise StateError(
+                        f"WAL segment {segment.index} truncated mid-record"
+                    )
+                yield WalRecord.decode(payload)
+                offset += _LEN.size + length
+
+    # ------------------------------------------------------------------
+    # Accounting
+    # ------------------------------------------------------------------
+    def segment_count(self) -> int:
+        return len(self.segments)
+
+    def size_bytes(self) -> int:
+        checkpoint = len(self.checkpoint_blob or b"")
+        return checkpoint + sum(s.size_bytes() for s in self.segments)

@@ -199,3 +199,15 @@ class TestCluster:
         cluster = LokiCluster(shards=2)
         cluster.push(PushRequest.single({"a": "1"}, [(1, "x"), (2, "y")]))
         assert cluster.total_entries() == 2
+
+    def test_stats_aggregates_across_shards(self):
+        cluster = LokiCluster(shards=4)
+        for i in range(50):
+            cluster.push(PushRequest.single({"s": str(i)}, [(1, "x" * 10)]))
+        # Out-of-order entry rejected by whichever shard owns the stream.
+        cluster.push(PushRequest.single({"s": "0"}, [(0, "late")]))
+        stats = cluster.stats
+        assert stats.entries_ingested == 50
+        assert stats.entries_rejected == 1
+        assert stats.bytes_ingested == 50 * 10
+        assert stats.chunks_created == 50

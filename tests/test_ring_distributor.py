@@ -1,0 +1,185 @@
+"""Distributor + RingLokiCluster: quorum writes, merged reads, zero loss.
+
+Ends with the acceptance test for the write path: with RF=3, killing any
+single ingester mid-run loses nothing — a quorum read after the crash
+and WAL replay is byte-identical to an uninterrupted run.
+"""
+
+import pytest
+
+from repro.common.errors import NotFoundError, StateError, ValidationError
+from repro.common.labels import label_matcher
+from repro.loki.model import LogEntry, PushRequest
+from repro.ring.cluster import RingLokiCluster
+from repro.ring.distributor import QuorumError
+
+MATCH_ALL = [label_matcher("app", "=~", ".+")]
+
+
+def stream_request(app, pairs):
+    return PushRequest.single({"app": app}, pairs)
+
+
+def feed(cluster, count, start=0):
+    """Push ``count`` entries spread over eight streams."""
+    accepted = 0
+    for i in range(start, start + count):
+        accepted += cluster.push(
+            stream_request(f"svc-{i % 8}", [(i, f"line-{i:06d}")])
+        )
+    return accepted
+
+
+class TestDistributor:
+    def test_rf_larger_than_ring_rejected(self):
+        with pytest.raises(ValidationError):
+            RingLokiCluster(ingesters=2, replication_factor=3)
+
+    def test_rf_replicates_to_that_many_stores(self):
+        cluster = RingLokiCluster(ingesters=4, replication_factor=3)
+        cluster.push(stream_request("svc", [(1, "hello")]))
+        holders = [
+            i for i in cluster.ingesters.values() if i.store.stream_count() == 1
+        ]
+        assert len(holders) == 3
+
+    def test_quorum_write_survives_one_crash(self):
+        cluster = RingLokiCluster(ingesters=4, replication_factor=3)
+        # Crash an ingester that definitely takes writes: a stream owner.
+        cluster.crash_ingester(cluster.ring.owner("app=svc-0"))
+        accepted = feed(cluster, 64)
+        assert accepted == 64
+        assert cluster.distributor.quorum_failures == 0
+        assert cluster.distributor.replica_writes_failed > 0
+
+    def test_quorum_error_when_two_replicas_down(self):
+        cluster = RingLokiCluster(ingesters=3, replication_factor=3)
+        cluster.crash_ingester("ingester-0")
+        cluster.crash_ingester("ingester-1")
+        with pytest.raises(QuorumError):
+            cluster.push(stream_request("svc", [(1, "x")]))
+        assert cluster.distributor.quorum_failures == 1
+
+    def test_rf1_has_no_redundancy(self):
+        cluster = RingLokiCluster(ingesters=2, replication_factor=1)
+        cluster.push(stream_request("svc", [(1, "x")]))
+        owner = cluster.ring.owner("app=svc")
+        cluster.crash_ingester(owner)
+        with pytest.raises(QuorumError):
+            cluster.push(stream_request("svc", [(2, "y")]))
+
+    def test_logical_vs_physical_accounting(self):
+        cluster = RingLokiCluster(ingesters=4, replication_factor=3)
+        feed(cluster, 50)
+        assert cluster.distributor.entries_accepted == 50
+        # Physical totals count every replica copy.
+        assert cluster.stats.entries_ingested == 150
+
+
+class TestQuorumRead:
+    def test_read_complete_while_replica_down(self):
+        cluster = RingLokiCluster(ingesters=4, replication_factor=3)
+        feed(cluster, 80)
+        whole = cluster.select(MATCH_ALL, 0, 10**9)
+        cluster.crash_ingester("ingester-1")
+        assert cluster.select(MATCH_ALL, 0, 10**9) == whole
+
+    def test_merge_does_not_duplicate_replicated_entries(self):
+        cluster = RingLokiCluster(ingesters=4, replication_factor=3)
+        cluster.push(stream_request("svc", [(1, "a"), (2, "b"), (2, "b2")]))
+        [(_, got)] = cluster.select([label_matcher("app", "=", "svc")], 0, 10)
+        assert [(e.timestamp_ns, e.line) for e in got] == [
+            (1, "a"),
+            (2, "b"),
+            (2, "b2"),
+        ]
+
+    def test_recovered_replicas_gap_is_masked(self):
+        cluster = RingLokiCluster(ingesters=4, replication_factor=3)
+        feed(cluster, 30)
+        cluster.crash_ingester("ingester-0")
+        feed(cluster, 30, start=30)  # ingester-0 misses these
+        cluster.restart_ingester("ingester-0")
+        feed(cluster, 30, start=60)
+        merged = cluster.select(MATCH_ALL, 0, 10**9)
+        assert sum(len(entries) for _, entries in merged) == 90
+
+
+class TestAcceptanceZeroLoss:
+    """ISSUE acceptance: crash + WAL replay == uninterrupted run, byte
+    for byte, for every choice of victim ingester."""
+
+    ENTRIES = 120
+
+    def _uninterrupted(self):
+        cluster = RingLokiCluster(ingesters=4, replication_factor=3)
+        feed(cluster, self.ENTRIES)
+        return cluster.select(MATCH_ALL, 0, 10**9)
+
+    @pytest.mark.parametrize("victim", [f"ingester-{i}" for i in range(4)])
+    def test_any_single_crash_loses_nothing(self, victim):
+        baseline = self._uninterrupted()
+        cluster = RingLokiCluster(ingesters=4, replication_factor=3)
+        third = self.ENTRIES // 3
+        feed(cluster, third)
+        cluster.crash_ingester(victim)
+        feed(cluster, third, start=third)
+        cluster.restart_ingester(victim)
+        feed(cluster, self.ENTRIES - 2 * third, start=2 * third)
+        assert cluster.select(MATCH_ALL, 0, 10**9) == baseline
+
+    def test_crash_with_checkpoint_mid_run(self):
+        baseline = self._uninterrupted()
+        cluster = RingLokiCluster(ingesters=4, replication_factor=3)
+        feed(cluster, 40)
+        cluster.checkpoint_all()
+        feed(cluster, 40, start=40)
+        cluster.crash_ingester("ingester-3")
+        cluster.restart_ingester("ingester-3")
+        feed(cluster, 40, start=80)
+        assert cluster.select(MATCH_ALL, 0, 10**9) == baseline
+
+
+class TestClusterFacade:
+    def test_unknown_ingester_raises(self):
+        cluster = RingLokiCluster(ingesters=3, replication_factor=2)
+        with pytest.raises(NotFoundError):
+            cluster.crash_ingester("ingester-99")
+
+    def test_join_ingester_takes_future_writes(self):
+        cluster = RingLokiCluster(ingesters=3, replication_factor=2)
+        feed(cluster, 40)
+        newcomer = cluster.join_ingester("ingester-3")
+        with pytest.raises(ValidationError):
+            cluster.join_ingester("ingester-3")
+        feed(cluster, 200, start=40)
+        assert newcomer.store.stats.entries_ingested > 0
+        # Everything stays readable across the membership change.
+        total = sum(
+            len(entries)
+            for _, entries in cluster.select(MATCH_ALL, 0, 10**9)
+        )
+        assert total == 240
+
+    def test_leave_requires_known_member(self):
+        cluster = RingLokiCluster(ingesters=3, replication_factor=2)
+        with pytest.raises(NotFoundError):
+            cluster.leave_ingester("ghost")
+        cluster.leave_ingester("ingester-2")
+        with pytest.raises(StateError):
+            cluster.ring.preference_list("k", 3)
+
+    def test_ring_health_snapshot(self):
+        cluster = RingLokiCluster(ingesters=3, replication_factor=2)
+        feed(cluster, 20)
+        cluster.crash_ingester("ingester-0")
+        health = cluster.ring_health()
+        assert set(health) == {"ingester-0", "ingester-1", "ingester-2"}
+        assert health["ingester-0"]["up"] == 0.0
+        assert health["ingester-1"]["up"] == 1.0
+        assert health["ingester-1"]["wal_records"] > 0
+
+    def test_stream_count_is_union_not_sum(self):
+        cluster = RingLokiCluster(ingesters=4, replication_factor=3)
+        feed(cluster, 40)
+        assert cluster.stream_count() == 8
