@@ -21,7 +21,7 @@ from dataclasses import dataclass, field
 from typing import Iterable
 
 from repro.common.durations import parse_duration_ns
-from repro.common.errors import NotFoundError, ValidationError
+from repro.common.errors import DeliveryError, NotFoundError, ValidationError
 from repro.common.labels import LabelSet, Matcher, matches_all
 from repro.common.simclock import SimClock
 from repro.alerting.events import AlertEvent, AlertState
@@ -154,6 +154,8 @@ class Alertmanager:
         self.events_silenced = 0
         self.events_inhibited = 0
         self.notifications_sent = 0
+        self.notifications_failed = 0
+        self._notification_seq = 0
 
     # ------------------------------------------------------------------
     # Configuration
@@ -252,8 +254,12 @@ class Alertmanager:
         )
         if group.dirty or due_repeat:
             self._notify(group, now)
-        group.drop_resolved()
-        if group.alerts:
+        if not group.dirty:
+            # Only forget resolved alerts once their resolution actually
+            # went out — after a failed delivery the group stays dirty
+            # and keeps its full snapshot for the retry.
+            group.drop_resolved()
+        if group.alerts or group.dirty:
             interval = parse_duration_ns(group.route.group_interval)
             self._clock.call_later(interval, lambda: self._flush(group))
         else:
@@ -263,14 +269,23 @@ class Alertmanager:
         receiver = self._receivers.get(group.route.receiver)
         if receiver is None:
             raise NotFoundError(f"no receiver named {group.route.receiver!r}")
-        receiver.notify(
-            Notification(
-                receiver=receiver.name,
-                group_key=group.group_key,
-                alerts=group.snapshot(),
-                timestamp_ns=now_ns,
-            )
+        self._notification_seq += 1
+        notification = Notification(
+            receiver=receiver.name,
+            group_key=group.group_key,
+            alerts=group.snapshot(),
+            timestamp_ns=now_ns,
+            idempotency_key=f"{receiver.name}/ntfy-{self._notification_seq:06d}",
         )
+        try:
+            receiver.notify(notification)
+        except DeliveryError:
+            # Failed delivery must NOT mark the group notified: it stays
+            # dirty, so the next group_interval flush retries it, and
+            # ``last_notified_ns`` stays put so repeat accounting is
+            # anchored at the last *successful* delivery.
+            self.notifications_failed += 1
+            return
         group.dirty = False
         group.last_notified_ns = now_ns
         self.notifications_sent += 1

@@ -22,6 +22,11 @@ class Notification:
     group_key: LabelSet
     alerts: tuple[AlertEvent, ...]
     timestamp_ns: int
+    #: Stable identity of this *logical* notification: retries of a failed
+    #: delivery reuse the key, a later re-notify of the group gets a fresh
+    #: one.  ``None`` on hand-built notifications; Alertmanager always
+    #: stamps it, and idempotent receivers dedup on it.
+    idempotency_key: str | None = None
 
     @property
     def firing(self) -> tuple[AlertEvent, ...]:

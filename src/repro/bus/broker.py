@@ -10,8 +10,16 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Iterable
 
-from repro.common.errors import NotFoundError, StateError, ValidationError
+from repro.common.errors import (
+    CapacityError,
+    NotFoundError,
+    StateError,
+    ValidationError,
+)
 from repro.common.simclock import SimClock
+
+#: Suffix appended to a topic's name to form its dead-letter topic.
+DLQ_SUFFIX = ".dlq"
 
 
 @dataclass(frozen=True)
@@ -45,12 +53,21 @@ class TopicConfig:
 
     partitions: int = 4
     retention_ns: int | None = None  # None = keep forever
+    #: Bound on records resident per partition.  ``None`` = unbounded
+    #: (the legacy telemetry topics).  A full partition refuses produce
+    #: with :class:`CapacityError` — the backpressure signal.
+    max_records_per_partition: int | None = None
 
     def __post_init__(self) -> None:
         if self.partitions < 1:
             raise ValidationError("topic needs at least one partition")
         if self.retention_ns is not None and self.retention_ns <= 0:
             raise ValidationError("retention must be positive or None")
+        if (
+            self.max_records_per_partition is not None
+            and self.max_records_per_partition < 1
+        ):
+            raise ValidationError("partition bound must be positive or None")
 
 
 class _Partition:
@@ -100,15 +117,24 @@ class _Topic:
         self.partitions = [_Partition() for _ in range(config.partitions)]
         self.total_produced = 0
         self.total_bytes = 0
+        self.backpressure_rejections = 0
 
 
 @dataclass
 class ConsumerGroup:
-    """Committed offsets for one consumer group on one topic."""
+    """Offsets for one consumer group on one topic.
+
+    ``offsets`` are the *committed* offsets — the group's durable
+    progress, what it resumes from after a crash.  ``positions`` are the
+    in-memory read positions a live consumer advances as it polls; under
+    auto-commit the two move together (the legacy at-most-once mode),
+    under manual commit they diverge until :meth:`Broker.commit`.
+    """
 
     group_id: str
     topic: str
     offsets: dict[int, int] = field(default_factory=dict)
+    positions: dict[int, int] = field(default_factory=dict)
 
 
 class Broker:
@@ -124,6 +150,9 @@ class Broker:
         self._clock = clock
         self._topics: dict[str, _Topic] = {}
         self._groups: dict[tuple[str, str], ConsumerGroup] = {}
+        #: (group, topic, partition, offset) -> failed delivery attempts.
+        self._delivery_failures: dict[tuple[str, str, int, int], int] = {}
+        self.records_dead_lettered = 0
 
     # ------------------------------------------------------------------
     # Topic management
@@ -170,6 +199,13 @@ class Broker:
         else:
             partition = _stable_hash(key) % len(t.partitions)
         part = t.partitions[partition]
+        bound = t.config.max_records_per_partition
+        if bound is not None and len(part.records) >= bound:
+            t.backpressure_rejections += 1
+            raise CapacityError(
+                f"topic {topic!r} partition {partition} is full "
+                f"({bound} records); consumer lagging — backpressure"
+            )
         record = Record(
             topic=topic,
             partition=partition,
@@ -201,17 +237,30 @@ class Broker:
         key = (group_id, topic)
         if key not in self._groups:
             t = self._topic(topic)
+            starts = {
+                p: t.partitions[p].start_offset for p in range(len(t.partitions))
+            }
             self._groups[key] = ConsumerGroup(
-                group_id,
-                topic,
-                {p: t.partitions[p].start_offset for p in range(len(t.partitions))},
+                group_id, topic, dict(starts), dict(starts)
             )
         return self._groups[key]
 
-    def poll(self, group_id: str, topic: str, max_records: int = 500) -> list[Record]:
-        """Fetch up to ``max_records`` new records for ``group_id`` and
-        auto-commit the advanced offsets (the pipeline's at-most-once mode,
-        adequate for telemetry streams)."""
+    def poll(
+        self,
+        group_id: str,
+        topic: str,
+        max_records: int = 500,
+        auto_commit: bool = True,
+    ) -> list[Record]:
+        """Fetch up to ``max_records`` new records for ``group_id``.
+
+        With ``auto_commit`` (the legacy default) the advanced offsets are
+        committed as they are read — at-most-once, adequate for telemetry
+        streams.  With ``auto_commit=False`` only the in-memory read
+        position advances; the records stay uncommitted until
+        :meth:`commit`, so a consumer that crashes (modelled by
+        :meth:`reset_to_committed`) sees them redelivered — at-least-once.
+        """
         if max_records < 1:
             raise ValidationError("max_records must be positive")
         t = self._topic(topic)
@@ -221,17 +270,59 @@ class Broker:
         for pidx, part in enumerate(t.partitions):
             if budget <= 0:
                 break
-            current = max(group.offsets.get(pidx, 0), part.start_offset)
+            current = max(group.positions.get(pidx, 0), part.start_offset)
             batch = part.read_from(current, budget)
             if batch:
                 out.extend(batch)
-                group.offsets[pidx] = batch[-1].offset + 1
+                group.positions[pidx] = batch[-1].offset + 1
                 budget -= len(batch)
+        if auto_commit:
+            group.offsets.update(group.positions)
         out.sort(key=lambda r: (r.timestamp_ns, r.partition, r.offset))
         return out
 
+    def commit(self, group_id: str, topic: str) -> int:
+        """Commit the group's read positions; returns records committed."""
+        group = self._group(group_id, topic)
+        newly = sum(
+            max(0, pos - group.offsets.get(pidx, 0))
+            for pidx, pos in group.positions.items()
+        )
+        group.offsets.update(group.positions)
+        return newly
+
+    def committed(self, group_id: str, topic: str) -> dict[int, int]:
+        """The group's committed offset per partition — what survives a
+        consumer crash, and what lag accounting runs against."""
+        return dict(self._group(group_id, topic).offsets)
+
+    def seek(self, group_id: str, topic: str, partition: int, offset: int) -> None:
+        """Move the group's read position on one partition (not the
+        committed offset) — how a manual-commit consumer re-reads a
+        record whose processing failed."""
+        t = self._topic(topic)
+        if not 0 <= partition < len(t.partitions):
+            raise ValidationError(f"no partition {partition} in topic {topic!r}")
+        group = self._group(group_id, topic)
+        group.positions[partition] = max(
+            offset, t.partitions[partition].start_offset
+        )
+
+    def reset_to_committed(self, group_id: str, topic: str) -> int:
+        """Rewind read positions to the committed offsets — what a
+        restarted consumer does after a crash.  Returns the number of
+        read-but-uncommitted records that will be redelivered."""
+        group = self._group(group_id, topic)
+        rewound = sum(
+            max(0, pos - group.offsets.get(pidx, 0))
+            for pidx, pos in group.positions.items()
+        )
+        group.positions = dict(group.offsets)
+        return rewound
+
     def lag(self, group_id: str, topic: str) -> int:
-        """Total records the group has not yet consumed."""
+        """Total records beyond the group's *committed* offsets — under
+        manual commit, read-but-uncommitted records still count as lag."""
         t = self._topic(topic)
         group = self._group(group_id, topic)
         total = 0
@@ -246,6 +337,64 @@ class Broker:
         group = self._group(group_id, topic)
         for pidx, part in enumerate(t.partitions):
             group.offsets[pidx] = part.start_offset
+            group.positions[pidx] = part.start_offset
+
+    # ------------------------------------------------------------------
+    # Dead-letter queues
+    # ------------------------------------------------------------------
+    def dlq_topic(self, topic: str) -> str:
+        return topic + DLQ_SUFFIX
+
+    def fail_delivery(
+        self,
+        group_id: str,
+        record: Record,
+        error: str,
+        max_failures: int = 3,
+    ) -> bool:
+        """Report that ``group_id`` failed to process ``record``.
+
+        Failure counts accumulate per (group, record).  Below
+        ``max_failures`` the caller is expected to :meth:`seek` back and
+        retry (returns ``False``).  At ``max_failures`` the record is a
+        *poison record*: it is quarantined into the topic's dead-letter
+        queue with provenance headers and the caller should commit past
+        it (returns ``True``).
+        """
+        if max_failures < 1:
+            raise ValidationError("max_failures must be positive")
+        key = (group_id, record.topic, record.partition, record.offset)
+        count = self._delivery_failures.get(key, 0) + 1
+        if count < max_failures:
+            self._delivery_failures[key] = count
+            return False
+        self._delivery_failures.pop(key, None)
+        dlq = self.dlq_topic(record.topic)
+        self.ensure_topic(dlq, TopicConfig(partitions=1))
+        self.produce(
+            dlq,
+            record.value,
+            key=record.key,
+            timestamp_ns=record.timestamp_ns,
+            headers=record.headers
+            + (
+                ("dlq-source-topic", record.topic),
+                ("dlq-source-partition", str(record.partition)),
+                ("dlq-source-offset", str(record.offset)),
+                ("dlq-failures", str(count)),
+                ("dlq-error", error),
+                ("dlq-group", group_id),
+            ),
+        )
+        self.records_dead_lettered += 1
+        return True
+
+    def dlq_depth(self, topic: str) -> int:
+        """Records quarantined in ``topic``'s dead-letter queue."""
+        dlq = self._topics.get(self.dlq_topic(topic))
+        if dlq is None:
+            return 0
+        return sum(len(p.records) for p in dlq.partitions)
 
     # ------------------------------------------------------------------
     # Retention & stats
@@ -271,6 +420,7 @@ class Broker:
             "total_bytes": t.total_bytes,
             "retained_records": sum(len(p.records) for p in t.partitions),
             "log_start_offset_sum": sum(p.start_offset for p in t.partitions),
+            "backpressure_rejections": t.backpressure_rejections,
         }
 
     def group_ids(self) -> list[tuple[str, str]]:

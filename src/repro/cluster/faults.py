@@ -20,6 +20,9 @@ from repro.cluster.sensors import SensorBank, SensorId, SensorKind
 from repro.cluster.topology import Cluster, NodeState, SwitchState
 
 if TYPE_CHECKING:
+    from repro.core.consumers import _BaseConsumer
+    from repro.resilience.journal import NotificationJournal
+    from repro.resilience.receivers import FlakyReceiver
     from repro.ring.cluster import RingLokiCluster
 
 
@@ -35,11 +38,21 @@ class FaultKind(enum.Enum):
     # bounced immediately.  Targets are ingester ids, not xnames.
     INGESTER_CRASH = "ingester_crash"
     INGESTER_RESTART = "ingester_restart"
+    # Alert-delivery-plane faults (repro.resilience): a notification
+    # receiver goes dark, or a consumer pod slows to a crawl.  Targets
+    # are receiver names / consumer names, not xnames.
+    RECEIVER_OUTAGE = "receiver_outage"
+    SLOW_CONSUMER = "slow_consumer"
 
 
 #: Fault kinds whose target is an ingest-ring member id, not an xname.
 _INGESTER_KINDS = frozenset(
     {FaultKind.INGESTER_CRASH, FaultKind.INGESTER_RESTART}
+)
+
+#: Fault kinds whose target is a delivery-plane component name.
+_DELIVERY_KINDS = frozenset(
+    {FaultKind.RECEIVER_OUTAGE, FaultKind.SLOW_CONSUMER}
 )
 
 
@@ -70,12 +83,28 @@ class FaultInjector:
         self._clock = clock
         self._sensors = sensors
         self._ring = ring
+        self._receivers: dict[str, "FlakyReceiver"] = {}
+        self._consumers: dict[str, "_BaseConsumer"] = {}
+        self._journal: "NotificationJournal | None" = None
         self.faults: list[Fault] = []
 
     def attach_ring(self, ring: "RingLokiCluster") -> None:
         """Late-bind the ingest ring (the framework builds it after the
         injector, since the warehouse needs the fault-free clock first)."""
         self._ring = ring
+
+    def attach_delivery(
+        self,
+        receivers: "dict[str, FlakyReceiver]",
+        consumers: "dict[str, _BaseConsumer]",
+        journal: "NotificationJournal | None" = None,
+    ) -> None:
+        """Late-bind the alert-delivery plane (reliable-delivery mode):
+        flaky receiver wrappers by receiver name, consumer pods by name,
+        and the notification journal for ground-truth snapshots."""
+        self._receivers = dict(receivers)
+        self._consumers = dict(consumers)
+        self._journal = journal
 
     # ------------------------------------------------------------------
     # Scheduling
@@ -92,7 +121,7 @@ class FaultInjector:
         (or until :meth:`repair`)."""
         if delay_ns < 0:
             raise ValidationError("delay must be non-negative")
-        if kind in _INGESTER_KINDS:
+        if kind in _INGESTER_KINDS or kind in _DELIVERY_KINDS:
             x: XName | str = str(target)
         else:
             x = XName.parse(target) if isinstance(target, str) else target
@@ -148,6 +177,19 @@ class FaultInjector:
                 ingester.crash()
             fault.detail["replayed"] = ring.restart_ingester(str(target))
             fault.active = False  # instantaneous by construction
+        elif kind is FaultKind.RECEIVER_OUTAGE:
+            flaky = self._require_receiver(str(target))
+            flaky.set_down(True)
+            if self._journal is not None:
+                # Ground truth: what the delivery plane owed this
+                # receiver when the outage began.
+                stats = self._journal.stats(str(target))
+                detail["enqueued_at_start"] = stats["enqueued"]
+                detail["delivered_at_start"] = stats["delivered"]
+        elif kind is FaultKind.SLOW_CONSUMER:
+            consumer = self._require_consumer(str(target))
+            consumer.set_throttle(int(detail.get("max_per_pump", 10)))  # type: ignore[arg-type]
+            detail["lag_at_start"] = consumer.lag()
         else:  # pragma: no cover - exhaustive over enum
             raise ValidationError(f"unhandled fault kind {kind}")
 
@@ -155,6 +197,24 @@ class FaultInjector:
         if self._ring is None:
             raise ValidationError("ingester fault requires an ingest ring")
         return self._ring
+
+    def _require_receiver(self, name: str) -> "FlakyReceiver":
+        try:
+            return self._receivers[name]
+        except KeyError:
+            raise ValidationError(
+                f"receiver-outage fault needs an attached flaky receiver "
+                f"named {name!r} (enable reliable delivery)"
+            ) from None
+
+    def _require_consumer(self, name: str) -> "_BaseConsumer":
+        try:
+            return self._consumers[name]
+        except KeyError:
+            raise ValidationError(
+                f"slow-consumer fault needs an attached consumer named "
+                f"{name!r} (enable reliable delivery)"
+            ) from None
 
     def _end(self, fault: Fault) -> None:
         if not fault.active:
@@ -180,6 +240,22 @@ class FaultInjector:
             fault.detail["replayed"] = self._require_ring().restart_ingester(
                 str(target)
             )
+        elif kind is FaultKind.RECEIVER_OUTAGE:
+            flaky = self._require_receiver(str(target))
+            flaky.set_down(False)
+            if self._journal is not None:
+                stats = self._journal.stats(str(target))
+                start = int(detail.get("enqueued_at_start", 0))  # type: ignore[arg-type]
+                detail["enqueued_at_end"] = stats["enqueued"]
+                # Every notification enqueued during the outage (plus any
+                # already pending) must eventually deliver — the zero-loss
+                # contract acceptance tests assert without re-deriving.
+                detail["expected_deliveries"] = stats["enqueued"]
+                detail["enqueued_during_outage"] = stats["enqueued"] - start
+        elif kind is FaultKind.SLOW_CONSUMER:
+            consumer = self._require_consumer(str(target))
+            consumer.set_throttle(None)
+            detail["lag_at_end"] = consumer.lag()
 
     # ------------------------------------------------------------------
     # Ground truth
@@ -189,6 +265,30 @@ class FaultInjector:
 
     def faults_of_kind(self, kind: FaultKind) -> list[Fault]:
         return [f for f in self.faults if f.kind is kind]
+
+    def delivery_ground_truth(self) -> list[dict[str, object]]:
+        """Expected notification outcomes per delivery-plane fault.
+
+        Chaos acceptance tests assert against these counts instead of
+        re-deriving expectations from the scenario: for every ended
+        ``RECEIVER_OUTAGE``, all notifications ever enqueued to the
+        receiver (``expected_deliveries``) must eventually be delivered —
+        zero loss.
+        """
+        out: list[dict[str, object]] = []
+        for f in self.faults:
+            if f.kind not in _DELIVERY_KINDS:
+                continue
+            out.append(
+                {
+                    "kind": f.kind.value,
+                    "target": str(f.target),
+                    "start_ns": f.start_ns,
+                    "end_ns": f.end_ns,
+                    **f.detail,
+                }
+            )
+        return out
 
     def is_degraded(self, kind: FaultKind, target: XName | str) -> bool:
         """Whether an active fault of ``kind`` covers ``target``."""

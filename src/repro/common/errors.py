@@ -38,3 +38,12 @@ class CapacityError(ReproError):
 
 class StateError(ReproError):
     """Operation is invalid for the component's current lifecycle state."""
+
+
+class DeliveryError(ReproError):
+    """A receiver could not deliver a notification (outage, timeout...).
+
+    Raising this from :meth:`Receiver.notify` is the contract that lets
+    the resilience layer distinguish a retryable delivery failure from a
+    programming error.
+    """

@@ -36,21 +36,53 @@ class _BaseConsumer:
         topic: str,
         warehouse: OmniWarehouse,
         tracing: PipelineTracing | None = None,
+        reliable: bool = False,
+        max_delivery_failures: int = 3,
     ) -> None:
         self._api = api
         self._warehouse = warehouse
         self._sub: Subscription = api.subscribe(token, topic)
         self._tracing = tracing
         self._record_ctx: SpanContext | None = None
+        self._reliable = reliable
+        self._max_delivery_failures = max_delivery_failures
+        self._throttle: int | None = None
         self.records_processed = 0
         self.records_failed = 0
+        self.records_quarantined = 0
+
+    def set_throttle(self, max_per_pump: int | None) -> None:
+        """Cap records per pump (the ``SLOW_CONSUMER`` fault hook)."""
+        if max_per_pump is not None and max_per_pump < 1:
+            raise ValidationError("throttle must be positive or None")
+        self._throttle = max_per_pump
+
+    def lag(self) -> int:
+        """Records beyond this pod's committed offsets."""
+        return self._api.lag(self._sub)
 
     def pump(self, max_records: int = 1000) -> int:
-        """Drain one batch; returns records successfully processed."""
-        records = self._api.fetch(self._sub, max_records)
+        """Drain one batch; returns records successfully processed.
+
+        In the legacy (at-most-once) mode offsets auto-commit on read, so
+        a record whose processing fails is simply dropped.  In reliable
+        mode offsets commit only after processing: a failing record blocks
+        its partition and is redelivered next pump, until
+        ``max_delivery_failures`` attempts quarantine it to the topic's
+        dead-letter queue and the pod commits past the poison.
+        """
+        if self._throttle is not None:
+            max_records = min(max_records, self._throttle)
+        records = self._api.fetch(
+            self._sub, max_records, auto_commit=not self._reliable
+        )
         server = self._api.last_server_index
+        #: partition -> offset of the record that blocked it this batch.
+        blocked: dict[int, int] = {}
         done = 0
         for record in records:
+            if record.partition in blocked:
+                continue
             if self._tracing is not None and record.headers:
                 self._record_ctx = self._tracing.begin_record(
                     record, type(self).__name__, server
@@ -58,10 +90,22 @@ class _BaseConsumer:
             try:
                 self._handle(record.value, record.timestamp_ns)
                 done += 1
-            except ValidationError:
+            except ValidationError as err:
                 self.records_failed += 1
+                if self._reliable:
+                    quarantined = self._api.fail_delivery(
+                        self._sub, record, str(err), self._max_delivery_failures
+                    )
+                    if quarantined:
+                        self.records_quarantined += 1
+                    else:
+                        blocked[record.partition] = record.offset
             finally:
                 self._record_ctx = None
+        if self._reliable:
+            for partition, offset in blocked.items():
+                self._api.seek(self._sub, partition, offset)
+            self._api.commit(self._sub)
         self.records_processed += done
         return done
 
@@ -87,8 +131,13 @@ class RedfishEventConsumer(_BaseConsumer):
         warehouse: OmniWarehouse,
         cluster: str = "perlmutter",
         tracing: PipelineTracing | None = None,
+        reliable: bool = False,
+        max_delivery_failures: int = 3,
     ) -> None:
-        super().__init__(api, token, topic, warehouse, tracing=tracing)
+        super().__init__(
+            api, token, topic, warehouse, tracing=tracing,
+            reliable=reliable, max_delivery_failures=max_delivery_failures,
+        )
         self._cluster = cluster
 
     def _handle(self, value: str, timestamp_ns: int) -> None:
@@ -116,8 +165,13 @@ class SensorMetricConsumer(_BaseConsumer):
         warehouse: OmniWarehouse,
         cluster: str = "perlmutter",
         tracing: PipelineTracing | None = None,
+        reliable: bool = False,
+        max_delivery_failures: int = 3,
     ) -> None:
-        super().__init__(api, token, topic, warehouse, tracing=tracing)
+        super().__init__(
+            api, token, topic, warehouse, tracing=tracing,
+            reliable=reliable, max_delivery_failures=max_delivery_failures,
+        )
         self._cluster = cluster
 
     def _handle(self, value: str, timestamp_ns: int) -> None:

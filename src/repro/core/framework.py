@@ -12,6 +12,7 @@ Everything runs on one simulated clock; ``run_for`` advances the world.
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, field
 
 from repro.common.errors import ValidationError
@@ -33,6 +34,7 @@ from repro.core.consumers import (
 )
 from repro.exporters.aruba import ArubaExporter
 from repro.exporters.blackbox import BlackboxExporter, ProbeTarget
+from repro.exporters.delivery_exporter import DeliveryExporter
 from repro.exporters.kafka_exporter import KafkaExporter
 from repro.exporters.node import NodeExporter
 from repro.exporters.ring_exporter import RingExporter
@@ -54,6 +56,14 @@ from repro.loki.ruler import Ruler
 from repro.omni.anomaly import EwmaDetector, ProactiveMonitor
 from repro.omni.eventstore import EventStore, record_from_alert
 from repro.omni.warehouse import OmniWarehouse
+from repro.resilience.backoff import BackoffPolicy
+from repro.resilience.circuit import CircuitBreaker
+from repro.resilience.journal import NotificationJournal
+from repro.resilience.receivers import (
+    FlakyReceiver,
+    IdempotentReceiver,
+    RetryingReceiver,
+)
 from repro.ring.cluster import RingLokiCluster
 from repro.servicenow.cmdb import build_from_cluster
 from repro.servicenow.platform import ServiceNowPlatform, ServiceNowReceiver
@@ -108,6 +118,12 @@ SWITCH_RULE_QUERY = (
 )
 
 
+def _reliable_delivery_default() -> bool:
+    """CI's reliable-delivery leg flips the framework default via env so
+    the whole integration suite runs in both delivery modes unmodified."""
+    return os.environ.get("REPRO_RELIABLE_DELIVERY", "") not in ("", "0")
+
+
 @dataclass
 class FrameworkConfig:
     """All the knobs, with production-plausible defaults."""
@@ -151,10 +167,40 @@ class FrameworkConfig:
     enable_ingest_ring: bool = False
     ring_ingesters: int = 4
     ring_replication: int = 3
+    # At-least-once alert delivery (repro.resilience).  Off by default
+    # (or via the REPRO_RELIABLE_DELIVERY env var, for CI's second leg):
+    # receivers are called directly and a failure loses the notification.
+    # On: consumers commit offsets only after processing (poison records
+    # quarantine to per-topic DLQs), and every notification is journaled
+    # and retried with backoff + circuit breaking until delivered, with
+    # idempotency keys preventing duplicate incidents/posts.
+    enable_reliable_delivery: bool = field(
+        default_factory=_reliable_delivery_default
+    )
+    delivery_backoff_base_ns: int = seconds(30)
+    delivery_backoff_cap_ns: int = minutes(10)
+    delivery_backoff_jitter: float = 0.2
+    #: None = retry forever (a lost alert is the unacceptable outcome);
+    #: finite budgets dead-letter the notification in the journal.
+    delivery_max_attempts: int | None = None
+    breaker_failure_threshold: int = 3
+    breaker_reset_timeout_ns: int = minutes(2)
+    #: Consumer-side processing failures before a record is poison and
+    #: quarantines to the topic's dead-letter queue.
+    max_delivery_failures: int = 3
 
     def __post_init__(self) -> None:
         if not 0.0 <= self.tracing_sampling <= 1.0:
             raise ValidationError("tracing_sampling must be in [0, 1]")
+        if self.enable_reliable_delivery:
+            if self.delivery_backoff_base_ns <= 0:
+                raise ValidationError("delivery backoff base must be positive")
+            if self.delivery_backoff_cap_ns < self.delivery_backoff_base_ns:
+                raise ValidationError("delivery backoff cap must be >= base")
+            if self.breaker_failure_threshold < 1:
+                raise ValidationError("breaker threshold must be positive")
+            if self.max_delivery_failures < 1:
+                raise ValidationError("max_delivery_failures must be positive")
         if self.enable_ingest_ring:
             if self.ring_ingesters < 1:
                 raise ValidationError("ring needs at least one ingester")
@@ -254,25 +300,32 @@ class MonitoringFramework:
 
         # --- the k3s consumer pods -------------------------------------------
         token = "token-nersc-k3s"
+        reliable = cfg.enable_reliable_delivery
+        max_fail = cfg.max_delivery_failures
         self.redfish_consumer = RedfishEventConsumer(
             self.telemetry_api, token, TOPIC_REDFISH_EVENTS, self.warehouse,
             cluster=cfg.cluster_name, tracing=self.tracing,
+            reliable=reliable, max_delivery_failures=max_fail,
         )
         self.sensor_consumer = SensorMetricConsumer(
             self.telemetry_api, token, TOPIC_SENSOR_TELEMETRY, self.warehouse,
             cluster=cfg.cluster_name, tracing=self.tracing,
+            reliable=reliable, max_delivery_failures=max_fail,
         )
         self.syslog_consumer = LogLineConsumer(
             self.telemetry_api, token, TOPIC_SYSLOG, self.warehouse,
             tracing=self.tracing,
+            reliable=reliable, max_delivery_failures=max_fail,
         )
         self.container_consumer = LogLineConsumer(
             self.telemetry_api, token, TOPIC_CONTAINER_LOGS, self.warehouse,
             tracing=self.tracing,
+            reliable=reliable, max_delivery_failures=max_fail,
         )
         self.console_consumer = LogLineConsumer(
             self.telemetry_api, token, TOPIC_CONSOLE_LOGS, self.warehouse,
             tracing=self.tracing,
+            reliable=reliable, max_delivery_failures=max_fail,
         )
         self.ldms_consumer = LdmsConsumer(
             self.telemetry_api, token, self.warehouse
@@ -366,8 +419,64 @@ class MonitoringFramework:
             vmalert_notify = self.tracing.notifier(
                 self.alertmanager.receive, "vmalert"
             )
-        self.alertmanager.register_receiver(slack_receiver)
-        self.alertmanager.register_receiver(sn_receiver)
+        # --- reliable delivery (repro.resilience) -----------------------
+        # Chain per receiver: Retrying(Flaky(Idempotent(real))).  The
+        # flaky wrapper is the RECEIVER_OUTAGE fault hook; the idempotent
+        # wrapper sits *inside* it so a redelivered notification (e.g.
+        # after an ambiguous failure) is dropped by key, never duplicated.
+        self.journal: NotificationJournal | None = None
+        self.flaky_receivers: dict[str, FlakyReceiver] = {}
+        self.delivery_receivers: dict[str, RetryingReceiver] = {}
+        self.delivery_exporter: DeliveryExporter | None = None
+        if cfg.enable_reliable_delivery:
+            self.journal = NotificationJournal(self.clock)
+            for idx, receiver in enumerate((slack_receiver, sn_receiver)):
+                flaky = FlakyReceiver(IdempotentReceiver(receiver), self.clock)
+                retrying = RetryingReceiver(
+                    flaky,
+                    self.clock,
+                    BackoffPolicy(
+                        base_ns=cfg.delivery_backoff_base_ns,
+                        cap_ns=cfg.delivery_backoff_cap_ns,
+                        jitter=cfg.delivery_backoff_jitter,
+                        seed=cfg.seed + 31 + idx,
+                    ),
+                    self.journal,
+                    breaker=CircuitBreaker(
+                        self.clock,
+                        failure_threshold=cfg.breaker_failure_threshold,
+                        reset_timeout_ns=cfg.breaker_reset_timeout_ns,
+                    ),
+                    max_attempts=cfg.delivery_max_attempts,
+                    tracer=self.tracer,
+                )
+                self.flaky_receivers[retrying.name] = flaky
+                self.delivery_receivers[retrying.name] = retrying
+                self.alertmanager.register_receiver(retrying)
+            self.faults.attach_delivery(
+                receivers=self.flaky_receivers,
+                consumers={
+                    "redfish": self.redfish_consumer,
+                    "sensor": self.sensor_consumer,
+                    "syslog": self.syslog_consumer,
+                    "container": self.container_consumer,
+                    "console": self.console_consumer,
+                },
+                journal=self.journal,
+            )
+            self.delivery_exporter = DeliveryExporter(
+                self.journal, self.delivery_receivers.values(), self.broker
+            )
+            self.vmagent.add_target(
+                ScrapeTarget(
+                    "alert-delivery",
+                    "delivery-exporter:9103",
+                    self.delivery_exporter,
+                )
+            )
+        else:
+            self.alertmanager.register_receiver(slack_receiver)
+            self.alertmanager.register_receiver(sn_receiver)
         self.ruler = Ruler(self.logql, self.clock, ruler_notify)
         self.vmalert = VMAlert(self.promql, self.clock, vmalert_notify)
         if cfg.install_default_rules:
@@ -578,6 +687,19 @@ class MonitoringFramework:
                     },
                 )
             )
+        if cfg.enable_reliable_delivery:
+            self.vmalert.add_rule(
+                RuleSpec(
+                    name="NotificationFailures",
+                    expr="alert_delivery_pending > 0",
+                    for_="10m",
+                    labels={"severity": "warning", "category": "pipeline"},
+                    annotations={
+                        "summary": "{{ $value }} notifications pending "
+                        "delivery to {{ $labels.receiver }}"
+                    },
+                )
+            )
         self.vmalert.add_rule(
             RuleSpec(
                 name="GpfsDegraded",
@@ -679,6 +801,52 @@ class MonitoringFramework:
                 )
             )
             dashboards["ring"] = ring_dash
+        if self.config.enable_reliable_delivery:
+            delivery = Dashboard("Alert Delivery", uid="alert-delivery")
+            delivery.add_panel(
+                StatPanel(
+                    title="Pending notifications",
+                    datasource=prom_ds,
+                    query="sum(alert_delivery_pending)",
+                )
+            )
+            delivery.add_panel(
+                StatPanel(
+                    title="Notifications delivered",
+                    datasource=prom_ds,
+                    query="sum(alert_delivery_delivered_total)",
+                )
+            )
+            delivery.add_panel(
+                TimeSeriesPanel(
+                    title="Delivery retries",
+                    datasource=prom_ds,
+                    query="alert_delivery_retries_total",
+                )
+            )
+            delivery.add_panel(
+                TopListPanel(
+                    title="Breaker state (0 closed / 2 open)",
+                    datasource=prom_ds,
+                    query="topk(8, alert_delivery_breaker_state)",
+                    label="receiver",
+                )
+            )
+            delivery.add_panel(
+                StatPanel(
+                    title="Dead-lettered notifications",
+                    datasource=prom_ds,
+                    query="sum(alert_delivery_dead_lettered_total)",
+                )
+            )
+            delivery.add_panel(
+                TimeSeriesPanel(
+                    title="DLQ depth",
+                    datasource=prom_ds,
+                    query="sum(kafka_dlq_records)",
+                )
+            )
+            dashboards["delivery"] = delivery
         if self.traceql is not None:
             tempo_ds = TempoDatasource(self.traceql)
             tracing = Dashboard("Pipeline Tracing", uid="pipeline-tracing")
@@ -797,12 +965,22 @@ class MonitoringFramework:
     # ------------------------------------------------------------------
     def health_summary(self) -> dict[str, float]:
         """One-call status used by examples and integration tests."""
-        return {
+        summary = {
             "messages_ingested": float(self.warehouse.messages_ingested),
             "log_streams": float(self.warehouse.loki.stream_count()),
             "metric_series": float(self.warehouse.tsdb.series_count()),
             "alert_events": float(self.alertmanager.events_received),
             "notifications": float(self.alertmanager.notifications_sent),
+            "notifications_failed": float(self.alertmanager.notifications_failed),
             "slack_messages": float(len(self.slack.messages)),
             "sn_incidents": float(len(self.servicenow.incidents())),
         }
+        if self.journal is not None:
+            stats = self.journal.stats()
+            summary["deliveries_pending"] = float(stats["pending"])
+            summary["deliveries_delivered"] = float(stats["delivered"])
+            summary["deliveries_dead_lettered"] = float(stats["failed"])
+            summary["records_dead_lettered"] = float(
+                self.broker.records_dead_lettered
+            )
+        return summary

@@ -1,0 +1,125 @@
+"""Alert-delivery exporter: the notification path's own health metrics.
+
+The resilience layer guarantees at-least-once delivery, but "eventually"
+is an operational quantity someone must watch: pending journal depth,
+retry volume, breaker state and dead-letter counts.  This exporter feeds
+them to vmagent so the ``NotificationFailures`` rule and the "Alert
+Delivery" Grafana dashboard close the loop — the monitoring plane
+monitoring its own alert tail.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.bus.broker import Broker, DLQ_SUFFIX
+from repro.exporters.textformat import MetricFamily, render_exposition
+from repro.resilience.circuit import CircuitState
+from repro.resilience.journal import NotificationJournal
+from repro.resilience.receivers import RetryingReceiver
+
+#: Numeric encoding of breaker state for the gauge.
+_BREAKER_STATE = {
+    CircuitState.CLOSED: 0.0,
+    CircuitState.HALF_OPEN: 1.0,
+    CircuitState.OPEN: 2.0,
+}
+
+
+class DeliveryExporter:
+    """Exports journal, retry, breaker and DLQ state per receiver."""
+
+    def __init__(
+        self,
+        journal: NotificationJournal,
+        receivers: Iterable[RetryingReceiver],
+        broker: Broker | None = None,
+    ) -> None:
+        self._journal = journal
+        self._receivers = list(receivers)
+        self._broker = broker
+        self.scrapes_served = 0
+
+    def scrape(self) -> str:
+        enqueued = MetricFamily(
+            "alert_delivery_enqueued_total",
+            "Notifications journaled for delivery.",
+            "counter",
+        )
+        delivered = MetricFamily(
+            "alert_delivery_delivered_total",
+            "Notifications delivered at least once.",
+            "counter",
+        )
+        pending = MetricFamily(
+            "alert_delivery_pending",
+            "Journaled notifications not yet delivered.",
+            "gauge",
+        )
+        dead = MetricFamily(
+            "alert_delivery_dead_lettered_total",
+            "Notifications abandoned after exhausting the retry budget.",
+            "counter",
+        )
+        attempts = MetricFamily(
+            "alert_delivery_attempts_total",
+            "Delivery attempts made against the receiver.",
+            "counter",
+        )
+        retries = MetricFamily(
+            "alert_delivery_retries_total",
+            "Retry timers scheduled (backoff + breaker deferrals).",
+            "counter",
+        )
+        breaker_state = MetricFamily(
+            "alert_delivery_breaker_state",
+            "Circuit state: 0 closed, 1 half-open, 2 open.",
+            "gauge",
+        )
+        breaker_opens = MetricFamily(
+            "alert_delivery_breaker_opens_total",
+            "Times the receiver's circuit opened.",
+            "counter",
+        )
+        for receiver in self._receivers:
+            name = receiver.name
+            stats = self._journal.stats(name)
+            enqueued.add(float(stats["enqueued"]), receiver=name)
+            delivered.add(float(stats["delivered"]), receiver=name)
+            pending.add(float(stats["pending"]), receiver=name)
+            dead.add(float(stats["failed"]), receiver=name)
+            attempts.add(float(receiver.attempts_total), receiver=name)
+            retries.add(float(receiver.retries_scheduled), receiver=name)
+            if receiver.breaker is not None:
+                breaker_state.add(
+                    _BREAKER_STATE[receiver.breaker.state], receiver=name
+                )
+                breaker_opens.add(
+                    float(receiver.breaker.times_opened), receiver=name
+                )
+        families = [
+            enqueued,
+            delivered,
+            pending,
+            dead,
+            attempts,
+            retries,
+            breaker_state,
+            breaker_opens,
+        ]
+        if self._broker is not None:
+            dlq = MetricFamily(
+                "kafka_dlq_records",
+                "Poison records quarantined per source topic.",
+                "gauge",
+            )
+            for topic in self._broker.topics():
+                if topic.endswith(DLQ_SUFFIX):
+                    continue
+                depth = self._broker.dlq_depth(topic)
+                if depth:
+                    dlq.add(float(depth), topic=topic)
+            dlq.add(float(self._broker.records_dead_lettered), topic="__total__")
+            families.append(dlq)
+        self.scrapes_served += 1
+        return render_exposition(families)

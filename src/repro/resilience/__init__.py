@@ -1,0 +1,37 @@
+"""repro.resilience — end-to-end delivery guarantees for the alert path.
+
+The paper's value proposition is that a Redfish leak event *reliably*
+becomes a ServiceNow incident.  This package supplies the delivery-side
+machinery that makes "reliably" true when the monitoring plane itself
+fails: deterministic exponential backoff (:mod:`backoff`), a per-receiver
+circuit breaker (:mod:`circuit`), a notification journal with idempotency
+keys (:mod:`journal`) and the retrying/flaky/idempotent receiver stack
+(:mod:`receivers`).  The broker half of the story — manual offset
+commits, backpressure, dead-letter queues — lives on
+:class:`repro.bus.broker.Broker` itself.
+"""
+
+from repro.resilience.backoff import BackoffPolicy
+from repro.resilience.circuit import CircuitBreaker, CircuitState
+from repro.resilience.journal import (
+    JournalEntry,
+    NotificationJournal,
+    NotificationState,
+)
+from repro.resilience.receivers import (
+    FlakyReceiver,
+    IdempotentReceiver,
+    RetryingReceiver,
+)
+
+__all__ = [
+    "BackoffPolicy",
+    "CircuitBreaker",
+    "CircuitState",
+    "JournalEntry",
+    "NotificationJournal",
+    "NotificationState",
+    "FlakyReceiver",
+    "IdempotentReceiver",
+    "RetryingReceiver",
+]

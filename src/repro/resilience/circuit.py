@@ -1,0 +1,121 @@
+"""Closed/open/half-open circuit breaker on the simulated clock.
+
+A receiver that is hard-down fails every notify; retrying each pending
+notification against it individually just burns attempts and pushes the
+backoff schedule out.  The breaker aggregates that signal: after
+``failure_threshold`` consecutive failures it *opens* and rejects
+attempts outright; once ``reset_timeout_ns`` of simulated time has
+passed it lets exactly one probe through (*half-open*); a successful
+probe closes the circuit, a failed one re-opens it and re-arms the
+timer.
+"""
+
+from __future__ import annotations
+
+import enum
+
+from repro.common.errors import ValidationError
+from repro.common.simclock import SimClock
+
+
+class CircuitState(enum.Enum):
+    CLOSED = "closed"
+    OPEN = "open"
+    HALF_OPEN = "half_open"
+
+
+class CircuitBreaker:
+    """Per-receiver failure aggregation with timed recovery probes."""
+
+    def __init__(
+        self,
+        clock: SimClock,
+        failure_threshold: int = 3,
+        reset_timeout_ns: int = 60_000_000_000,
+    ) -> None:
+        if failure_threshold < 1:
+            raise ValidationError("failure threshold must be positive")
+        if reset_timeout_ns <= 0:
+            raise ValidationError("reset timeout must be positive")
+        self._clock = clock
+        self.failure_threshold = failure_threshold
+        self.reset_timeout_ns = reset_timeout_ns
+        self._state = CircuitState.CLOSED
+        self._consecutive_failures = 0
+        self._opened_at_ns: int | None = None
+        self._probe_inflight = False
+        self.times_opened = 0
+        self.rejections = 0
+
+    @property
+    def state(self) -> CircuitState:
+        """Current state, accounting for timer-driven OPEN → HALF_OPEN."""
+        if (
+            self._state is CircuitState.OPEN
+            and self._opened_at_ns is not None
+            and self._clock.now_ns - self._opened_at_ns >= self.reset_timeout_ns
+        ):
+            return CircuitState.HALF_OPEN
+        return self._state
+
+    @property
+    def opened_at_ns(self) -> int | None:
+        return self._opened_at_ns
+
+    def retry_after_ns(self) -> int:
+        """Simulated delay until the next probe is admissible (0 if now)."""
+        if self.state is not CircuitState.OPEN or self._opened_at_ns is None:
+            return 0
+        return max(
+            0, self._opened_at_ns + self.reset_timeout_ns - self._clock.now_ns
+        )
+
+    def allow(self) -> bool:
+        """Whether a delivery attempt may proceed right now.
+
+        In half-open state only a single in-flight probe is admitted;
+        callers must answer it with :meth:`record_success` or
+        :meth:`record_failure`.
+        """
+        state = self.state
+        if state is CircuitState.CLOSED:
+            return True
+        if state is CircuitState.HALF_OPEN:
+            if self._probe_inflight:
+                self.rejections += 1
+                return False
+            self._state = CircuitState.HALF_OPEN
+            self._probe_inflight = True
+            return True
+        self.rejections += 1
+        return False
+
+    def record_success(self) -> None:
+        """A delivery attempt succeeded: close the circuit."""
+        self._state = CircuitState.CLOSED
+        self._consecutive_failures = 0
+        self._opened_at_ns = None
+        self._probe_inflight = False
+
+    def record_failure(self) -> None:
+        """A delivery attempt failed: count it, maybe (re-)open."""
+        if self._state is CircuitState.HALF_OPEN:
+            self._open()
+            return
+        self._consecutive_failures += 1
+        if (
+            self._state is CircuitState.CLOSED
+            and self._consecutive_failures >= self.failure_threshold
+        ):
+            self._open()
+        elif self._state is CircuitState.OPEN:
+            # A failure while open (e.g. a probe admitted by the timer)
+            # re-arms the recovery window.
+            self._open()
+
+    def _open(self) -> None:
+        self._state = CircuitState.OPEN
+        self._opened_at_ns = self._clock.now_ns
+        self._consecutive_failures = 0
+        self._probe_inflight = False
+        self.times_opened += 1

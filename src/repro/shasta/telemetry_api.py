@@ -90,8 +90,18 @@ class TelemetryAPI:
         self._subscriptions[sub_id] = sub
         return sub
 
-    def fetch(self, sub: Subscription, max_records: int = 500) -> list[Record]:
-        """Fetch the next batch for a subscription (balanced, at-most-once)."""
+    def fetch(
+        self,
+        sub: Subscription,
+        max_records: int = 500,
+        auto_commit: bool = True,
+    ) -> list[Record]:
+        """Fetch the next batch for a subscription (balanced).
+
+        ``auto_commit=True`` is the legacy at-most-once mode; with
+        ``auto_commit=False`` the client owns its offsets and must call
+        :meth:`commit` after processing (at-least-once).
+        """
         if sub.closed:
             raise StateError(f"subscription {sub.subscription_id} is closed")
         if sub.subscription_id not in self._subscriptions:
@@ -99,11 +109,38 @@ class TelemetryAPI:
         server = self._servers[self._next_server]
         self.last_server_index = self._next_server
         self._next_server = (self._next_server + 1) % len(self._servers)
-        records = self._broker.poll(sub.group_id, sub.topic, max_records)
+        records = self._broker.poll(
+            sub.group_id, sub.topic, max_records, auto_commit=auto_commit
+        )
         server.requests_served += 1
         server.records_served += len(records)
         sub.records_delivered += len(records)
         return records
+
+    # ------------------------------------------------------------------
+    # Manual-commit surface (at-least-once consumers)
+    # ------------------------------------------------------------------
+    def commit(self, sub: Subscription) -> int:
+        """Commit the subscription's read positions; returns records
+        newly covered by the commit."""
+        return self._broker.commit(sub.group_id, sub.topic)
+
+    def seek(self, sub: Subscription, partition: int, offset: int) -> None:
+        """Rewind the read position on one partition for reprocessing."""
+        self._broker.seek(sub.group_id, sub.topic, partition, offset)
+
+    def fail_delivery(
+        self, sub: Subscription, record: Record, error: str, max_failures: int = 3
+    ) -> bool:
+        """Report a processing failure; ``True`` = record quarantined to
+        the topic's dead-letter queue and should be committed past."""
+        return self._broker.fail_delivery(
+            sub.group_id, record, error, max_failures
+        )
+
+    def lag(self, sub: Subscription) -> int:
+        """Records beyond the subscription's committed offsets."""
+        return self._broker.lag(sub.group_id, sub.topic)
 
     def close(self, sub: Subscription) -> None:
         sub.closed = True

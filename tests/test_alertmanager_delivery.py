@@ -1,0 +1,117 @@
+"""Alertmanager × failing receivers: a failed delivery must not mark the
+group notified (satellite of the repro.resilience PR)."""
+
+import pytest
+
+from repro.common.labels import LabelSet
+from repro.common.simclock import SimClock, hours, minutes, seconds
+from repro.alerting.alertmanager import Alertmanager, Route
+from repro.alerting.events import AlertEvent, AlertState
+from repro.alerting.receivers import MemoryReceiver
+from repro.resilience.receivers import FlakyReceiver
+
+
+def event(name="TestAlert", state=AlertState.FIRING, ts=0, **labels):
+    labels.setdefault("alertname", name)
+    return AlertEvent(
+        labels=LabelSet(labels),
+        annotations={},
+        state=state,
+        value=1.0,
+        started_at_ns=ts,
+        fired_at_ns=ts,
+    )
+
+
+@pytest.fixture
+def world():
+    clock = SimClock(0)
+    inner = MemoryReceiver("mem")
+    flaky = FlakyReceiver(inner, clock)
+    am = Alertmanager(
+        clock,
+        Route(receiver="mem", group_by=("alertname",), group_wait="30s",
+              group_interval="5m", repeat_interval="4h"),
+    )
+    am.register_receiver(flaky)
+    return clock, am, inner, flaky
+
+
+class TestFailedDelivery:
+    def test_failed_group_not_marked_notified(self, world):
+        clock, am, inner, flaky = world
+        flaky.set_down(True)
+        am.receive(event(xname="x1"))
+        clock.advance(minutes(1))  # past group_wait
+        assert inner.notifications == []
+        assert am.notifications_failed == 1
+        assert am.notifications_sent == 0
+
+    def test_group_interval_retries_failed_group(self, world):
+        clock, am, inner, flaky = world
+        flaky.set_down(True)
+        am.receive(event(xname="x1"))
+        clock.advance(minutes(1))
+        flaky.set_down(False)
+        # The group stayed dirty, so the next group_interval flush
+        # re-notifies even though no alert changed.
+        clock.advance(minutes(5))
+        assert len(inner.notifications) == 1
+        assert am.notifications_sent == 1
+
+    def test_idempotency_key_fresh_per_dispatch(self, world):
+        clock, am, inner, flaky = world
+        flaky.set_down(True)
+        am.receive(event(xname="x1"))
+        clock.advance(minutes(1))
+        flaky.set_down(False)
+        clock.advance(minutes(5))
+        am.receive(event(xname="x2"))  # group change -> new notification
+        clock.advance(minutes(5))
+        keys = [n.idempotency_key for n in inner.notifications]
+        assert len(keys) == 2
+        assert all(k is not None for k in keys)
+        assert len(set(keys)) == 2
+
+    def test_repeat_anchored_at_last_success(self, world):
+        clock, am, inner, flaky = world
+        am.receive(event(xname="x1"))
+        clock.advance(minutes(1))
+        assert len(inner.notifications) == 1
+        # All re-notify attempts fail for 4h; once the receiver heals,
+        # the repeat fires on the next interval because last success is
+        # 4h+ old — failures never advanced last_notified_ns.
+        flaky.set_down(True)
+        clock.advance(hours(4))
+        assert len(inner.notifications) == 1
+        flaky.set_down(False)
+        clock.advance(minutes(5))
+        assert len(inner.notifications) == 2
+
+    def test_outage_spanning_multiple_cycles_recovers(self, world):
+        clock, am, inner, flaky = world
+        flaky.set_down(True)
+        am.receive(event(xname="x1"))
+        clock.advance(minutes(21))  # group_wait + 4 failed interval flushes
+        assert am.notifications_failed >= 4
+        flaky.set_down(False)
+        clock.advance(minutes(5))
+        assert len(inner.notifications) == 1
+        # Delivered exactly once despite many failed attempts.
+        clock.advance(minutes(30))
+        assert len(inner.notifications) == 1
+
+    def test_resolved_alert_survives_failed_notify(self, world):
+        clock, am, inner, flaky = world
+        am.receive(event(xname="x1"))
+        clock.advance(minutes(1))
+        flaky.set_down(True)
+        am.receive(event(xname="x1", state=AlertState.RESOLVED, ts=seconds(90)))
+        clock.advance(minutes(5))
+        assert len(inner.notifications) == 1  # resolution not yet out
+        flaky.set_down(False)
+        clock.advance(minutes(5))
+        # The resolved notification eventually goes out rather than
+        # being dropped with the failed dispatch.
+        assert len(inner.notifications) == 2
+        assert inner.notifications[-1].status == "resolved"

@@ -4,7 +4,12 @@ import pytest
 from hypothesis import given, strategies as st
 
 from repro.bus.broker import Broker, TopicConfig
-from repro.common.errors import NotFoundError, StateError, ValidationError
+from repro.common.errors import (
+    CapacityError,
+    NotFoundError,
+    StateError,
+    ValidationError,
+)
 from repro.common.simclock import SimClock, hours, seconds
 
 
@@ -119,6 +124,139 @@ class TestProduceConsume:
                 break
             got.extend(r.value for r in batch)
         assert sorted(got) == sorted(values)
+
+
+class TestAtLeastOnce:
+    """Manual-commit semantics: poll/commit, redelivery, seek."""
+
+    def test_manual_poll_does_not_commit(self, broker):
+        broker.produce("events", "a")
+        records = broker.poll("g", "events", auto_commit=False)
+        assert len(records) == 1
+        # Committed offsets unchanged: the record still counts as lag.
+        assert broker.lag("g", "events") == 1
+        assert broker.commit("g", "events") == 1
+        assert broker.lag("g", "events") == 0
+
+    def test_crash_redelivers_uncommitted(self, broker):
+        for i in range(5):
+            broker.produce("events", f"v{i}", key="k")
+        broker.poll("g", "events", 3, auto_commit=False)
+        broker.commit("g", "events")
+        broker.poll("g", "events", 2, auto_commit=False)
+        # Crash before commit: rewinding redelivers the last two.
+        assert broker.reset_to_committed("g", "events") == 2
+        redelivered = broker.poll("g", "events", 10, auto_commit=False)
+        assert [r.value for r in redelivered] == ["v3", "v4"]
+
+    def test_auto_commit_survives_reset(self, broker):
+        broker.produce("events", "a")
+        broker.poll("g", "events")  # legacy auto-commit
+        assert broker.reset_to_committed("g", "events") == 0
+        assert broker.poll("g", "events") == []
+
+    def test_committed_reports_per_partition(self, broker):
+        broker.produce("events", "a", key="k")
+        records = broker.poll("g", "events", auto_commit=False)
+        partition = records[0].partition
+        assert broker.committed("g", "events")[partition] == 0
+        broker.commit("g", "events")
+        assert broker.committed("g", "events")[partition] == 1
+
+    def test_seek_rewinds_one_partition(self, broker):
+        for i in range(3):
+            broker.produce("events", f"v{i}", key="k")
+        records = broker.poll("g", "events", 10, auto_commit=False)
+        partition = records[0].partition
+        broker.seek("g", "events", partition, 1)
+        again = broker.poll("g", "events", 10, auto_commit=False)
+        assert [r.value for r in again] == ["v1", "v2"]
+
+    def test_seek_validates_partition(self, broker):
+        with pytest.raises(ValidationError):
+            broker.seek("g", "events", 99, 0)
+
+    def test_seek_clamps_to_log_start(self, clock):
+        b = Broker(clock)
+        b.create_topic("t", TopicConfig(partitions=1, retention_ns=hours(1)))
+        b.produce("t", "old")
+        clock.advance(hours(2))
+        b.produce("t", "new")
+        b.enforce_retention()
+        b.seek("g", "t", 0, 0)  # before the log start
+        assert [r.value for r in b.poll("g", "t", 10)] == ["new"]
+
+
+class TestBackpressure:
+    def test_full_partition_rejects_produce(self, clock):
+        b = Broker(clock)
+        b.create_topic(
+            "t", TopicConfig(partitions=1, max_records_per_partition=2)
+        )
+        b.produce("t", "a")
+        b.produce("t", "b")
+        with pytest.raises(CapacityError):
+            b.produce("t", "c")
+        assert b.topic_stats("t")["backpressure_rejections"] == 1
+
+    def test_consumption_alone_does_not_free_space(self, clock):
+        # Capacity is record residency, freed by retention, not reads.
+        b = Broker(clock)
+        b.create_topic(
+            "t",
+            TopicConfig(
+                partitions=1, max_records_per_partition=2, retention_ns=hours(1)
+            ),
+        )
+        b.produce("t", "a")
+        b.produce("t", "b")
+        b.poll("g", "t", 10)
+        with pytest.raises(CapacityError):
+            b.produce("t", "c")
+        clock.advance(hours(2))
+        b.enforce_retention()
+        b.produce("t", "c")  # space reclaimed
+
+    def test_bound_validation(self):
+        with pytest.raises(ValidationError):
+            TopicConfig(max_records_per_partition=0)
+
+
+class TestDeadLetterQueue:
+    def test_quarantine_after_max_failures(self, broker):
+        record = broker.produce("events", "poison", key="k")
+        assert broker.fail_delivery("g", record, "bad json") is False
+        assert broker.fail_delivery("g", record, "bad json") is False
+        assert broker.fail_delivery("g", record, "bad json") is True
+        assert broker.dlq_depth("events") == 1
+        assert broker.records_dead_lettered == 1
+
+    def test_dlq_record_provenance_headers(self, broker):
+        record = broker.produce("events", "poison", key="k")
+        broker.fail_delivery("g", record, "bad json", max_failures=1)
+        [dead] = broker.poll("reader", broker.dlq_topic("events"), 10)
+        assert dead.value == "poison"
+        assert dead.header("dlq-source-topic") == "events"
+        assert dead.header("dlq-source-partition") == str(record.partition)
+        assert dead.header("dlq-source-offset") == str(record.offset)
+        assert dead.header("dlq-failures") == "1"
+        assert dead.header("dlq-error") == "bad json"
+        assert dead.header("dlq-group") == "g"
+
+    def test_failure_counts_are_per_group(self, broker):
+        record = broker.produce("events", "poison")
+        assert broker.fail_delivery("g1", record, "err") is False
+        assert broker.fail_delivery("g2", record, "err") is False
+        assert broker.fail_delivery("g1", record, "err") is False
+        assert broker.fail_delivery("g1", record, "err") is True
+
+    def test_dlq_depth_zero_without_failures(self, broker):
+        assert broker.dlq_depth("events") == 0
+
+    def test_max_failures_validated(self, broker):
+        record = broker.produce("events", "x")
+        with pytest.raises(ValidationError):
+            broker.fail_delivery("g", record, "err", max_failures=0)
 
 
 class TestRetention:

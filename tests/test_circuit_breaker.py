@@ -1,0 +1,130 @@
+"""Circuit breaker state machine: closed → open → half-open → closed."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.common.errors import ValidationError
+from repro.common.simclock import SimClock, minutes, seconds
+from repro.resilience.circuit import CircuitBreaker, CircuitState
+
+
+@pytest.fixture
+def clock():
+    return SimClock(0)
+
+
+@pytest.fixture
+def breaker(clock):
+    return CircuitBreaker(clock, failure_threshold=3, reset_timeout_ns=minutes(1))
+
+
+class TestValidation:
+    def test_threshold_positive(self, clock):
+        with pytest.raises(ValidationError):
+            CircuitBreaker(clock, failure_threshold=0)
+
+    def test_timeout_positive(self, clock):
+        with pytest.raises(ValidationError):
+            CircuitBreaker(clock, reset_timeout_ns=0)
+
+
+class TestTransitions:
+    def test_starts_closed_and_allows(self, breaker):
+        assert breaker.state is CircuitState.CLOSED
+        assert breaker.allow()
+
+    def test_opens_after_threshold_consecutive_failures(self, breaker):
+        breaker.record_failure()
+        breaker.record_failure()
+        assert breaker.state is CircuitState.CLOSED
+        breaker.record_failure()
+        assert breaker.state is CircuitState.OPEN
+        assert not breaker.allow()
+        assert breaker.rejections == 1
+        assert breaker.times_opened == 1
+
+    def test_success_resets_failure_count(self, breaker):
+        breaker.record_failure()
+        breaker.record_failure()
+        breaker.record_success()
+        breaker.record_failure()
+        breaker.record_failure()
+        assert breaker.state is CircuitState.CLOSED
+
+    def test_half_open_after_reset_timeout(self, breaker, clock):
+        for _ in range(3):
+            breaker.record_failure()
+        assert breaker.retry_after_ns() == minutes(1)
+        clock.advance(seconds(59))
+        assert breaker.state is CircuitState.OPEN
+        assert breaker.retry_after_ns() == seconds(1)
+        clock.advance(seconds(1))
+        assert breaker.state is CircuitState.HALF_OPEN
+        assert breaker.retry_after_ns() == 0
+
+    def test_half_open_admits_single_probe(self, breaker, clock):
+        for _ in range(3):
+            breaker.record_failure()
+        clock.advance(minutes(1))
+        assert breaker.allow()  # the probe
+        assert not breaker.allow()  # concurrent attempt rejected
+        breaker.record_success()
+        assert breaker.state is CircuitState.CLOSED
+        assert breaker.allow()
+
+    def test_failed_probe_reopens_and_rearms(self, breaker, clock):
+        for _ in range(3):
+            breaker.record_failure()
+        clock.advance(minutes(1))
+        assert breaker.allow()
+        breaker.record_failure()
+        assert breaker.state is CircuitState.OPEN
+        assert breaker.times_opened == 2
+        # The recovery window restarted from the failed probe.
+        assert breaker.retry_after_ns() == minutes(1)
+
+    def test_single_failure_opens_with_threshold_one(self, clock):
+        breaker = CircuitBreaker(clock, failure_threshold=1)
+        breaker.record_failure()
+        assert breaker.state is CircuitState.OPEN
+
+
+class TestProperties:
+    @given(st.lists(st.booleans(), min_size=1, max_size=60))
+    def test_never_open_after_success(self, outcomes):
+        """After any history ending in a success the circuit is closed."""
+        clock = SimClock(0)
+        breaker = CircuitBreaker(
+            clock, failure_threshold=3, reset_timeout_ns=minutes(1)
+        )
+        for ok in outcomes:
+            breaker.allow()
+            if ok:
+                breaker.record_success()
+            else:
+                breaker.record_failure()
+            clock.advance(seconds(10))
+        if outcomes[-1]:
+            assert breaker.state is CircuitState.CLOSED
+
+    @given(
+        st.lists(st.booleans(), min_size=1, max_size=60),
+        st.integers(min_value=1, max_value=5),
+    )
+    def test_open_implies_enough_failures(self, outcomes, threshold):
+        """The circuit cannot open with fewer total failures than the
+        threshold requires."""
+        clock = SimClock(0)
+        breaker = CircuitBreaker(
+            clock, failure_threshold=threshold, reset_timeout_ns=minutes(1)
+        )
+        failures = 0
+        for ok in outcomes:
+            breaker.allow()
+            if ok:
+                breaker.record_success()
+            else:
+                breaker.record_failure()
+                failures += 1
+        if breaker.state is not CircuitState.CLOSED:
+            assert failures >= threshold
