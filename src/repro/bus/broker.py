@@ -117,6 +117,10 @@ class _Topic:
         self.partitions = [_Partition() for _ in range(config.partitions)]
         self.total_produced = 0
         self.total_bytes = 0
+        #: Records handed to consumers by :meth:`Broker.poll` — counts
+        #: every delivery, so a redelivered record counts again (the gap
+        #: between produced and consumed is fan-out plus redelivery).
+        self.total_consumed = 0
         self.backpressure_rejections = 0
 
 
@@ -278,6 +282,7 @@ class Broker:
                 budget -= len(batch)
         if auto_commit:
             group.offsets.update(group.positions)
+        t.total_consumed += len(out)
         out.sort(key=lambda r: (r.timestamp_ns, r.partition, r.offset))
         return out
 
@@ -417,6 +422,7 @@ class Broker:
         return {
             "partitions": len(t.partitions),
             "total_produced": t.total_produced,
+            "total_consumed": t.total_consumed,
             "total_bytes": t.total_bytes,
             "retained_records": sum(len(p.records) for p in t.partitions),
             "log_start_offset_sum": sum(p.start_offset for p in t.partitions),

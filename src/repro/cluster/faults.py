@@ -13,17 +13,21 @@ import enum
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING
 
-from repro.common.errors import ValidationError
-from repro.common.simclock import SimClock
+from repro.common.errors import CapacityError, ValidationError
+from repro.common.labels import LabelSet
+from repro.common.simclock import SimClock, Timer, seconds
 from repro.common.xname import XName
 from repro.cluster.sensors import SensorBank, SensorId, SensorKind
 from repro.cluster.topology import Cluster, NodeState, SwitchState
+from repro.loki.model import LogEntry, PushRequest, PushStream
 
 if TYPE_CHECKING:
     from repro.core.consumers import _BaseConsumer
+    from repro.omni.warehouse import OmniWarehouse
     from repro.resilience.journal import NotificationJournal
     from repro.resilience.receivers import FlakyReceiver
     from repro.ring.cluster import RingLokiCluster
+    from repro.tenancy.scheduler import QueryScheduler
 
 
 class FaultKind(enum.Enum):
@@ -43,6 +47,10 @@ class FaultKind(enum.Enum):
     # are receiver names / consumer names, not xnames.
     RECEIVER_OUTAGE = "receiver_outage"
     SLOW_CONSUMER = "slow_consumer"
+    # Multi-tenancy fault (repro.tenancy): a tenant goes rogue and floods
+    # the write path (and optionally the query scheduler) until the
+    # fault ends.  The target is the offending tenant id.
+    NOISY_NEIGHBOR = "noisy_neighbor"
 
 
 #: Fault kinds whose target is an ingest-ring member id, not an xname.
@@ -54,6 +62,9 @@ _INGESTER_KINDS = frozenset(
 _DELIVERY_KINDS = frozenset(
     {FaultKind.RECEIVER_OUTAGE, FaultKind.SLOW_CONSUMER}
 )
+
+#: Fault kinds whose target is a tenant id.
+_TENANCY_KINDS = frozenset({FaultKind.NOISY_NEIGHBOR})
 
 
 @dataclass
@@ -86,6 +97,9 @@ class FaultInjector:
         self._receivers: dict[str, "FlakyReceiver"] = {}
         self._consumers: dict[str, "_BaseConsumer"] = {}
         self._journal: "NotificationJournal | None" = None
+        self._warehouse: "OmniWarehouse | None" = None
+        self._scheduler: "QueryScheduler | None" = None
+        self._flood_timers: dict[int, Timer] = {}
         self.faults: list[Fault] = []
 
     def attach_ring(self, ring: "RingLokiCluster") -> None:
@@ -106,6 +120,17 @@ class FaultInjector:
         self._consumers = dict(consumers)
         self._journal = journal
 
+    def attach_tenancy(
+        self,
+        warehouse: "OmniWarehouse",
+        scheduler: "QueryScheduler | None" = None,
+    ) -> None:
+        """Late-bind the multi-tenant plane: the warehouse whose write
+        path the noisy neighbor floods, and (optionally) the query
+        scheduler it hammers with wide range queries."""
+        self._warehouse = warehouse
+        self._scheduler = scheduler
+
     # ------------------------------------------------------------------
     # Scheduling
     # ------------------------------------------------------------------
@@ -121,7 +146,11 @@ class FaultInjector:
         (or until :meth:`repair`)."""
         if delay_ns < 0:
             raise ValidationError("delay must be non-negative")
-        if kind in _INGESTER_KINDS or kind in _DELIVERY_KINDS:
+        if (
+            kind in _INGESTER_KINDS
+            or kind in _DELIVERY_KINDS
+            or kind in _TENANCY_KINDS
+        ):
             x: XName | str = str(target)
         else:
             x = XName.parse(target) if isinstance(target, str) else target
@@ -190,8 +219,66 @@ class FaultInjector:
             consumer = self._require_consumer(str(target))
             consumer.set_throttle(int(detail.get("max_per_pump", 10)))  # type: ignore[arg-type]
             detail["lag_at_start"] = consumer.lag()
+        elif kind is FaultKind.NOISY_NEIGHBOR:
+            self._begin_noisy_neighbor(fault)
         else:  # pragma: no cover - exhaustive over enum
             raise ValidationError(f"unhandled fault kind {kind}")
+
+    def _begin_noisy_neighbor(self, fault: Fault) -> None:
+        """Start the flood: every tick, one oversized push (and optional
+        wide queries) under the target tenant id.  Typed 429s from
+        admission are the *expected* outcome — they are counted, never
+        propagated into the clock loop."""
+        warehouse = self._require_warehouse()
+        tenant = str(fault.target)
+        detail = fault.detail
+        interval = int(detail.get("interval_ns", seconds(1)))  # type: ignore[arg-type]
+        lines = int(detail.get("lines_per_tick", 5_000))  # type: ignore[arg-type]
+        queries = int(detail.get("queries_per_tick", 0))  # type: ignore[arg-type]
+        query = str(detail.get("query", '{app="noisy-app"}'))
+        detail.setdefault("pushes_attempted", 0)
+        detail.setdefault("pushes_rejected", 0)
+        detail.setdefault("entries_accepted", 0)
+        detail.setdefault("queries_submitted", 0)
+        detail.setdefault("queries_refused", 0)
+        labels = LabelSet({"app": "noisy-app", "tenant_source": tenant})
+
+        def flood() -> None:
+            now = self._clock.now_ns
+            request = PushRequest(
+                streams=(
+                    PushStream(
+                        labels=labels,
+                        entries=tuple(
+                            LogEntry(now + i, f"noise burst line {i}")
+                            for i in range(lines)
+                        ),
+                    ),
+                )
+            )
+            detail["pushes_attempted"] = int(detail["pushes_attempted"]) + 1  # type: ignore[arg-type]
+            try:
+                accepted = warehouse.ingest_logs(request, tenant=tenant)
+                detail["entries_accepted"] = (
+                    int(detail["entries_accepted"]) + accepted  # type: ignore[arg-type]
+                )
+            except CapacityError:
+                detail["pushes_rejected"] = int(detail["pushes_rejected"]) + 1  # type: ignore[arg-type]
+            if self._scheduler is not None:
+                for _ in range(queries):
+                    detail["queries_submitted"] = (
+                        int(detail["queries_submitted"]) + 1  # type: ignore[arg-type]
+                    )
+                    try:
+                        self._scheduler.submit(
+                            tenant, query, now - seconds(3600), now, seconds(60)
+                        )
+                    except CapacityError:
+                        detail["queries_refused"] = (
+                            int(detail["queries_refused"]) + 1  # type: ignore[arg-type]
+                        )
+
+        self._flood_timers[id(fault)] = self._clock.every(interval, flood)
 
     def _require_ring(self) -> "RingLokiCluster":
         if self._ring is None:
@@ -215,6 +302,14 @@ class FaultInjector:
                 f"slow-consumer fault needs an attached consumer named "
                 f"{name!r} (enable reliable delivery)"
             ) from None
+
+    def _require_warehouse(self) -> "OmniWarehouse":
+        if self._warehouse is None:
+            raise ValidationError(
+                "noisy-neighbor fault requires an attached warehouse "
+                "(enable multi-tenancy)"
+            )
+        return self._warehouse
 
     def _end(self, fault: Fault) -> None:
         if not fault.active:
@@ -256,6 +351,10 @@ class FaultInjector:
             consumer = self._require_consumer(str(target))
             consumer.set_throttle(None)
             detail["lag_at_end"] = consumer.lag()
+        elif kind is FaultKind.NOISY_NEIGHBOR:
+            timer = self._flood_timers.pop(id(fault), None)
+            if timer is not None:
+                timer.cancel()
 
     # ------------------------------------------------------------------
     # Ground truth

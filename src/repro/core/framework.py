@@ -51,6 +51,8 @@ from repro.grafana.panels import (
     TopListPanel,
     TracePanel,
 )
+from repro.exporters.tenancy_exporter import TenancyExporter
+from repro.loki.frontend import QueryFrontend
 from repro.loki.logql.engine import LogQLEngine
 from repro.loki.ruler import Ruler
 from repro.omni.anomaly import EwmaDetector, ProactiveMonitor
@@ -87,6 +89,9 @@ from repro.shasta.redfish import RedfishEventSource
 from repro.shasta.telemetry_api import TelemetryAPI
 from repro.slackmock.webhook import SlackReceiver, SlackWebhook
 from repro.tempo.instrument import PipelineTracing, TracingReceiver
+from repro.tenancy.admission import AdmissionController
+from repro.tenancy.limits import DEFAULT_TENANT, LimitsRegistry, TenantLimits
+from repro.tenancy.scheduler import QueryScheduler
 from repro.tempo.metrics import TraceMetricsExporter
 from repro.tempo.store import TraceStore
 from repro.tempo.tracer import Tracer
@@ -122,6 +127,12 @@ def _reliable_delivery_default() -> bool:
     """CI's reliable-delivery leg flips the framework default via env so
     the whole integration suite runs in both delivery modes unmodified."""
     return os.environ.get("REPRO_RELIABLE_DELIVERY", "") not in ("", "0")
+
+
+def _multi_tenancy_default() -> bool:
+    """CI's multi-tenancy leg flips the framework default via env so the
+    integration suite runs with the tenant plane switched on unmodified."""
+    return os.environ.get("REPRO_MULTI_TENANCY", "") not in ("", "0")
 
 
 @dataclass
@@ -188,6 +199,23 @@ class FrameworkConfig:
     #: Consumer-side processing failures before a record is poison and
     #: quarantines to the topic's dead-letter queue.
     max_delivery_failures: int = 3
+    # Multi-tenancy (repro.tenancy).  Off by default (or via the
+    # REPRO_MULTI_TENANCY env var, for CI's tenancy leg): the stack is
+    # single-tenant exactly as before.  On: every log push is attributed
+    # to a tenant, tagged with the ``tenant`` stream label, limit-checked
+    # at admission (typed 429s on overdraw), shuffle-sharded onto the
+    # ingest ring when the ring is enabled, and queried through a fair
+    # per-tenant scheduler in front of the split/cache frontend.
+    enable_multi_tenancy: bool = field(default_factory=_multi_tenancy_default)
+    default_tenant: str = DEFAULT_TENANT
+    #: None = the generous built-in defaults every tenant inherits.
+    tenant_default_limits: TenantLimits | None = None
+    tenant_overrides: dict[str, TenantLimits] = field(default_factory=dict)
+    #: Ingesters per tenant shard when the ingest ring is also enabled;
+    #: 0 disables shuffle sharding (every tenant uses the whole ring).
+    tenant_shard_size: int = 3
+    #: Querier slots the fair scheduler multiplexes across tenants.
+    query_max_concurrency: int = 4
 
     def __post_init__(self) -> None:
         if not 0.0 <= self.tracing_sampling <= 1.0:
@@ -207,6 +235,21 @@ class FrameworkConfig:
             if not 1 <= self.ring_replication <= self.ring_ingesters:
                 raise ValidationError(
                     "ring_replication must be in [1, ring_ingesters]"
+                )
+        if self.enable_multi_tenancy:
+            if not self.default_tenant:
+                raise ValidationError("default_tenant must be non-empty")
+            if self.query_max_concurrency < 1:
+                raise ValidationError("query_max_concurrency must be >= 1")
+            if self.tenant_shard_size < 0:
+                raise ValidationError("tenant_shard_size must be >= 0")
+            if (
+                self.enable_ingest_ring
+                and 0 < self.tenant_shard_size < self.ring_replication
+            ):
+                raise ValidationError(
+                    "tenant_shard_size must be 0 (disabled) or >= "
+                    "ring_replication"
                 )
         for name in (
             "redfish_poll_interval_ns",
@@ -278,6 +321,23 @@ class MonitoringFramework:
             seed=cfg.seed + 17, cluster_name=cfg.cluster_name,
         )
 
+        # --- multi-tenancy (repro.tenancy) -------------------------------
+        self.limits: LimitsRegistry | None = None
+        self.admission: AdmissionController | None = None
+        self.frontend: QueryFrontend | None = None
+        self.scheduler: QueryScheduler | None = None
+        self.tenancy_exporter: TenancyExporter | None = None
+        if cfg.enable_multi_tenancy:
+            self.limits = LimitsRegistry(
+                cfg.tenant_default_limits, cfg.tenant_overrides
+            )
+            self.admission = AdmissionController(
+                self.limits,
+                self.clock,
+                default_tenant=cfg.default_tenant,
+                tracer=self.tracer,
+            )
+
         # --- OMNI: the stores ------------------------------------------------
         self.ring: RingLokiCluster | None = None
         self.ring_exporter: RingExporter | None = None
@@ -286,12 +346,27 @@ class MonitoringFramework:
                 ingesters=cfg.ring_ingesters,
                 replication_factor=cfg.ring_replication,
                 tracer=self.tracer,
+                shard_size=(
+                    cfg.tenant_shard_size if cfg.enable_multi_tenancy else 0
+                ),
             )
             self.ring_exporter = RingExporter(self.ring)
             self.faults.attach_ring(self.ring)
-        self.warehouse = OmniWarehouse(self.clock, loki=self.ring)
+        self.warehouse = OmniWarehouse(
+            self.clock, loki=self.ring, admission=self.admission
+        )
         self.logql = LogQLEngine(self.warehouse.loki)
         self.promql = PromQLEngine(self.warehouse.tsdb)
+        if cfg.enable_multi_tenancy:
+            assert self.limits is not None
+            self.frontend = QueryFrontend(self.logql, self.clock)
+            self.scheduler = QueryScheduler(
+                self.frontend,
+                self.clock,
+                registry=self.limits,
+                max_concurrency=cfg.query_max_concurrency,
+                tracer=self.tracer,
+            )
         if self.traces is not None:
             self.trace_metrics = TraceMetricsExporter(
                 self.traces, self.warehouse.tsdb, self.clock,
@@ -367,6 +442,16 @@ class MonitoringFramework:
             self.vmagent.add_target(
                 ScrapeTarget("loki-ring", "ring-exporter:9102", self.ring_exporter)
             )
+        if self.admission is not None:
+            self.tenancy_exporter = TenancyExporter(
+                self.admission, self.scheduler, self.broker
+            )
+            self.vmagent.add_target(
+                ScrapeTarget(
+                    "tenancy", "tenancy-exporter:9104", self.tenancy_exporter
+                )
+            )
+            self.faults.attach_tenancy(self.warehouse, self.scheduler)
 
         # --- alerting plane ---------------------------------------------------------
         self.slack = SlackWebhook()
@@ -687,6 +772,20 @@ class MonitoringFramework:
                     },
                 )
             )
+        if cfg.enable_multi_tenancy:
+            self.vmalert.add_rule(
+                RuleSpec(
+                    name="TenantRateLimited",
+                    expr="tenant_ingest_discarded_recent > 0",
+                    for_=cfg.rule_for,
+                    labels={"severity": "warning", "category": "tenancy"},
+                    annotations={
+                        "summary": "Tenant {{ $labels.tenant }} is being "
+                        "rate-limited: {{ $value }} lines discarded since "
+                        "the last scrape"
+                    },
+                )
+            )
         if cfg.enable_reliable_delivery:
             self.vmalert.add_rule(
                 RuleSpec(
@@ -847,6 +946,53 @@ class MonitoringFramework:
                 )
             )
             dashboards["delivery"] = delivery
+        if self.config.enable_multi_tenancy:
+            tenants = Dashboard("Tenants", uid="tenants")
+            tenants.add_panel(
+                TopListPanel(
+                    title="Ingest accepted per tenant",
+                    datasource=prom_ds,
+                    query="topk(16, tenant_ingest_entries_total)",
+                    label="tenant",
+                )
+            )
+            tenants.add_panel(
+                TimeSeriesPanel(
+                    title="Lines discarded since last scrape (alert signal)",
+                    datasource=prom_ds,
+                    query="tenant_ingest_discarded_recent",
+                )
+            )
+            tenants.add_panel(
+                TopListPanel(
+                    title="Active streams per tenant",
+                    datasource=prom_ds,
+                    query="topk(16, tenant_active_streams)",
+                    label="tenant",
+                )
+            )
+            tenants.add_panel(
+                StatPanel(
+                    title="Pushes rejected (429s)",
+                    datasource=prom_ds,
+                    query="sum(tenant_pushes_rejected_total)",
+                )
+            )
+            tenants.add_panel(
+                TimeSeriesPanel(
+                    title="Query queue depth per tenant",
+                    datasource=prom_ds,
+                    query="tenant_query_queue_depth",
+                )
+            )
+            tenants.add_panel(
+                TimeSeriesPanel(
+                    title="Query wait p95 per tenant",
+                    datasource=prom_ds,
+                    query="tenant_query_wait_p95_seconds",
+                )
+            )
+            dashboards["tenants"] = tenants
         if self.traceql is not None:
             tempo_ds = TempoDatasource(self.traceql)
             tracing = Dashboard("Pipeline Tracing", uid="pipeline-tracing")
@@ -982,5 +1128,18 @@ class MonitoringFramework:
             summary["deliveries_dead_lettered"] = float(stats["failed"])
             summary["records_dead_lettered"] = float(
                 self.broker.records_dead_lettered
+            )
+        if self.admission is not None:
+            counters = self.admission.counters.values()
+            summary["tenants"] = float(len(self.admission.tenants()))
+            summary["tenant_entries_discarded"] = float(
+                sum(c.entries_discarded for c in counters)
+            )
+            summary["tenant_pushes_rejected"] = float(
+                sum(c.pushes_rejected for c in counters)
+            )
+        if self.scheduler is not None:
+            summary["tenant_queries_completed"] = float(
+                sum(s.completed for s in self.scheduler.stats.values())
             )
         return summary

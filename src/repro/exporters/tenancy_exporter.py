@@ -1,0 +1,165 @@
+"""Tenancy exporter: per-tenant ingest/discard/queue health for vmagent.
+
+Isolation only works if someone can see it working: this exporter feeds
+per-tenant acceptance, discards (by reason), active streams, queue depth
+and wait times to the metrics plane, where the ``TenantRateLimited``
+rule and the "Tenants" Grafana dashboard consume them.
+
+``tenant_ingest_discarded_recent`` is the alerting signal: discards
+since the *previous* scrape, computed from a snapshot the exporter
+keeps.  A tenant being throttled right now shows a positive value; once
+its producer backs off the value returns to zero and the alert
+auto-resolves — no rate() support needed in the PromQL engine.
+
+When handed the broker, the exporter also ships the per-topic
+produce/consume/reject counters — the bus-level context for "is this
+tenant's pipeline actually draining".
+"""
+
+from __future__ import annotations
+
+from repro.bus.broker import Broker
+from repro.common.simclock import NANOS_PER_SECOND
+from repro.exporters.textformat import MetricFamily, render_exposition
+from repro.tenancy.admission import AdmissionController
+from repro.tenancy.scheduler import QueryScheduler
+
+
+class TenancyExporter:
+    """Exports admission, scheduler and (optionally) bus counters."""
+
+    def __init__(
+        self,
+        admission: AdmissionController,
+        scheduler: QueryScheduler | None = None,
+        broker: Broker | None = None,
+    ) -> None:
+        self._admission = admission
+        self._scheduler = scheduler
+        self._broker = broker
+        #: tenant -> entries_discarded at the previous scrape.
+        self._last_discarded: dict[str, int] = {}
+        self.scrapes_served = 0
+
+    def scrape(self) -> str:
+        accepted = MetricFamily(
+            "tenant_ingest_entries_total",
+            "Log lines accepted from the tenant.",
+            "counter",
+        )
+        discarded = MetricFamily(
+            "tenant_ingest_discarded_total",
+            "Log lines rejected, by 429 reason.",
+            "counter",
+        )
+        recent = MetricFamily(
+            "tenant_ingest_discarded_recent",
+            "Lines discarded since the previous scrape (alert signal).",
+            "gauge",
+        )
+        streams = MetricFamily(
+            "tenant_active_streams",
+            "Distinct active streams held by the tenant.",
+            "gauge",
+        )
+        rejected_pushes = MetricFamily(
+            "tenant_pushes_rejected_total",
+            "Whole pushes refused with a typed 429.",
+            "counter",
+        )
+        for tenant in self._admission.tenants():
+            counters = self._admission.counters[tenant]
+            accepted.add(float(counters.entries_accepted), tenant=tenant)
+            for reason, count in sorted(counters.discarded.items()):
+                discarded.add(float(count), tenant=tenant, reason=reason)
+            now_discarded = counters.entries_discarded
+            last = self._last_discarded.get(tenant, 0)
+            recent.add(float(now_discarded - last), tenant=tenant)
+            self._last_discarded[tenant] = now_discarded
+            streams.add(
+                float(self._admission.active_streams(tenant)), tenant=tenant
+            )
+            rejected_pushes.add(float(counters.pushes_rejected), tenant=tenant)
+        families = [accepted, discarded, recent, streams, rejected_pushes]
+        if self._scheduler is not None:
+            depth = MetricFamily(
+                "tenant_query_queue_depth",
+                "Queries waiting in the tenant's scheduler queue.",
+                "gauge",
+            )
+            running = MetricFamily(
+                "tenant_queries_running",
+                "Tenant queries currently holding querier slots.",
+                "gauge",
+            )
+            completed = MetricFamily(
+                "tenant_queries_completed_total",
+                "Tenant queries finished successfully.",
+                "counter",
+            )
+            q_rejected = MetricFamily(
+                "tenant_queries_rejected_total",
+                "Tenant queries refused by limits (range/series).",
+                "counter",
+            )
+            wait_p95 = MetricFamily(
+                "tenant_query_wait_p95_seconds",
+                "95th percentile queue wait for the tenant's queries.",
+                "gauge",
+            )
+            wait_mean = MetricFamily(
+                "tenant_query_wait_mean_seconds",
+                "Mean queue wait for the tenant's queries.",
+                "gauge",
+            )
+            for tenant in self._scheduler.tenants():
+                stats = self._scheduler.stats.get(tenant)
+                depth.add(
+                    float(self._scheduler.queue_depth(tenant)), tenant=tenant
+                )
+                running.add(
+                    float(self._scheduler.running(tenant)), tenant=tenant
+                )
+                if stats is None:
+                    continue
+                completed.add(float(stats.completed), tenant=tenant)
+                q_rejected.add(
+                    float(stats.rejected + stats.failed), tenant=tenant
+                )
+                wait_p95.add(
+                    self._scheduler.wait_percentile_ns(tenant, 95.0)
+                    / NANOS_PER_SECOND,
+                    tenant=tenant,
+                )
+                wait_mean.add(
+                    stats.mean_wait_ns / NANOS_PER_SECOND, tenant=tenant
+                )
+            families += [
+                depth, running, completed, q_rejected, wait_p95, wait_mean,
+            ]
+        if self._broker is not None:
+            produced = MetricFamily(
+                "bus_topic_produced_total",
+                "Records produced to the topic.",
+                "counter",
+            )
+            consumed = MetricFamily(
+                "bus_topic_consumed_total",
+                "Records delivered to consumers from the topic.",
+                "counter",
+            )
+            rejected = MetricFamily(
+                "bus_topic_rejected_total",
+                "Produce attempts refused by backpressure.",
+                "counter",
+            )
+            for topic in self._broker.topics():
+                stats = self._broker.topic_stats(topic)
+                produced.add(float(stats["total_produced"]), topic=topic)
+                consumed.add(float(stats["total_consumed"]), topic=topic)
+                rejected.add(
+                    float(stats["backpressure_rejections"]), topic=topic
+                )
+            families += [produced, consumed, rejected]
+        self.scrapes_served += 1
+        return render_exposition(families)

@@ -14,6 +14,7 @@ cached, because the tip is still accumulating data.
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Protocol
 
@@ -35,6 +36,9 @@ class _CacheKey:
     start_ns: int
     end_ns: int
     step_ns: int
+    #: Cache entries are tenant-scoped: identical LogQL submitted by two
+    #: tenants must never share results (their visible streams differ).
+    tenant: str | None = None
 
 
 class QueryFrontend:
@@ -55,7 +59,8 @@ class QueryFrontend:
         self._clock = clock
         self._split_ns = split_ns
         self._max_entries = max_entries
-        self._cache: dict[_CacheKey, list[Series]] = {}
+        # True LRU: ordered oldest-access-first; hits refresh recency.
+        self._cache: OrderedDict[_CacheKey, list[Series]] = OrderedDict()
         self.splits_executed = 0
         self.cache_hits = 0
         self.cache_misses = 0
@@ -64,14 +69,20 @@ class QueryFrontend:
     # Public API
     # ------------------------------------------------------------------
     def query_range(
-        self, query: str, start_ns: int, end_ns: int, step_ns: int
+        self,
+        query: str,
+        start_ns: int,
+        end_ns: int,
+        step_ns: int,
+        tenant: str | None = None,
     ) -> list[Series]:
         """Split-aligned, cached evaluation; results equal the direct call.
 
         Sub-windows are aligned to multiples of the split interval so the
         same dashboard refresh always hits the same cache keys.  Steps
         must divide the split interval for alignment to preserve the
-        exact evaluation instants.
+        exact evaluation instants.  ``tenant`` scopes the cache: two
+        tenants issuing the same LogQL never share cached sub-results.
         """
         if step_ns <= 0:
             raise ValidationError("step must be positive")
@@ -86,7 +97,9 @@ class QueryFrontend:
         phase = start_ns % step_ns
         merged: dict[LabelSet, list[tuple[int, float]]] = {}
         for sub_start, sub_end in self._aligned_windows(start_ns, end_ns):
-            for series in self._sub_query(query, sub_start, sub_end, step_ns, phase):
+            for series in self._sub_query(
+                query, sub_start, sub_end, step_ns, phase, tenant
+            ):
                 merged.setdefault(series.labels, []).extend(series.points)
         out = []
         for labels, points in merged.items():
@@ -121,14 +134,21 @@ class QueryFrontend:
             cursor = sub_end + 1
 
     def _sub_query(
-        self, query: str, start_ns: int, end_ns: int, step_ns: int, phase: int
+        self,
+        query: str,
+        start_ns: int,
+        end_ns: int,
+        step_ns: int,
+        phase: int,
+        tenant: str | None,
     ) -> list[Series]:
         # The phase keys the evaluation grid (instants are phase + k*step),
         # so differently-phased dashboards never share cache entries.
-        key = _CacheKey(query, start_ns - phase, end_ns - phase, step_ns)
+        key = _CacheKey(query, start_ns - phase, end_ns - phase, step_ns, tenant)
         cached = self._cache.get(key)
         if cached is not None:
             self.cache_hits += 1
+            self._cache.move_to_end(key)  # LRU: a hit refreshes recency
             return cached
         self.cache_misses += 1
         # First on-grid instant inside this sub-window.
@@ -140,6 +160,6 @@ class QueryFrontend:
         self.splits_executed += 1
         if end_ns < self._clock.now_ns:  # complete, immutable window
             if len(self._cache) >= self._max_entries:
-                self._cache.pop(next(iter(self._cache)))
+                self._cache.popitem(last=False)  # evict least recently used
             self._cache[key] = result
         return result

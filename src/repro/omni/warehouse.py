@@ -12,12 +12,13 @@ from typing import Mapping
 
 from repro.common.labels import LabelSet
 from repro.common.simclock import SimClock, NANOS_PER_SECOND, days
-from repro.loki.model import LogEntry, PushRequest
+from repro.loki.model import LogEntry, PushRequest, PushStream
 from repro.loki.store import LokiStore
 from repro.omni.archive import ArchiveStore
 from repro.omni.retention import RetentionManager, RetentionPolicy
 from repro.ring.cluster import RingLokiCluster
 from repro.tempo.model import SpanContext
+from repro.tenancy.admission import AdmissionController
 from repro.tsdb.storage import TimeSeriesStore
 
 
@@ -36,6 +37,7 @@ class OmniWarehouse:
         loki: LokiStore | RingLokiCluster | None = None,
         tsdb: TimeSeriesStore | None = None,
         policy: RetentionPolicy | None = None,
+        admission: AdmissionController | None = None,
     ) -> None:
         self._clock = clock
         self.loki = loki or LokiStore()
@@ -43,6 +45,10 @@ class OmniWarehouse:
         self.tsdb = tsdb or TimeSeriesStore()
         self.archive = ArchiveStore()
         self.retention = RetentionManager(clock, self.loki, self.archive, policy)
+        #: Multi-tenant front door.  When set, every log push is
+        #: attributed to a tenant, tagged, and limit-checked before it
+        #: reaches either log backend; over-limit pushes raise typed 429s.
+        self.admission = admission
         self.messages_ingested = 0
         self._ingest_started_ns = clock.now_ns
 
@@ -55,8 +61,15 @@ class OmniWarehouse:
         timestamp_ns: int,
         line: str,
         trace_ctx: SpanContext | None = None,
+        tenant: str | None = None,
     ) -> int:
         entries = [LogEntry(timestamp_ns, line)]
+        if self.admission is not None:
+            labelset = labels if isinstance(labels, LabelSet) else LabelSet(labels)
+            request = PushRequest(
+                streams=(PushStream(labels=labelset, entries=tuple(entries)),)
+            )
+            return self.ingest_logs(request, trace_ctx=trace_ctx, tenant=tenant)
         if self._ring is not None:
             accepted = self._ring.push_stream(labels, entries, trace_ctx=trace_ctx)
         else:
@@ -65,8 +78,17 @@ class OmniWarehouse:
         return accepted
 
     def ingest_logs(
-        self, request: PushRequest, trace_ctx: SpanContext | None = None
+        self,
+        request: PushRequest,
+        trace_ctx: SpanContext | None = None,
+        tenant: str | None = None,
     ) -> int:
+        if self.admission is not None:
+            # Admission tags every stream with the tenant label and
+            # raises the typed 429 before anything reaches a store.
+            request = self.admission.admit_push(
+                request, tenant=tenant, trace_ctx=trace_ctx
+            )
         if self._ring is not None:
             accepted = self._ring.push(request, trace_ctx=trace_ctx)
         else:

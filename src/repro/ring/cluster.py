@@ -26,6 +26,7 @@ from repro.ring.hashring import HashRing
 from repro.ring.ingester import Ingester
 from repro.tempo.model import SpanContext
 from repro.tempo.tracer import Tracer
+from repro.tenancy.sharding import ShuffleSharder
 
 
 class RingLokiCluster:
@@ -39,7 +40,11 @@ class RingLokiCluster:
         vnodes: int = 64,
         wal_segment_bytes: int = 64 * 1024,
         tracer: Tracer | None = None,
+        shard_size: int = 0,
     ) -> None:
+        """``shard_size`` > 0 turns on shuffle sharding: streams carrying
+        a ``tenant`` label confine their replicas to the tenant's subring
+        of that many ingesters."""
         if ingesters < 1:
             raise ValidationError("need at least one ingester")
         self.ring = HashRing(vnodes=vnodes)
@@ -52,11 +57,13 @@ class RingLokiCluster:
             self.ring.join(ingester_id)
         self._policy = policy
         self._wal_segment_bytes = wal_segment_bytes
+        self.sharder = ShuffleSharder(self.ring, shard_size)
         self.distributor = Distributor(
             self.ring,
             self.ingesters,
             replication_factor=replication_factor,
             tracer=tracer,
+            sharder=self.sharder,
         )
 
     # ------------------------------------------------------------------

@@ -26,6 +26,8 @@ from repro.ring.hashring import HashRing, stream_key
 from repro.ring.ingester import Ingester
 from repro.tempo.model import SpanContext
 from repro.tempo.tracer import Tracer
+from repro.tenancy.limits import TENANT_LABEL
+from repro.tenancy.sharding import ShuffleSharder
 
 
 class QuorumError(StateError):
@@ -50,6 +52,7 @@ class Distributor:
         ingesters: Mapping[str, Ingester],
         replication_factor: int = 3,
         tracer: Tracer | None = None,
+        sharder: ShuffleSharder | None = None,
     ) -> None:
         if replication_factor < 1:
             raise ValidationError("replication factor must be >= 1")
@@ -58,10 +61,17 @@ class Distributor:
                 f"replication factor {replication_factor} exceeds "
                 f"{len(ingesters)} ingester(s)"
             )
+        if sharder is not None and sharder.enabled:
+            if sharder.shard_size < replication_factor:
+                raise ValidationError(
+                    f"shard size {sharder.shard_size} cannot hold "
+                    f"{replication_factor} replicas"
+                )
         self.ring = ring
         self.ingesters = ingesters
         self.replication_factor = replication_factor
         self.tracer = tracer
+        self.sharder = sharder
         # Accounting for the ring exporter and bench R1.
         self.pushes = 0
         self.entries_accepted = 0
@@ -73,6 +83,17 @@ class Distributor:
     @property
     def write_quorum(self) -> int:
         return self.replication_factor // 2 + 1
+
+    def _placement_ring(self, labels: LabelSet) -> HashRing:
+        """The ring a stream places on: with shuffle sharding enabled and
+        a ``tenant`` label present, the tenant's subring; otherwise the
+        whole ring (unlabelled streams are never shard-confined)."""
+        if self.sharder is None or not self.sharder.enabled:
+            return self.ring
+        tenant = labels.get(TENANT_LABEL)
+        if not tenant:
+            return self.ring
+        return self.sharder.subring(tenant)
 
     # ------------------------------------------------------------------
     # Write path
@@ -103,7 +124,9 @@ class Distributor:
         ok_total = failed_total = 0
         for stream in request.streams:
             key = stream_key(stream.labels)
-            replicas = self.ring.preference_list(key, self.replication_factor)
+            replicas = self._placement_ring(stream.labels).preference_list(
+                key, self.replication_factor
+            )
             accepted_counts = []
             for replica_id in replicas:
                 ingester = self.ingesters[replica_id]

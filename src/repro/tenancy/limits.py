@@ -1,0 +1,153 @@
+"""Per-tenant limits, the overrides registry, and the token bucket.
+
+Mirrors Loki's ``limits_config`` + per-tenant ``overrides``: a single
+defaults block applies to every tenant, and operators raise or lower
+individual tenants without touching the rest.  Rates are enforced by a
+token bucket driven entirely by explicit nanosecond timestamps from the
+:class:`~repro.common.simclock.SimClock`, so admission decisions are a
+pure function of the push history — fully deterministic under test.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from repro.common.errors import ValidationError
+from repro.common.simclock import NANOS_PER_SECOND, days
+
+#: The tenant label every admitted stream carries (Loki's ``X-Scope-OrgID``
+#: becomes a stream label here, since the in-process store has no HTTP).
+TENANT_LABEL = "tenant"
+
+#: Tenant id used when the caller does not say who is pushing — the
+#: single-tenant world collapses onto this id, like Loki's ``fake``.
+DEFAULT_TENANT = "ops"
+
+
+@dataclass(frozen=True)
+class TenantLimits:
+    """One tenant's limits (Loki ``limits_config`` subset).
+
+    The defaults are deliberately generous: with multi-tenancy enabled
+    but no overrides, the legacy single-tenant workloads must sail
+    through unthrottled.
+    """
+
+    #: Sustained ingestion rate, log lines per second, and the burst the
+    #: token bucket holds on top of it.
+    ingestion_rate_lines_s: float = 10_000.0
+    ingestion_burst_lines: int = 100_000
+    #: Distinct active streams the tenant may hold open.
+    max_active_streams: int = 25_000
+    #: Per-stream sustained rate and burst (lines per second).
+    per_stream_rate_lines_s: float = 2_000.0
+    per_stream_burst_lines: int = 20_000
+    #: Widest [start, end) window a single query may span.
+    max_query_range_ns: int = days(30)
+    #: Most series a single query may return.
+    max_series_per_query: int = 50_000
+    #: Queries of this tenant running concurrently in the scheduler.
+    max_concurrent_queries: int = 4
+
+    def __post_init__(self) -> None:
+        if self.ingestion_rate_lines_s <= 0:
+            raise ValidationError("ingestion rate must be positive")
+        if self.ingestion_burst_lines < 1:
+            raise ValidationError("ingestion burst must be >= 1")
+        if self.max_active_streams < 1:
+            raise ValidationError("max active streams must be >= 1")
+        if self.per_stream_rate_lines_s <= 0:
+            raise ValidationError("per-stream rate must be positive")
+        if self.per_stream_burst_lines < 1:
+            raise ValidationError("per-stream burst must be >= 1")
+        if self.max_query_range_ns <= 0:
+            raise ValidationError("max query range must be positive")
+        if self.max_series_per_query < 1:
+            raise ValidationError("max series per query must be >= 1")
+        if self.max_concurrent_queries < 1:
+            raise ValidationError("max concurrent queries must be >= 1")
+
+
+class LimitsRegistry:
+    """Defaults plus per-tenant overrides (Loki's runtime overrides file)."""
+
+    def __init__(
+        self,
+        defaults: TenantLimits | None = None,
+        overrides: dict[str, TenantLimits] | None = None,
+    ) -> None:
+        self.defaults = defaults or TenantLimits()
+        self._overrides: dict[str, TenantLimits] = dict(overrides or {})
+
+    def limits_for(self, tenant: str) -> TenantLimits:
+        return self._overrides.get(tenant, self.defaults)
+
+    def set_override(self, tenant: str, limits: TenantLimits) -> None:
+        if not tenant:
+            raise ValidationError("tenant id must be non-empty")
+        self._overrides[tenant] = limits
+
+    def update_override(self, tenant: str, **changes: object) -> TenantLimits:
+        """Override selected fields, inheriting the rest from the
+        tenant's current effective limits."""
+        limits = replace(self.limits_for(tenant), **changes)  # type: ignore[arg-type]
+        self.set_override(tenant, limits)
+        return limits
+
+    def clear_override(self, tenant: str) -> None:
+        self._overrides.pop(tenant, None)
+
+    def overrides(self) -> dict[str, TenantLimits]:
+        return dict(self._overrides)
+
+
+@dataclass
+class TokenBucket:
+    """Deterministic token bucket: ``rate`` tokens/second, ``burst`` cap.
+
+    The bucket starts full.  Refill happens lazily on each call from the
+    explicit ``now_ns`` argument, so two buckets fed the same call
+    sequence always agree — no wall clock anywhere.
+    """
+
+    rate_per_s: float
+    burst: int
+    _level: float = field(init=False)
+    _last_ns: int = field(init=False, default=0)
+
+    def __post_init__(self) -> None:
+        if self.rate_per_s <= 0:
+            raise ValidationError("token rate must be positive")
+        if self.burst < 1:
+            raise ValidationError("burst must be >= 1")
+        self._level = float(self.burst)
+
+    def _refill(self, now_ns: int) -> None:
+        if now_ns > self._last_ns:
+            elapsed_s = (now_ns - self._last_ns) / NANOS_PER_SECOND
+            self._level = min(
+                float(self.burst), self._level + elapsed_s * self.rate_per_s
+            )
+            self._last_ns = now_ns
+
+    def peek(self, now_ns: int) -> float:
+        """Tokens available at ``now_ns`` without taking any."""
+        self._refill(now_ns)
+        return self._level
+
+    def take(self, now_ns: int, tokens: int = 1) -> bool:
+        """Take ``tokens`` if available; all-or-nothing, like a 429."""
+        if tokens < 0:
+            raise ValidationError("cannot take negative tokens")
+        self._refill(now_ns)
+        if tokens > self._level:
+            return False
+        self._level -= tokens
+        return True
+
+    def give_back(self, tokens: int) -> None:
+        """Return tokens taken by an operation that was then rejected
+        for an unrelated reason (never exceeds the burst cap)."""
+        if tokens < 0:
+            raise ValidationError("cannot give back negative tokens")
+        self._level = min(float(self.burst), self._level + tokens)

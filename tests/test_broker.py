@@ -302,3 +302,49 @@ class TestStats:
         broker.produce("events", "x")
         broker.poll("g1", "events")
         assert ("g1", "events") in broker.group_ids()
+
+    def test_consume_counter_counts_deliveries(self, broker):
+        for i in range(6):
+            broker.produce("events", f"m{i}")
+        broker.poll("g1", "events", max_records=4)
+        assert broker.topic_stats("events")["total_consumed"] == 4
+        broker.poll("g1", "events", max_records=10)
+        assert broker.topic_stats("events")["total_consumed"] == 6
+
+    def test_consume_counter_includes_redelivery(self, clock):
+        # Without auto-commit, an uncommitted poll is re-delivered after
+        # a seek — the counter tracks deliveries, not unique records.
+        b = Broker(clock)
+        b.create_topic("t", TopicConfig(partitions=1))
+        b.produce("t", "only")
+        b.poll("g", "t", auto_commit=False)
+        b.reset_to_committed("g", "t")
+        b.poll("g", "t", auto_commit=False)
+        assert b.topic_stats("t")["total_consumed"] == 2
+
+    def test_each_group_counts_toward_consumed(self, broker):
+        broker.produce("events", "x")
+        broker.poll("g1", "events")
+        broker.poll("g2", "events")
+        assert broker.topic_stats("events")["total_consumed"] == 2
+
+    def test_reject_counter_on_backpressure(self, clock):
+        b = Broker(clock)
+        b.create_topic(
+            "tiny", TopicConfig(partitions=1, max_records_per_partition=2)
+        )
+        b.produce("tiny", "a")
+        b.produce("tiny", "b")
+        with pytest.raises(CapacityError):
+            b.produce("tiny", "c")
+        stats = b.topic_stats("tiny")
+        assert stats["total_produced"] == 2
+        assert stats["backpressure_rejections"] == 1
+
+    def test_counters_are_per_topic(self, broker):
+        broker.create_topic("other")
+        broker.produce("events", "x")
+        broker.produce("other", "y")
+        broker.poll("g", "other")
+        assert broker.topic_stats("events")["total_consumed"] == 0
+        assert broker.topic_stats("other")["total_consumed"] == 1

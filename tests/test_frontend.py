@@ -134,6 +134,69 @@ class TestCaching:
         assert a != b
 
 
+class TestLruEviction:
+    """The cache is true LRU: a hit refreshes recency, so the hot entry
+    survives an insert-driven eviction (a FIFO cache would evict it)."""
+
+    def test_hit_refreshes_recency(self, world):
+        clock, engine, _ = world
+        frontend = QueryFrontend(engine, clock, split_ns=hours(1), max_entries=2)
+        # Fill the cache: windows [0,1h) and [1h,2h).
+        frontend.query_range(QUERY, 0, hours(2) - minutes(10), minutes(10))
+        assert len(frontend._cache) == 2
+        # Re-touch the OLDEST entry ([0,1h)) — under LRU it becomes the
+        # most recent; under FIFO insertion order it would stay oldest.
+        frontend.query_range(QUERY, 0, hours(1) - minutes(10), minutes(10))
+        # Insert a third window, forcing one eviction.
+        frontend.query_range(
+            QUERY, hours(2), hours(3) - minutes(10), minutes(10)
+        )
+        assert len(frontend._cache) == 2
+        # The hot [0,1h) window must still answer from cache.
+        calls = engine.calls
+        frontend.query_range(QUERY, 0, hours(1) - minutes(10), minutes(10))
+        assert engine.calls == calls
+
+    def test_cold_entry_is_the_one_evicted(self, world):
+        clock, engine, _ = world
+        frontend = QueryFrontend(engine, clock, split_ns=hours(1), max_entries=2)
+        frontend.query_range(QUERY, 0, hours(2) - minutes(10), minutes(10))
+        frontend.query_range(QUERY, 0, hours(1) - minutes(10), minutes(10))
+        frontend.query_range(
+            QUERY, hours(2), hours(3) - minutes(10), minutes(10)
+        )
+        # [1h,2h) went cold and was evicted: querying it recomputes.
+        calls = engine.calls
+        frontend.query_range(
+            QUERY, hours(1), hours(2) - minutes(10), minutes(10)
+        )
+        assert engine.calls == calls + 1
+
+
+class TestTenantScopedCache:
+    """Identical LogQL from two tenants never shares cached results."""
+
+    def test_tenants_do_not_share_entries(self, world):
+        clock, engine, frontend = world
+        frontend.query_range(QUERY, 0, hours(2), minutes(10), tenant="alpha")
+        calls_after_alpha = engine.calls
+        frontend.query_range(QUERY, 0, hours(2), minutes(10), tenant="beta")
+        # Beta's identical query recomputed every sub-window.
+        assert engine.calls > calls_after_alpha
+        # Each tenant's second run is fully cached.
+        calls = engine.calls
+        frontend.query_range(QUERY, 0, hours(2), minutes(10), tenant="alpha")
+        frontend.query_range(QUERY, 0, hours(2), minutes(10), tenant="beta")
+        assert engine.calls == calls
+
+    def test_untenanted_and_tenanted_are_distinct(self, world):
+        clock, engine, frontend = world
+        frontend.query_range(QUERY, 0, hours(2), minutes(10))
+        calls = engine.calls
+        frontend.query_range(QUERY, 0, hours(2), minutes(10), tenant="alpha")
+        assert engine.calls > calls
+
+
 class TestLateArrivingData:
     """The stale-read edge: chunks landing inside an already-cached window.
 
