@@ -23,6 +23,8 @@ from repro.loki.model import LogEntry, PushRequest, PushStream
 
 if TYPE_CHECKING:
     from repro.core.consumers import _BaseConsumer
+    from repro.objstore.objectstore import ObjectStore
+    from repro.objstore.shipper import ChunkShipper
     from repro.omni.warehouse import OmniWarehouse
     from repro.resilience.journal import NotificationJournal
     from repro.resilience.receivers import FlakyReceiver
@@ -51,6 +53,11 @@ class FaultKind(enum.Enum):
     # the write path (and optionally the query scheduler) until the
     # fault ends.  The target is the offending tenant id.
     NOISY_NEIGHBOR = "noisy_neighbor"
+    # Cold-tier faults (repro.objstore): the object-store backend goes
+    # dark (every request refused, flushes stall resident) or degrades
+    # (accounted latencies multiplied).  Targets are backend names.
+    OBJSTORE_OUTAGE = "objstore_outage"
+    OBJSTORE_SLOW = "objstore_slow"
 
 
 #: Fault kinds whose target is an ingest-ring member id, not an xname.
@@ -65,6 +72,11 @@ _DELIVERY_KINDS = frozenset(
 
 #: Fault kinds whose target is a tenant id.
 _TENANCY_KINDS = frozenset({FaultKind.NOISY_NEIGHBOR})
+
+#: Fault kinds whose target is an object-store backend name.
+_OBJSTORE_KINDS = frozenset(
+    {FaultKind.OBJSTORE_OUTAGE, FaultKind.OBJSTORE_SLOW}
+)
 
 
 @dataclass
@@ -99,6 +111,8 @@ class FaultInjector:
         self._journal: "NotificationJournal | None" = None
         self._warehouse: "OmniWarehouse | None" = None
         self._scheduler: "QueryScheduler | None" = None
+        self._objstore: "ObjectStore | None" = None
+        self._shipper: "ChunkShipper | None" = None
         self._flood_timers: dict[int, Timer] = {}
         self.faults: list[Fault] = []
 
@@ -131,6 +145,17 @@ class FaultInjector:
         self._warehouse = warehouse
         self._scheduler = scheduler
 
+    def attach_objstore(
+        self,
+        store: "ObjectStore",
+        shipper: "ChunkShipper | None" = None,
+    ) -> None:
+        """Late-bind the cold tier (object-storage mode): the backend the
+        OBJSTORE_* faults toggle, plus the shipper whose failure counters
+        give the ground-truth snapshots."""
+        self._objstore = store
+        self._shipper = shipper
+
     # ------------------------------------------------------------------
     # Scheduling
     # ------------------------------------------------------------------
@@ -150,6 +175,7 @@ class FaultInjector:
             kind in _INGESTER_KINDS
             or kind in _DELIVERY_KINDS
             or kind in _TENANCY_KINDS
+            or kind in _OBJSTORE_KINDS
         ):
             x: XName | str = str(target)
         else:
@@ -221,6 +247,16 @@ class FaultInjector:
             detail["lag_at_start"] = consumer.lag()
         elif kind is FaultKind.NOISY_NEIGHBOR:
             self._begin_noisy_neighbor(fault)
+        elif kind is FaultKind.OBJSTORE_OUTAGE:
+            store = self._require_objstore()
+            store.set_outage(True)
+            if self._shipper is not None:
+                # Ground truth: how many flushes had failed before the
+                # outage, so chaos tests can count failures *during* it.
+                detail["flush_failures_at_start"] = self._shipper.flush_failures
+        elif kind is FaultKind.OBJSTORE_SLOW:
+            factor = float(detail.get("factor", 10.0))  # type: ignore[arg-type]
+            self._require_objstore().set_slowdown(factor)
         else:  # pragma: no cover - exhaustive over enum
             raise ValidationError(f"unhandled fault kind {kind}")
 
@@ -311,6 +347,14 @@ class FaultInjector:
             )
         return self._warehouse
 
+    def _require_objstore(self) -> "ObjectStore":
+        if self._objstore is None:
+            raise ValidationError(
+                "objstore fault requires an attached object store "
+                "(enable object storage)"
+            )
+        return self._objstore
+
     def _end(self, fault: Fault) -> None:
         if not fault.active:
             return
@@ -355,6 +399,16 @@ class FaultInjector:
             timer = self._flood_timers.pop(id(fault), None)
             if timer is not None:
                 timer.cancel()
+        elif kind is FaultKind.OBJSTORE_OUTAGE:
+            self._require_objstore().set_outage(False)
+            if self._shipper is not None:
+                start = int(detail.get("flush_failures_at_start", 0))  # type: ignore[arg-type]
+                detail["flush_failures_at_end"] = self._shipper.flush_failures
+                detail["flush_failures_during"] = (
+                    self._shipper.flush_failures - start
+                )
+        elif kind is FaultKind.OBJSTORE_SLOW:
+            self._require_objstore().set_slowdown(1.0)
 
     # ------------------------------------------------------------------
     # Ground truth

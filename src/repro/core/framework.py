@@ -17,7 +17,7 @@ from dataclasses import dataclass, field
 
 from repro.common.errors import ValidationError
 from repro.common.labels import Matcher, MatchOp
-from repro.common.simclock import SimClock, minutes, seconds
+from repro.common.simclock import NANOS_PER_DAY, SimClock, minutes, seconds
 from repro.alerting.alertmanager import Alertmanager, Route
 from repro.alerting.rules import RuleSpec
 from repro.bus.broker import Broker
@@ -52,9 +52,17 @@ from repro.grafana.panels import (
     TracePanel,
 )
 from repro.exporters.tenancy_exporter import TenancyExporter
+from repro.exporters.objstore_exporter import ObjstoreExporter
 from repro.loki.frontend import QueryFrontend
 from repro.loki.logql.engine import LogQLEngine
 from repro.loki.ruler import Ruler
+from repro.loki.store import LokiStore
+from repro.objstore.compactor import CompactionPolicy, Compactor
+from repro.objstore.gateway import StoreGateway
+from repro.objstore.index import ShipperIndex
+from repro.objstore.objectstore import ObjectStore
+from repro.objstore.shipper import ChunkShipper
+from repro.objstore.tiered import TieredLokiStore
 from repro.omni.anomaly import EwmaDetector, ProactiveMonitor
 from repro.omni.eventstore import EventStore, record_from_alert
 from repro.omni.warehouse import OmniWarehouse
@@ -133,6 +141,12 @@ def _multi_tenancy_default() -> bool:
     """CI's multi-tenancy leg flips the framework default via env so the
     integration suite runs with the tenant plane switched on unmodified."""
     return os.environ.get("REPRO_MULTI_TENANCY", "") not in ("", "0")
+
+
+def _object_storage_default() -> bool:
+    """CI's object-storage leg flips the framework default via env so the
+    integration suite runs with the tiered cold store switched on."""
+    return os.environ.get("REPRO_OBJECT_STORAGE", "") not in ("", "0")
 
 
 @dataclass
@@ -216,6 +230,23 @@ class FrameworkConfig:
     tenant_shard_size: int = 3
     #: Querier slots the fair scheduler multiplexes across tenants.
     query_max_concurrency: int = 4
+    # Tiered object storage (repro.objstore).  Off by default (or via
+    # the REPRO_OBJECT_STORAGE env var, for CI's object-storage leg):
+    # chunks stay resident in ingester memory forever, exactly as
+    # before.  On: a shipper periodically seals aged chunks and uploads
+    # them to a simulated S3 bucket behind a period-partitioned index
+    # (replica copies deduplicate by content hash), freeing hot memory;
+    # a compactor merges small objects and applies retention; queries
+    # merge recent-from-ingester with cold-from-gateway transparently.
+    enable_object_storage: bool = field(default_factory=_object_storage_default)
+    objstore_flush_interval_ns: int = minutes(5)
+    objstore_compaction_interval_ns: int = minutes(30)
+    objstore_index_period_ns: int = NANOS_PER_DAY
+    objstore_target_object_bytes: int = 1 << 20
+    #: None = cold chunks are kept forever; the OMNI retention manager
+    #: still sweeps both tiers on its own schedule either way.
+    objstore_default_retention_ns: int | None = None
+    objstore_tenant_retention_ns: dict[str, int] = field(default_factory=dict)
 
     def __post_init__(self) -> None:
         if not 0.0 <= self.tracing_sampling <= 1.0:
@@ -250,6 +281,29 @@ class FrameworkConfig:
                 raise ValidationError(
                     "tenant_shard_size must be 0 (disabled) or >= "
                     "ring_replication"
+                )
+        if self.enable_object_storage:
+            if self.objstore_flush_interval_ns <= 0:
+                raise ValidationError(
+                    "objstore_flush_interval_ns must be positive"
+                )
+            if self.objstore_compaction_interval_ns <= 0:
+                raise ValidationError(
+                    "objstore_compaction_interval_ns must be positive"
+                )
+            if self.objstore_index_period_ns <= 0:
+                raise ValidationError(
+                    "objstore_index_period_ns must be positive"
+                )
+            if self.objstore_target_object_bytes < 1:
+                raise ValidationError(
+                    "objstore_target_object_bytes must be positive"
+                )
+            if self.objstore_default_retention_ns is not None and (
+                self.objstore_default_retention_ns <= 0
+            ):
+                raise ValidationError(
+                    "objstore_default_retention_ns must be positive or None"
                 )
         for name in (
             "redfish_poll_interval_ns",
@@ -352,8 +406,53 @@ class MonitoringFramework:
             )
             self.ring_exporter = RingExporter(self.ring)
             self.faults.attach_ring(self.ring)
+        # Tiered cold storage wraps whatever hot tier is configured — the
+        # ring when it is on, a plain LokiStore otherwise — so both CI
+        # legs compose: REPRO_OBJECT_STORAGE=1 on top of the ring gives
+        # replicated hot ingest *and* deduplicated cold flush.
+        self.objstore: ObjectStore | None = None
+        self.shipper_index: ShipperIndex | None = None
+        self.shipper: ChunkShipper | None = None
+        self.compactor: Compactor | None = None
+        self.store_gateway: StoreGateway | None = None
+        self.tiered: TieredLokiStore | None = None
+        self.objstore_exporter: ObjstoreExporter | None = None
+        log_backend: RingLokiCluster | TieredLokiStore | LokiStore | None = (
+            self.ring
+        )
+        if cfg.enable_object_storage:
+            hot = self.ring if self.ring is not None else LokiStore()
+            self.objstore = ObjectStore(self.clock)
+            self.shipper_index = ShipperIndex(
+                self.objstore, period_ns=cfg.objstore_index_period_ns
+            )
+            self.shipper = ChunkShipper(
+                hot, self.objstore, self.shipper_index, self.clock,
+                tracer=self.tracer,
+            )
+            self.compactor = Compactor(
+                self.objstore,
+                self.shipper_index,
+                self.clock,
+                policy=CompactionPolicy(
+                    target_object_bytes=cfg.objstore_target_object_bytes
+                ),
+                default_retention_ns=cfg.objstore_default_retention_ns,
+                tenant_retention_ns=cfg.objstore_tenant_retention_ns,
+                tracer=self.tracer,
+            )
+            self.store_gateway = StoreGateway(
+                self.objstore, self.shipper_index, self.clock,
+                tracer=self.tracer,
+            )
+            self.tiered = TieredLokiStore(
+                hot, self.objstore, self.shipper_index, self.shipper,
+                self.compactor, self.store_gateway,
+            )
+            self.faults.attach_objstore(self.objstore, self.shipper)
+            log_backend = self.tiered
         self.warehouse = OmniWarehouse(
-            self.clock, loki=self.ring, admission=self.admission
+            self.clock, loki=log_backend, admission=self.admission
         )
         self.logql = LogQLEngine(self.warehouse.loki)
         self.promql = PromQLEngine(self.warehouse.tsdb)
@@ -452,6 +551,23 @@ class MonitoringFramework:
                 )
             )
             self.faults.attach_tenancy(self.warehouse, self.scheduler)
+        if (
+            self.objstore is not None
+            and self.shipper_index is not None
+            and self.shipper is not None
+        ):
+            self.objstore_exporter = ObjstoreExporter(
+                self.objstore,
+                self.shipper_index,
+                self.shipper,
+                compactor=self.compactor,
+                gateway=self.store_gateway,
+            )
+            self.vmagent.add_target(
+                ScrapeTarget(
+                    "objstore", "objstore-exporter:9105", self.objstore_exporter
+                )
+            )
 
         # --- alerting plane ---------------------------------------------------------
         self.slack = SlackWebhook()
@@ -786,6 +902,20 @@ class MonitoringFramework:
                     },
                 )
             )
+        if cfg.enable_object_storage:
+            self.vmalert.add_rule(
+                RuleSpec(
+                    name="ObjstoreFlushStalled",
+                    expr="objstore_flush_failures_consecutive > 0",
+                    for_=cfg.rule_for,
+                    labels={"severity": "warning", "category": "storage"},
+                    annotations={
+                        "summary": "{{ $value }} consecutive chunk flushes "
+                        "to object storage have failed; ingester memory is "
+                        "not draining"
+                    },
+                )
+            )
         if cfg.enable_reliable_delivery:
             self.vmalert.add_rule(
                 RuleSpec(
@@ -993,6 +1123,51 @@ class MonitoringFramework:
                 )
             )
             dashboards["tenants"] = tenants
+        if self.config.enable_object_storage:
+            objstore = Dashboard("Object Storage", uid="object-storage")
+            objstore.add_panel(
+                StatPanel(
+                    title="Cold chunk objects",
+                    datasource=prom_ds,
+                    query='sum(objstore_objects{kind="chunk"})',
+                )
+            )
+            objstore.add_panel(
+                TimeSeriesPanel(
+                    title="Bucket bytes by kind",
+                    datasource=prom_ds,
+                    query="objstore_bytes",
+                )
+            )
+            objstore.add_panel(
+                TimeSeriesPanel(
+                    title="Consecutive flush failures (alert signal)",
+                    datasource=prom_ds,
+                    query="objstore_flush_failures_consecutive",
+                )
+            )
+            objstore.add_panel(
+                StatPanel(
+                    title="Replica dedup ratio",
+                    datasource=prom_ds,
+                    query="objstore_dedup_ratio",
+                )
+            )
+            objstore.add_panel(
+                TimeSeriesPanel(
+                    title="Resident bytes freed by flushes",
+                    datasource=prom_ds,
+                    query='objstore_flush_bytes_total{kind="freed"}',
+                )
+            )
+            objstore.add_panel(
+                TimeSeriesPanel(
+                    title="Store-gateway cold-read latency",
+                    datasource=prom_ds,
+                    query="objstore_gateway_last_query_seconds",
+                )
+            )
+            dashboards["objstore"] = objstore
         if self.traceql is not None:
             tempo_ds = TempoDatasource(self.traceql)
             tracing = Dashboard("Pipeline Tracing", uid="pipeline-tracing")
@@ -1038,6 +1213,14 @@ class MonitoringFramework:
         if self.trace_metrics is not None:
             self.clock.every(
                 cfg.tracing_metrics_interval_ns, self.trace_metrics.export
+            )
+        if self.shipper is not None:
+            self.clock.every(
+                cfg.objstore_flush_interval_ns, self.shipper.flush
+            )
+        if self.compactor is not None:
+            self.clock.every(
+                cfg.objstore_compaction_interval_ns, self.compactor.run
             )
         self.clock.every(minutes(1), self._mirror_alert_events)
         self._started = True
@@ -1142,4 +1325,13 @@ class MonitoringFramework:
             summary["tenant_queries_completed"] = float(
                 sum(s.completed for s in self.scheduler.stats.values())
             )
+        if self.tiered is not None and self.shipper is not None:
+            ship = self.shipper.counters()
+            summary["objstore_chunks_shipped"] = float(ship["chunks_shipped"])
+            summary["objstore_chunks_deduped"] = float(ship["chunks_deduped"])
+            summary["objstore_flush_failures"] = float(ship["flush_failures"])
+            summary["objstore_cold_chunks"] = float(
+                self.tiered.cold_chunk_count()
+            )
+            summary["objstore_cold_bytes"] = float(self.tiered.cold_bytes())
         return summary

@@ -1,0 +1,233 @@
+"""Object-storage exporter: the cold tier's health for vmagent.
+
+A tiered store only earns its keep if flushes keep happening — resident
+memory stays bounded *because* sealed chunks leave it — so the headline
+signal here is ``objstore_flush_failures_consecutive``: failed flush
+cycles since the last success.  Unlike a since-last-scrape delta (which
+would blink back to zero between flush intervals and never sustain the
+rule's ``for_`` window, since flushes run less often than scrapes), a
+consecutive-failure gauge stays positive for the whole of an outage and
+drops to zero the moment a flush lands, so ``ObjstoreFlushStalled``
+fires for real stalls and auto-resolves on recovery.
+
+Alongside the alert signal: bucket inventory (objects, bytes, index
+files), shipper throughput and dedup ratio, compaction effectiveness,
+and gateway cold-read latency for the "Object Storage" dashboard.
+"""
+
+from __future__ import annotations
+
+from repro.common.simclock import NANOS_PER_SECOND
+from repro.exporters.textformat import MetricFamily, render_exposition
+from repro.objstore.compactor import Compactor
+from repro.objstore.gateway import StoreGateway
+from repro.objstore.index import INDEX_PREFIX, ShipperIndex
+from repro.objstore.objectstore import ObjectStore
+from repro.objstore.shipper import ChunkShipper
+
+
+class ObjstoreExporter:
+    """Exports object-store, shipper, compactor and gateway counters."""
+
+    def __init__(
+        self,
+        store: ObjectStore,
+        index: ShipperIndex,
+        shipper: ChunkShipper,
+        compactor: Compactor | None = None,
+        gateway: StoreGateway | None = None,
+    ) -> None:
+        self._store = store
+        self._index = index
+        self._shipper = shipper
+        self._compactor = compactor
+        self._gateway = gateway
+        self.scrapes_served = 0
+
+    def scrape(self) -> str:
+        bucket = self._index.bucket
+        families = []
+
+        objects = MetricFamily(
+            "objstore_objects",
+            "Objects resident in the bucket, by kind.",
+            "gauge",
+        )
+        chunk_count = self._store.object_count(bucket, prefix="chunks/")
+        index_count = self._store.object_count(bucket, prefix=INDEX_PREFIX)
+        objects.add(float(chunk_count), bucket=bucket, kind="chunk")
+        objects.add(float(index_count), bucket=bucket, kind="index")
+        families.append(objects)
+
+        stored = MetricFamily(
+            "objstore_bytes",
+            "Bytes resident in the bucket, by kind.",
+            "gauge",
+        )
+        stored.add(
+            float(self._store.stored_bytes(bucket, prefix="chunks/")),
+            bucket=bucket, kind="chunk",
+        )
+        stored.add(
+            float(self._store.stored_bytes(bucket, prefix=INDEX_PREFIX)),
+            bucket=bucket, kind="index",
+        )
+        families.append(stored)
+
+        ops = MetricFamily(
+            "objstore_requests_total",
+            "Backend requests, by operation.",
+            "counter",
+        )
+        counters = self._store.counters()
+        for op in ("puts", "gets", "deletes", "lists"):
+            ops.add(float(counters[op]), op=op.rstrip("s"))
+        families.append(ops)
+
+        transferred = MetricFamily(
+            "objstore_transferred_bytes_total",
+            "Bytes moved to/from the backend.",
+            "counter",
+        )
+        transferred.add(float(counters["bytes_in"]), direction="in")
+        transferred.add(float(counters["bytes_out"]), direction="out")
+        families.append(transferred)
+
+        outage = MetricFamily(
+            "objstore_backend_down",
+            "Whether the backend is currently refusing requests.",
+            "gauge",
+        )
+        outage.add(1.0 if self._store.outage else 0.0, bucket=bucket)
+        families.append(outage)
+
+        rejections = MetricFamily(
+            "objstore_outage_rejections_total",
+            "Requests refused while the backend was down.",
+            "counter",
+        )
+        rejections.add(float(counters["outage_rejections"]))
+        families.append(rejections)
+
+        # --- shipper ----------------------------------------------------
+        ship = self._shipper.counters()
+        flushes = MetricFamily(
+            "objstore_flushes_total",
+            "Flush cycles attempted, by outcome.",
+            "counter",
+        )
+        flushes.add(
+            float(ship["flushes"] - ship["flush_failures"]), outcome="ok"
+        )
+        flushes.add(float(ship["flush_failures"]), outcome="failed")
+        families.append(flushes)
+
+        stalled = MetricFamily(
+            "objstore_flush_failures_consecutive",
+            "Failed flush cycles since the last success (alert signal).",
+            "gauge",
+        )
+        stalled.add(float(ship["consecutive_failures"]))
+        families.append(stalled)
+
+        shipped = MetricFamily(
+            "objstore_chunks_flushed_total",
+            "Chunks leaving ingester memory, by disposition.",
+            "counter",
+        )
+        shipped.add(float(ship["chunks_shipped"]), disposition="shipped")
+        shipped.add(float(ship["chunks_deduped"]), disposition="deduped")
+        families.append(shipped)
+
+        freed = MetricFamily(
+            "objstore_flush_bytes_total",
+            "Bytes uploaded vs. resident bytes freed by flushes.",
+            "counter",
+        )
+        freed.add(float(ship["bytes_shipped"]), kind="shipped")
+        freed.add(float(ship["bytes_freed"]), kind="freed")
+        families.append(freed)
+
+        dedup = MetricFamily(
+            "objstore_dedup_ratio",
+            "Fraction of flushed chunks deduplicated (≈ (RF-1)/RF when "
+            "the ring is healthy).",
+            "gauge",
+        )
+        dedup.add(self._shipper.dedup_ratio())
+        families.append(dedup)
+
+        refs = MetricFamily(
+            "objstore_index_chunk_refs",
+            "Chunk refs held by the shipper index.",
+            "gauge",
+        )
+        refs.add(float(self._index.ref_count()))
+        families.append(refs)
+
+        # --- compactor --------------------------------------------------
+        if self._compactor is not None:
+            comp = self._compactor.counters()
+            compactions = MetricFamily(
+                "objstore_compaction_runs_total",
+                "Compaction runs, by outcome.",
+                "counter",
+            )
+            compactions.add(
+                float(comp["runs"] - comp["run_failures"]), outcome="ok"
+            )
+            compactions.add(float(comp["run_failures"]), outcome="failed")
+            families.append(compactions)
+            merged = MetricFamily(
+                "objstore_compaction_chunks_total",
+                "Chunk objects consumed and produced by compaction.",
+                "counter",
+            )
+            merged.add(float(comp["chunks_merged"]), direction="in")
+            merged.add(float(comp["chunks_written"]), direction="out")
+            families.append(merged)
+            dropped = MetricFamily(
+                "objstore_compaction_duplicates_dropped_total",
+                "Duplicate entries removed while merging chunks.",
+                "counter",
+            )
+            dropped.add(float(comp["duplicates_dropped"]))
+            families.append(dropped)
+            expired = MetricFamily(
+                "objstore_retention_chunks_deleted_total",
+                "Cold chunks deleted by retention and delete requests.",
+                "counter",
+            )
+            expired.add(float(comp["retention_deleted"]), reason="retention")
+            expired.add(float(comp["delete_requests"]), reason="request")
+            families.append(expired)
+
+        # --- gateway ----------------------------------------------------
+        if self._gateway is not None:
+            gw = self._gateway.counters()
+            queries = MetricFamily(
+                "objstore_gateway_queries_total",
+                "Cold selects served by the store-gateway.",
+                "counter",
+            )
+            queries.add(float(gw["queries"]))
+            families.append(queries)
+            fetched = MetricFamily(
+                "objstore_gateway_chunks_fetched_total",
+                "Chunk objects fetched for cold selects.",
+                "counter",
+            )
+            fetched.add(float(gw["chunks_fetched"]))
+            families.append(fetched)
+            latency = MetricFamily(
+                "objstore_gateway_last_query_seconds",
+                "Accounted object-store latency of the last cold select.",
+                "gauge",
+            )
+            latency.add(
+                self._gateway.last_query_latency_ns / NANOS_PER_SECOND
+            )
+            families.append(latency)
+
+        self.scrapes_served += 1
+        return render_exposition(families)

@@ -119,6 +119,41 @@ class Chunk:
         self._sealed = True
 
     # ------------------------------------------------------------------
+    # Shipping (object-store flush / restore)
+    # ------------------------------------------------------------------
+    def payload(self) -> bytes:
+        """The sealed, compressed payload — what the shipper uploads.
+
+        Deterministic for a given entry sequence (fixed separator format,
+        fixed zlib level), which is what lets identical replica chunks
+        dedup to one object by content hash.
+        """
+        if not self._sealed:
+            raise StateError("only sealed chunks have a payload")
+        return self._compressed or b""
+
+    @classmethod
+    def restore(
+        cls,
+        policy: ChunkPolicy,
+        payload: bytes,
+        first_ts_ns: int | None,
+        last_ts_ns: int | None,
+        entry_count: int,
+        content_bytes: int,
+    ) -> "Chunk":
+        """Rebuild a sealed chunk from a shipped payload plus the metadata
+        its index ref carried — the store-gateway's read path."""
+        chunk = cls(policy)
+        chunk.first_ts_ns = first_ts_ns
+        chunk.last_ts_ns = last_ts_ns
+        chunk.entry_count = entry_count
+        chunk._content_bytes = content_bytes
+        chunk._compressed = payload
+        chunk._sealed = True
+        return chunk
+
+    # ------------------------------------------------------------------
     # Reading
     # ------------------------------------------------------------------
     def entries(self) -> list[LogEntry]:

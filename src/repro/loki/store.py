@@ -7,10 +7,12 @@ paper evaluates on (bench C8 sweeps the worker count).
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass
 from typing import Iterable, Mapping
 
 from repro.common.errors import ValidationError
+from repro.common.hashing import mix64
 from repro.common.labels import LabelSet, Matcher
 from repro.loki.chunks import Chunk, ChunkPolicy
 from repro.loki.index import LabelIndex
@@ -19,25 +21,33 @@ from repro.loki.model import LogEntry, PushRequest
 
 @dataclass
 class StoreStats:
-    """Ingest/storage accounting for the benches."""
+    """Ingest/storage accounting for the benches.
+
+    Every field must be a summable counter: :func:`aggregate_stats` folds
+    stores field-by-field via :func:`dataclasses.fields`.
+    """
 
     entries_ingested: int = 0
     bytes_ingested: int = 0
     entries_rejected: int = 0
     chunks_created: int = 0
     chunks_sealed: int = 0
+    chunks_flushed: int = 0
 
 
 def aggregate_stats(stores: Iterable["LokiStore"]) -> StoreStats:
     """Field-wise sum of many stores' stats — the cluster-wide totals
-    benches and exporters read off a sharded or replicated deployment."""
+    benches and exporters read off a sharded or replicated deployment.
+
+    Iterates the dataclass fields rather than hand-listing them, so a
+    counter added to :class:`StoreStats` can never be silently dropped
+    from cluster totals (``tests/test_aggregate_stats.py`` pins this).
+    """
     total = StoreStats()
+    names = [f.name for f in dataclasses.fields(StoreStats)]
     for store in stores:
-        total.entries_ingested += store.stats.entries_ingested
-        total.bytes_ingested += store.stats.bytes_ingested
-        total.entries_rejected += store.stats.entries_rejected
-        total.chunks_created += store.stats.chunks_created
-        total.chunks_sealed += store.stats.chunks_sealed
+        for name in names:
+            setattr(total, name, getattr(total, name) + getattr(store.stats, name))
     return total
 
 
@@ -186,6 +196,45 @@ class LokiStore:
         return out
 
     # ------------------------------------------------------------------
+    # Flush-to-cold support (the chunk shipper's surface)
+    # ------------------------------------------------------------------
+    def sealed_chunks(self) -> list[tuple[LabelSet, Chunk]]:
+        """Every resident sealed chunk with its stream's labels — the
+        shipper's work list.  Open chunks stay out: they are still
+        accepting writes and have no immutable payload yet."""
+        out: list[tuple[LabelSet, Chunk]] = []
+        for sid, chunks in self._chunks.items():
+            labels = self.index.labels_of(sid)
+            out.extend((labels, chunk) for chunk in chunks if chunk.sealed)
+        return out
+
+    def drop_chunk(self, labels: LabelSet | Mapping[str, str], chunk: Chunk) -> bool:
+        """Release one flushed chunk from resident memory (by identity).
+
+        The stream itself — its index entry and its ``_last_ts`` ordering
+        watermark — survives, so out-of-order rejection after a flush is
+        exactly as it was before: flushing is a storage move, not a
+        logical deletion.  Returns whether the chunk was resident.
+        """
+        labelset = labels if isinstance(labels, LabelSet) else LabelSet(labels)
+        sid = self.index.lookup(labelset)
+        if sid is None:
+            return False
+        chunks = self._chunks.get(sid, [])
+        for i, resident in enumerate(chunks):
+            if resident is chunk:
+                del chunks[i]
+                self.stats.chunks_flushed += 1
+                return True
+        return False
+
+    def stream_labels(self) -> list[LabelSet]:
+        """Label sets of every known stream (flushed-away ones included)."""
+        return [
+            self.index.labels_of(sid) for sid in self.index.all_stream_ids()
+        ]
+
+    # ------------------------------------------------------------------
     # Accounting
     # ------------------------------------------------------------------
     def chunk_count(self) -> int:
@@ -255,7 +304,11 @@ class LokiCluster:
             for byte in f"{name}={value};".encode():
                 h ^= byte
                 h = (h * 0x100000001B3) & 0xFFFFFFFFFFFFFFFF
-        return self._shards[h % len(self._shards)]
+        # Raw FNV-1a mod a small shard count collapses structured label
+        # corpora (values differing only in stride-8 characters all share
+        # their low bits); the SplitMix64 finalizer restores balance —
+        # same fix the ring applied to its vnode tokens.
+        return self._shards[mix64(h) % len(self._shards)]
 
     def push(self, request: PushRequest) -> int:
         accepted = 0

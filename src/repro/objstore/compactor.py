@@ -1,0 +1,343 @@
+"""The compactor: fewer, bigger, deduplicated cold objects.
+
+Three jobs, same as Loki's compactor component:
+
+* **Merge** — within one index period, a stream's many small chunk
+  objects are fetched, merged in timestamp order, and rewritten as few
+  target-sized objects; the small originals are deleted.  Entry-level
+  duplicates (divergent replica chunks from crash windows, where content
+  hashing could not dedup at ship time) collapse here via the same
+  max-multiplicity merge the ring's read path uses.
+* **Retention** — per-tenant (or default) horizons delete every chunk
+  wholly older than the cutoff; straddling chunks survive, exactly like
+  the hot store's ``delete_before``.
+* **Delete requests** — explicit, tenant-scoped, matcher + time-window
+  requests (GDPR-style) processed at chunk granularity on the next run.
+
+Each run finishes by persisting dirty index periods and collapsing every
+period's snapshot pile to a single file.  An outage aborts the run and
+counts a failure; whatever was already rewritten stays consistent
+because an object is only deleted after its replacement is durable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.common.errors import ValidationError
+from repro.common.labels import LabelSet, Matcher
+from repro.common.simclock import SimClock
+from repro.loki.chunks import Chunk, ChunkPolicy
+from repro.loki.model import LogEntry
+from repro.objstore.index import ChunkRef, ShipperIndex, chunk_object_key
+from repro.objstore.objectstore import ObjectStore, ObjectStoreUnavailable
+from repro.ring.distributor import _merge_replicas
+from repro.tempo.model import SpanStatus
+from repro.tempo.tracer import Tracer
+
+# Merged chunks are sealed by size only; a compactor never ages chunks.
+_NEVER_AGE_NS = 10**18
+
+
+@dataclass(frozen=True)
+class CompactionPolicy:
+    """When to merge: any stream with at least ``min_merge_chunks`` in a
+    period is rewritten into objects of ~``target_object_bytes``."""
+
+    target_object_bytes: int = 1 << 20
+    min_merge_chunks: int = 2
+
+    def __post_init__(self) -> None:
+        if self.target_object_bytes < 1:
+            raise ValidationError("target object size must be positive")
+        if self.min_merge_chunks < 2:
+            raise ValidationError("min_merge_chunks must be >= 2")
+
+
+@dataclass
+class DeleteRequest:
+    """An explicit chunk-level delete: tenant + matchers + time window.
+
+    Processed on the next compactor run; only chunks *wholly inside*
+    ``[start_ns, end_ns)`` are deleted (chunk granularity, like Loki)."""
+
+    request_id: int
+    tenant: str
+    matchers: tuple[Matcher, ...]
+    start_ns: int
+    end_ns: int
+    processed: bool = False
+    chunks_deleted: int = 0
+
+
+@dataclass
+class CompactionResult:
+    """One run's outcome."""
+
+    ok: bool = True
+    groups_examined: int = 0
+    chunks_merged: int = 0
+    chunks_written: int = 0
+    objects_deleted: int = 0
+    entries_in: int = 0
+    entries_out: int = 0
+    duplicates_dropped: int = 0
+    retention_chunks_deleted: int = 0
+    delete_requests_processed: int = 0
+    index_files_removed: int = 0
+
+
+class Compactor:
+    """Merges, deduplicates and expires cold chunks period by period."""
+
+    def __init__(
+        self,
+        store: ObjectStore,
+        index: ShipperIndex,
+        clock: SimClock,
+        policy: CompactionPolicy | None = None,
+        default_retention_ns: int | None = None,
+        tenant_retention_ns: dict[str, int] | None = None,
+        tracer: Tracer | None = None,
+    ) -> None:
+        self._objstore = store
+        self._index = index
+        self._clock = clock
+        self.policy = policy or CompactionPolicy()
+        self.default_retention_ns = default_retention_ns
+        self.tenant_retention_ns = dict(tenant_retention_ns or {})
+        self._tracer = tracer
+        self._chunk_policy = ChunkPolicy(
+            target_size_bytes=self.policy.target_object_bytes,
+            max_age_ns=_NEVER_AGE_NS,
+        )
+        self.delete_requests: list[DeleteRequest] = []
+        self._next_request_id = 1
+        self.runs = 0
+        self.run_failures = 0
+        self.chunks_merged_total = 0
+        self.chunks_written_total = 0
+        self.duplicates_dropped_total = 0
+        self.retention_deleted_total = 0
+        self.delete_requests_total = 0
+        self.index_files_removed_total = 0
+        self.last_success_ns: int | None = None
+
+    @property
+    def bucket(self) -> str:
+        return self._index.bucket
+
+    # ------------------------------------------------------------------
+    # Delete requests
+    # ------------------------------------------------------------------
+    def request_delete(
+        self,
+        tenant: str,
+        matchers: list[Matcher] | tuple[Matcher, ...],
+        start_ns: int,
+        end_ns: int,
+    ) -> DeleteRequest:
+        if end_ns <= start_ns:
+            raise ValidationError("delete request needs a non-empty window")
+        request = DeleteRequest(
+            request_id=self._next_request_id,
+            tenant=tenant,
+            matchers=tuple(matchers),
+            start_ns=start_ns,
+            end_ns=end_ns,
+        )
+        self._next_request_id += 1
+        self.delete_requests.append(request)
+        return request
+
+    # ------------------------------------------------------------------
+    # Building blocks
+    # ------------------------------------------------------------------
+    def _fetch_entries(self, ref: ChunkRef) -> list[LogEntry]:
+        payload = self._objstore.get(self.bucket, ref.key)
+        chunk = Chunk.restore(
+            self._chunk_policy,
+            payload,
+            ref.first_ts_ns,
+            ref.last_ts_ns,
+            ref.entry_count,
+            ref.uncompressed_bytes,
+        )
+        return chunk.entries()
+
+    def _rebuild_chunks(self, entries: list[LogEntry]) -> list[Chunk]:
+        chunks: list[Chunk] = []
+        current: Chunk | None = None
+        for entry in entries:
+            if current is None or not current.space_for(entry):
+                if current is not None:
+                    current.seal()
+                current = Chunk(self._chunk_policy)
+                chunks.append(current)
+            current.append(entry)
+        if current is not None:
+            current.seal()
+        return chunks
+
+    def _delete_ref(self, ref: ChunkRef) -> None:
+        self._objstore.delete(self.bucket, ref.key)
+        self._index.remove(ref.key)
+
+    def _compact_group(
+        self,
+        tenant: str,
+        labels: LabelSet,
+        refs: list[ChunkRef],
+        result: CompactionResult,
+    ) -> None:
+        refs = sorted(refs, key=lambda r: (r.first_ts_ns, r.last_ts_ns, r.key))
+        entry_lists = [self._fetch_entries(ref) for ref in refs]
+        entries_in = sum(len(entries) for entries in entry_lists)
+        # Max-multiplicity merge: disjoint sequential chunks concatenate
+        # unchanged; overlapping divergent-replica chunks dedup per
+        # (timestamp, line), the same semantics the ring read path uses.
+        merged = _merge_replicas(entry_lists)
+        new_chunks = self._rebuild_chunks(merged)
+        new_keys: set[str] = set()
+        for chunk in new_chunks:
+            payload = chunk.payload()
+            period = self._index.period_of(chunk.first_ts_ns or 0)
+            key = chunk_object_key(tenant, labels, period, chunk, payload)
+            new_keys.add(key)
+            if not self._index.has_key(key):
+                self._objstore.put(self.bucket, key, payload)
+                self._index.add(
+                    ChunkRef(
+                        tenant=tenant,
+                        labels=labels,
+                        first_ts_ns=chunk.first_ts_ns or 0,
+                        last_ts_ns=chunk.last_ts_ns or 0,
+                        entry_count=chunk.entry_count,
+                        size_bytes=len(payload),
+                        uncompressed_bytes=chunk.uncompressed_bytes(),
+                        key=key,
+                        period=period,
+                    )
+                )
+                result.chunks_written += 1
+                self.chunks_written_total += 1
+        for ref in refs:
+            if ref.key not in new_keys:
+                self._delete_ref(ref)
+                result.objects_deleted += 1
+        result.chunks_merged += len(refs)
+        self.chunks_merged_total += len(refs)
+        result.entries_in += entries_in
+        result.entries_out += len(merged)
+        result.duplicates_dropped += entries_in - len(merged)
+        self.duplicates_dropped_total += entries_in - len(merged)
+
+    def _compact_period(self, period: int, result: CompactionResult) -> None:
+        groups: dict[tuple[str, LabelSet], list[ChunkRef]] = {}
+        for ref in self._index.refs_in_period(period):
+            groups.setdefault((ref.tenant, ref.labels), []).append(ref)
+        for (tenant, labels), refs in sorted(
+            groups.items(), key=lambda kv: (kv[0][0], kv[0][1].items_tuple())
+        ):
+            result.groups_examined += 1
+            if len(refs) < self.policy.min_merge_chunks:
+                continue
+            self._compact_group(tenant, labels, refs, result)
+
+    # ------------------------------------------------------------------
+    # Retention and deletes
+    # ------------------------------------------------------------------
+    def delete_chunks_before(
+        self, cutoff_ns: int, tenant: str | None = None
+    ) -> int:
+        """Drop every cold chunk wholly before ``cutoff_ns``; straddling
+        chunks are kept (chunk granularity).  Returns chunks deleted."""
+        deleted = 0
+        for ref in self._index.refs_wholly_before(cutoff_ns, tenant=tenant):
+            self._delete_ref(ref)
+            deleted += 1
+        return deleted
+
+    def _apply_retention(self, now_ns: int, result: CompactionResult) -> None:
+        for tenant in self._index.tenants():
+            horizon = self.tenant_retention_ns.get(
+                tenant, self.default_retention_ns
+            )
+            if horizon is None:
+                continue
+            deleted = self.delete_chunks_before(now_ns - horizon, tenant=tenant)
+            result.retention_chunks_deleted += deleted
+            self.retention_deleted_total += deleted
+
+    def _apply_delete_requests(self, result: CompactionResult) -> None:
+        for request in self.delete_requests:
+            if request.processed:
+                continue
+            doomed = [
+                ref
+                for ref in self._index.refs_overlapping(
+                    request.start_ns, request.end_ns, tenant=request.tenant,
+                    matchers=request.matchers,
+                )
+                if ref.first_ts_ns >= request.start_ns
+                and ref.last_ts_ns < request.end_ns
+            ]
+            for ref in doomed:
+                self._delete_ref(ref)
+                result.objects_deleted += 1
+            request.chunks_deleted = len(doomed)
+            request.processed = True
+            result.delete_requests_processed += 1
+            self.delete_requests_total += 1
+
+    # ------------------------------------------------------------------
+    # The run loop
+    # ------------------------------------------------------------------
+    def run(self) -> CompactionResult:
+        """One full compaction cycle over every period."""
+        now = self._clock.now_ns
+        self.runs += 1
+        result = CompactionResult()
+        try:
+            for period in self._index.periods():
+                self._compact_period(period, result)
+            self._apply_delete_requests(result)
+            if self.default_retention_ns is not None or self.tenant_retention_ns:
+                self._apply_retention(now, result)
+            self._index.persist_dirty()
+            for period in self._index.periods():
+                removed = self._index.compact_period_files(period)
+                result.index_files_removed += removed
+                self.index_files_removed_total += removed
+            self.last_success_ns = now
+        except ObjectStoreUnavailable:
+            result.ok = False
+            self.run_failures += 1
+        if self._tracer is not None and self._tracer.enabled:
+            self._tracer.record(
+                service="compactor",
+                name="objstore.compact",
+                parent=None,
+                start_ns=now,
+                end_ns=self._clock.now_ns,
+                attributes={
+                    "chunks_merged": str(result.chunks_merged),
+                    "chunks_written": str(result.chunks_written),
+                    "duplicates_dropped": str(result.duplicates_dropped),
+                    "retention_deleted": str(result.retention_chunks_deleted),
+                },
+                status=SpanStatus.OK if result.ok else SpanStatus.ERROR,
+            )
+        return result
+
+    def counters(self) -> dict[str, int]:
+        return {
+            "runs": self.runs,
+            "run_failures": self.run_failures,
+            "chunks_merged": self.chunks_merged_total,
+            "chunks_written": self.chunks_written_total,
+            "duplicates_dropped": self.duplicates_dropped_total,
+            "retention_deleted": self.retention_deleted_total,
+            "delete_requests": self.delete_requests_total,
+            "index_files_removed": self.index_files_removed_total,
+        }

@@ -1,0 +1,143 @@
+"""The store-gateway: historical selects served from the object store.
+
+The gateway is the read half of the cold tier.  A select consults the
+shipper index for overlapping chunk refs (matcher filtering happens on
+ref metadata — no chunk is fetched unless its stream matches and its
+time bounds overlap), GETs each payload, restores the chunk, and merges
+per stream with the same max-multiplicity semantics the ring uses — so
+divergent replica chunks that were shipped before the compactor could
+dedup them still read back exactly once.
+
+Latency is accounted per query from the object store's charge model;
+``last_query_latency_ns`` is what bench S1 prices cold reads with.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.common.labels import LabelSet, Matcher
+from repro.common.simclock import SimClock
+from repro.loki.chunks import Chunk, ChunkPolicy
+from repro.loki.model import LogEntry
+from repro.objstore.index import ChunkRef, ShipperIndex
+from repro.objstore.objectstore import ObjectStore
+from repro.ring.distributor import _merge_replicas
+from repro.tempo.tracer import Tracer
+
+
+class StoreGateway:
+    """Selects over shipped chunks, transparently to the querier."""
+
+    def __init__(
+        self,
+        store: ObjectStore,
+        index: ShipperIndex,
+        clock: SimClock,
+        policy: ChunkPolicy | None = None,
+        tracer: Tracer | None = None,
+    ) -> None:
+        self._objstore = store
+        self._index = index
+        self._clock = clock
+        self._policy = policy or ChunkPolicy()
+        self._tracer = tracer
+        self.queries = 0
+        self.chunks_fetched_total = 0
+        self.bytes_fetched_total = 0
+        self.fetch_latency_ns_total = 0
+        self.last_query_latency_ns = 0
+
+    @property
+    def bucket(self) -> str:
+        return self._index.bucket
+
+    def _fetch(self, ref: ChunkRef) -> tuple[Chunk, int]:
+        payload, latency = self._objstore.get_with_latency(self.bucket, ref.key)
+        chunk = Chunk.restore(
+            self._policy,
+            payload,
+            ref.first_ts_ns,
+            ref.last_ts_ns,
+            ref.entry_count,
+            ref.uncompressed_bytes,
+        )
+        self.chunks_fetched_total += 1
+        self.bytes_fetched_total += len(payload)
+        return chunk, latency
+
+    def _merge_per_stream(
+        self, fetched: list[tuple[LabelSet, list[LogEntry]]]
+    ) -> list[tuple[LabelSet, list[LogEntry]]]:
+        per_stream: dict[LabelSet, list[list[LogEntry]]] = {}
+        for labels, entries in fetched:
+            if entries:
+                per_stream.setdefault(labels, []).append(entries)
+        out = [
+            (labels, _merge_replicas(entry_lists))
+            for labels, entry_lists in per_stream.items()
+        ]
+        out.sort(key=lambda pair: pair[0].items_tuple())
+        return out
+
+    def select(
+        self,
+        matchers: Iterable[Matcher],
+        start_ns: int,
+        end_ns: int,
+        tenant: str | None = None,
+    ) -> list[tuple[LabelSet, list[LogEntry]]]:
+        """Cold entries per matching stream with ``start <= ts < end``."""
+        started = self._clock.now_ns
+        self.queries += 1
+        refs = self._index.refs_overlapping(
+            start_ns, end_ns, tenant=tenant, matchers=list(matchers)
+        )
+        latency = 0
+        fetched: list[tuple[LabelSet, list[LogEntry]]] = []
+        for ref in refs:
+            chunk, chunk_latency = self._fetch(ref)
+            latency += chunk_latency
+            fetched.append((ref.labels, chunk.entries_between(start_ns, end_ns)))
+        self.last_query_latency_ns = latency
+        self.fetch_latency_ns_total += latency
+        out = self._merge_per_stream(fetched)
+        if self._tracer is not None and self._tracer.enabled:
+            self._tracer.record(
+                service="store-gateway",
+                name="objstore.select",
+                parent=None,
+                start_ns=started,
+                end_ns=self._clock.now_ns,
+                attributes={
+                    "chunks_fetched": str(len(refs)),
+                    "streams": str(len(out)),
+                    "cold_latency_ns": str(latency),
+                },
+            )
+        return out
+
+    def expired_entries(
+        self, cutoff_ns: int, tenant: str | None = None
+    ) -> list[tuple[LabelSet, list[LogEntry]]]:
+        """Entries cold retention would drop at ``cutoff_ns`` (chunks
+        wholly before the cutoff) — what a retention sweep archives."""
+        fetched: list[tuple[LabelSet, list[LogEntry]]] = []
+        for ref in self._index.refs_wholly_before(cutoff_ns, tenant=tenant):
+            chunk, _ = self._fetch(ref)
+            fetched.append((ref.labels, chunk.entries()))
+        return self._merge_per_stream(fetched)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def oldest_entry_ns(self) -> int | None:
+        return self._index.oldest_first_ts()
+
+    def counters(self) -> dict[str, int]:
+        return {
+            "queries": self.queries,
+            "chunks_fetched": self.chunks_fetched_total,
+            "bytes_fetched": self.bytes_fetched_total,
+            "fetch_latency_ns": self.fetch_latency_ns_total,
+        }

@@ -1,0 +1,309 @@
+"""The shipper index: chunk refs partitioned by time period.
+
+Loki's boltdb-shipper/TSDB index in miniature: the queryable metadata
+for every shipped chunk — tenant, label set, time bounds, sizes, object
+key — grouped into fixed periods (default one day) by the chunk's first
+timestamp.  The in-memory maps answer gateway queries; per-period index
+*files* in the object store make the metadata as durable as the chunks,
+so :meth:`ShipperIndex.rebuild` can reconstruct the whole index from a
+cold bucket.
+
+Every persist writes a complete snapshot of the dirty period under a
+monotonically increasing sequence number; the newest file per period is
+authoritative (so removals never resurrect), and the compactor's
+:meth:`compact_period_files` collapses the pile back to one file.
+"""
+
+from __future__ import annotations
+
+import zlib
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Iterable
+
+from repro.common.errors import ValidationError
+from repro.common.hashing import fnv1a_64, mix64
+from repro.common.jsonutil import dumps_compact, loads
+from repro.common.labels import LabelSet, Matcher, matches_all
+from repro.common.simclock import NANOS_PER_DAY
+from repro.objstore.objectstore import ObjectStore
+
+if TYPE_CHECKING:
+    from repro.loki.chunks import Chunk
+
+INDEX_PREFIX = "index/"
+
+
+def stream_fingerprint(labels: LabelSet) -> int:
+    """64-bit fingerprint of a label set — the per-stream key prefix."""
+    canonical = ";".join(f"{n}={v}" for n, v in labels.items_tuple())
+    return mix64(fnv1a_64(canonical.encode()))
+
+
+def chunk_object_key(
+    tenant: str, labels: LabelSet, period: int, chunk: "Chunk", payload: bytes
+) -> str:
+    """Content-addressed object key for a sealed chunk.
+
+    ``chunks/<tenant>/<period>/<fingerprint>/<first>-<last>-<contenthash>``
+    — the tenant prefix scopes listings, the fingerprint groups a
+    stream's chunks, and the content hash is what makes RF-3 replicas
+    (and WAL-replay re-flushes) of the same chunk collapse onto one
+    object.
+    """
+    content_hash = mix64(fnv1a_64(payload))
+    return (
+        f"chunks/{tenant}/{period:012d}/{stream_fingerprint(labels):016x}/"
+        f"{chunk.first_ts_ns}-{chunk.last_ts_ns}-{content_hash:016x}"
+    )
+
+
+@dataclass(frozen=True)
+class ChunkRef:
+    """Everything the read path needs to know without fetching the chunk."""
+
+    tenant: str
+    labels: LabelSet
+    first_ts_ns: int
+    last_ts_ns: int
+    entry_count: int
+    size_bytes: int
+    uncompressed_bytes: int
+    key: str
+    period: int
+
+    def overlaps(self, start_ns: int, end_ns: int) -> bool:
+        return self.last_ts_ns >= start_ns and self.first_ts_ns < end_ns
+
+    def to_obj(self) -> dict:
+        return {
+            "t": self.tenant,
+            "l": self.labels.to_dict(),
+            "a": self.first_ts_ns,
+            "b": self.last_ts_ns,
+            "n": self.entry_count,
+            "s": self.size_bytes,
+            "u": self.uncompressed_bytes,
+            "k": self.key,
+            "p": self.period,
+        }
+
+    @classmethod
+    def from_obj(cls, obj: dict) -> "ChunkRef":
+        return cls(
+            tenant=obj["t"],
+            labels=LabelSet(obj["l"]),
+            first_ts_ns=int(obj["a"]),
+            last_ts_ns=int(obj["b"]),
+            entry_count=int(obj["n"]),
+            size_bytes=int(obj["s"]),
+            uncompressed_bytes=int(obj["u"]),
+            key=obj["k"],
+            period=int(obj["p"]),
+        )
+
+
+class ShipperIndex:
+    """In-memory chunk-ref maps backed by per-period index files."""
+
+    def __init__(
+        self,
+        store: ObjectStore,
+        bucket: str = "loki",
+        period_ns: int = NANOS_PER_DAY,
+    ) -> None:
+        if period_ns < 1:
+            raise ValidationError("index period must be positive")
+        self._store = store
+        self.bucket = bucket
+        self.period_ns = period_ns
+        self._refs: dict[str, ChunkRef] = {}
+        self._by_period: dict[int, set[str]] = {}
+        self._dirty: set[int] = set()
+        self._seq = 0
+        self.index_files_written = 0
+        self.index_files_removed = 0
+
+    # ------------------------------------------------------------------
+    # Registration
+    # ------------------------------------------------------------------
+    def period_of(self, ts_ns: int) -> int:
+        return ts_ns // self.period_ns
+
+    def has_key(self, key: str) -> bool:
+        return key in self._refs
+
+    def add(self, ref: ChunkRef) -> bool:
+        """Register a ref; returns False if the key is already indexed."""
+        if ref.key in self._refs:
+            return False
+        self._refs[ref.key] = ref
+        self._by_period.setdefault(ref.period, set()).add(ref.key)
+        self._dirty.add(ref.period)
+        return True
+
+    def remove(self, key: str) -> bool:
+        ref = self._refs.pop(key, None)
+        if ref is None:
+            return False
+        keys = self._by_period.get(ref.period)
+        if keys is not None:
+            keys.discard(key)
+            if not keys:
+                del self._by_period[ref.period]
+        # The period file must be rewritten even if now empty.
+        self._dirty.add(ref.period)
+        return True
+
+    # ------------------------------------------------------------------
+    # Queries (in-memory; uncharged — the index is resident metadata)
+    # ------------------------------------------------------------------
+    def ref_count(self) -> int:
+        return len(self._refs)
+
+    def refs(self) -> list[ChunkRef]:
+        return [self._refs[key] for key in sorted(self._refs)]
+
+    def periods(self) -> list[int]:
+        return sorted(self._by_period)
+
+    def refs_in_period(self, period: int) -> list[ChunkRef]:
+        return [self._refs[key] for key in sorted(self._by_period.get(period, ()))]
+
+    def tenants(self) -> list[str]:
+        return sorted({ref.tenant for ref in self._refs.values()})
+
+    def refs_overlapping(
+        self,
+        start_ns: int,
+        end_ns: int,
+        tenant: str | None = None,
+        matchers: Iterable[Matcher] | None = None,
+    ) -> list[ChunkRef]:
+        matchers = list(matchers or ())
+        out = [
+            ref
+            for ref in self._refs.values()
+            if ref.overlaps(start_ns, end_ns)
+            and (tenant is None or ref.tenant == tenant)
+            and (not matchers or matches_all(ref.labels, matchers))
+        ]
+        out.sort(key=lambda r: (r.labels.items_tuple(), r.first_ts_ns, r.key))
+        return out
+
+    def refs_wholly_before(
+        self, cutoff_ns: int, tenant: str | None = None
+    ) -> list[ChunkRef]:
+        """Refs whose entire time range precedes ``cutoff_ns`` — retention's
+        unit of deletion, mirroring the hot store's chunk granularity."""
+        out = [
+            ref
+            for ref in self._refs.values()
+            if ref.last_ts_ns < cutoff_ns
+            and (tenant is None or ref.tenant == tenant)
+        ]
+        out.sort(key=lambda r: (r.labels.items_tuple(), r.first_ts_ns, r.key))
+        return out
+
+    def entry_count(self, tenant: str | None = None) -> int:
+        return sum(
+            ref.entry_count
+            for ref in self._refs.values()
+            if tenant is None or ref.tenant == tenant
+        )
+
+    def chunk_bytes(self, tenant: str | None = None) -> int:
+        return sum(
+            ref.size_bytes
+            for ref in self._refs.values()
+            if tenant is None or ref.tenant == tenant
+        )
+
+    def oldest_first_ts(self, tenant: str | None = None) -> int | None:
+        candidates = [
+            ref.first_ts_ns
+            for ref in self._refs.values()
+            if tenant is None or ref.tenant == tenant
+        ]
+        return min(candidates) if candidates else None
+
+    def stream_labels(self) -> set[LabelSet]:
+        return {ref.labels for ref in self._refs.values()}
+
+    # ------------------------------------------------------------------
+    # Durability: period files in the object store
+    # ------------------------------------------------------------------
+    def _period_prefix(self, period: int) -> str:
+        return f"{INDEX_PREFIX}{period:012d}/"
+
+    def _encode_period(self, period: int) -> bytes:
+        refs = [ref.to_obj() for ref in self.refs_in_period(period)]
+        return zlib.compress(dumps_compact({"refs": refs}).encode(), level=6)
+
+    def persist_dirty(self) -> int:
+        """Write one snapshot file per dirty period; returns files written.
+
+        Periods are persisted in order and un-dirtied one by one, so an
+        outage mid-way keeps the unpersisted remainder dirty for the next
+        flush — nothing is silently marked clean.
+        """
+        written = 0
+        for period in sorted(self._dirty):
+            self._seq += 1
+            key = f"{self._period_prefix(period)}idx-{self._seq:08d}.json.z"
+            self._store.put(self.bucket, key, self._encode_period(period))
+            self._dirty.discard(period)
+            self.index_files_written += 1
+            written += 1
+        return written
+
+    def compact_period_files(self, period: int) -> int:
+        """Collapse a period's snapshot pile to a single authoritative
+        file; returns obsolete files deleted."""
+        prefix = self._period_prefix(period)
+        existing = self._store.list_keys(self.bucket, prefix)
+        if len(existing) <= 1 and period not in self._dirty:
+            return 0
+        self._seq += 1
+        key = f"{prefix}idx-{self._seq:08d}.json.z"
+        self._store.put(self.bucket, key, self._encode_period(period))
+        self._dirty.discard(period)
+        self.index_files_written += 1
+        removed = 0
+        for old in existing:
+            if old != key and self._store.delete(self.bucket, old):
+                removed += 1
+                self.index_files_removed += 1
+        return removed
+
+    def index_file_count(self) -> int:
+        return self._store.object_count(self.bucket, prefix=INDEX_PREFIX)
+
+    def rebuild(self) -> int:
+        """Reload the in-memory maps from the newest file of every period
+        directory in the bucket — cold start from pure object storage.
+        Returns the number of refs restored."""
+        self._refs.clear()
+        self._by_period.clear()
+        self._dirty.clear()
+        by_period: dict[str, list[str]] = {}
+        for key in self._store.list_keys(self.bucket, INDEX_PREFIX):
+            period_dir = key.rsplit("/", 1)[0]
+            by_period.setdefault(period_dir, []).append(key)
+            # Resume the sequence past every file seen, so post-rebuild
+            # snapshots still sort as newest.
+            name = key.rsplit("/", 1)[1]
+            if name.startswith("idx-"):
+                try:
+                    self._seq = max(self._seq, int(name[4:].split(".", 1)[0]))
+                except ValueError:
+                    pass
+        for period_dir in sorted(by_period):
+            newest = max(by_period[period_dir])
+            obj = loads(
+                zlib.decompress(self._store.get(self.bucket, newest)).decode()
+            )
+            for ref_obj in obj["refs"]:
+                ref = ChunkRef.from_obj(ref_obj)
+                self._refs[ref.key] = ref
+                self._by_period.setdefault(ref.period, set()).add(ref.key)
+        return len(self._refs)

@@ -1,0 +1,191 @@
+"""TieredLokiStore: hot + cold behind the ordinary store surface.
+
+The facade the rest of the stack talks to when object storage is on.
+Writes go to the hot tier (a single ``LokiStore`` or the RF-3 ring)
+unchanged; reads fan out to both tiers and merge per stream with
+max-multiplicity semantics, so a window spanning resident and flushed
+data returns every entry exactly once even while chunks are mid-flight
+(resident *and* shipped).  Maintenance — retention, expiry preview,
+flushes — covers both tiers, which is what lets the OMNI retention
+manager, the LogQL engine, Promtail and the ruler run unmodified.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping
+
+from repro.common.labels import LabelSet, Matcher
+from repro.loki.model import LogEntry, PushRequest, PushStream
+from repro.loki.store import LokiStore, StoreStats
+from repro.objstore.compactor import CompactionResult, Compactor
+from repro.objstore.gateway import StoreGateway
+from repro.objstore.index import ShipperIndex
+from repro.objstore.objectstore import ObjectStore
+from repro.objstore.shipper import ChunkShipper, FlushResult
+from repro.ring.cluster import RingLokiCluster
+from repro.ring.distributor import _merge_replicas
+from repro.tempo.model import SpanContext
+
+
+class TieredLokiStore:
+    """Hot ingest tier + object-store cold tier, one store surface."""
+
+    def __init__(
+        self,
+        hot: LokiStore | RingLokiCluster,
+        objstore: ObjectStore,
+        index: ShipperIndex,
+        shipper: ChunkShipper,
+        compactor: Compactor,
+        gateway: StoreGateway,
+    ) -> None:
+        self.hot = hot
+        self.objstore = objstore
+        self.index = index
+        self.shipper = shipper
+        self.compactor = compactor
+        self.gateway = gateway
+        self._hot_is_ring = isinstance(hot, RingLokiCluster)
+
+    # ------------------------------------------------------------------
+    # Ingest (hot tier only; the shipper moves data cold later)
+    # ------------------------------------------------------------------
+    def push(
+        self, request: PushRequest, trace_ctx: SpanContext | None = None
+    ) -> int:
+        if self._hot_is_ring:
+            return self.hot.push(request, trace_ctx=trace_ctx)
+        return self.hot.push(request)
+
+    def push_stream(
+        self,
+        labels: LabelSet | Mapping[str, str],
+        entries: Iterable[LogEntry],
+        trace_ctx: SpanContext | None = None,
+    ) -> int:
+        if self._hot_is_ring:
+            return self.hot.push_stream(labels, entries, trace_ctx=trace_ctx)
+        request = PushRequest(
+            streams=(
+                PushStream(
+                    labels=(
+                        labels
+                        if isinstance(labels, LabelSet)
+                        else LabelSet(labels)
+                    ),
+                    entries=tuple(entries),
+                ),
+            )
+        )
+        return self.hot.push(request)
+
+    # ------------------------------------------------------------------
+    # Reads: both tiers, merged
+    # ------------------------------------------------------------------
+    def select(
+        self, matchers: Iterable[Matcher], start_ns: int, end_ns: int
+    ) -> list[tuple[LabelSet, list[LogEntry]]]:
+        matchers = list(matchers)
+        merged: dict[LabelSet, list[list[LogEntry]]] = {}
+        for labels, entries in self.hot.select(matchers, start_ns, end_ns):
+            merged.setdefault(labels, []).append(entries)
+        for labels, entries in self.gateway.select(matchers, start_ns, end_ns):
+            merged.setdefault(labels, []).append(entries)
+        out = [
+            (labels, _merge_replicas(entry_lists))
+            for labels, entry_lists in merged.items()
+        ]
+        out.sort(key=lambda pair: pair[0].items_tuple())
+        return out
+
+    # ------------------------------------------------------------------
+    # Tier movement
+    # ------------------------------------------------------------------
+    def flush_all(self) -> int:
+        return self.hot.flush_all()
+
+    def flush_aged(self, now_ns: int) -> int:
+        return self.hot.flush_aged(now_ns)
+
+    def flush_to_cold(self) -> FlushResult:
+        """Seal aged chunks, ship everything sealed, free hot memory."""
+        return self.shipper.flush()
+
+    def compact(self) -> CompactionResult:
+        return self.compactor.run()
+
+    # ------------------------------------------------------------------
+    # Retention across both tiers
+    # ------------------------------------------------------------------
+    def delete_before(self, cutoff_ns: int) -> int:
+        """Chunk-granularity retention on both tiers; returns chunks
+        dropped (hot) plus objects deleted (cold)."""
+        dropped = self.hot.delete_before(cutoff_ns)
+        dropped += self.compactor.delete_chunks_before(cutoff_ns)
+        return dropped
+
+    def expired_entries(
+        self, cutoff_ns: int
+    ) -> list[tuple[LabelSet, list[LogEntry]]]:
+        """What :meth:`delete_before` would doom, hot and cold merged —
+        entries flushed but still WAL-resident in a replica count once."""
+        merged: dict[LabelSet, list[list[LogEntry]]] = {}
+        for labels, entries in self.hot.expired_entries(cutoff_ns):
+            merged.setdefault(labels, []).append(entries)
+        for labels, entries in self.gateway.expired_entries(cutoff_ns):
+            merged.setdefault(labels, []).append(entries)
+        out = [
+            (labels, _merge_replicas(entry_lists))
+            for labels, entry_lists in merged.items()
+        ]
+        out.sort(key=lambda pair: pair[0].items_tuple())
+        return out
+
+    # ------------------------------------------------------------------
+    # Accounting: resident figures are the hot tier's (that is the
+    # memory story); the cold tier reports its own set
+    # ------------------------------------------------------------------
+    @property
+    def stats(self) -> StoreStats:
+        return self.hot.stats
+
+    def stream_count(self) -> int:
+        hot_labels = set(self.hot.stream_labels())
+        return len(hot_labels | self.index.stream_labels())
+
+    def stream_labels(self) -> list[LabelSet]:
+        labels = set(self.hot.stream_labels()) | self.index.stream_labels()
+        return sorted(labels, key=lambda ls: ls.items_tuple())
+
+    def chunk_count(self) -> int:
+        return self.hot.chunk_count()
+
+    def stored_bytes(self) -> int:
+        return self.hot.stored_bytes()
+
+    def uncompressed_bytes(self) -> int:
+        return self.hot.uncompressed_bytes()
+
+    def index_bytes(self) -> int:
+        return self.hot.index_bytes()
+
+    def compression_ratio(self) -> float:
+        return self.hot.compression_ratio()
+
+    def oldest_entry_ns(self) -> int | None:
+        candidates = [
+            ts
+            for ts in (self.hot.oldest_entry_ns(), self.gateway.oldest_entry_ns())
+            if ts is not None
+        ]
+        return min(candidates) if candidates else None
+
+    # Cold-tier accounting for the exporter / storage report.
+    def cold_chunk_count(self) -> int:
+        return self.index.ref_count()
+
+    def cold_bytes(self) -> int:
+        return self.objstore.stored_bytes(self.index.bucket)
+
+    def cold_entry_count(self) -> int:
+        return self.index.entry_count()

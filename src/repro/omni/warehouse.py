@@ -14,6 +14,7 @@ from repro.common.labels import LabelSet
 from repro.common.simclock import SimClock, NANOS_PER_SECOND, days
 from repro.loki.model import LogEntry, PushRequest, PushStream
 from repro.loki.store import LokiStore
+from repro.objstore.tiered import TieredLokiStore
 from repro.omni.archive import ArchiveStore
 from repro.omni.retention import RetentionManager, RetentionPolicy
 from repro.ring.cluster import RingLokiCluster
@@ -25,23 +26,32 @@ from repro.tsdb.storage import TimeSeriesStore
 class OmniWarehouse:
     """Logs → Loki, metrics → VictoriaMetrics, one roof, one history.
 
-    The log backend is either a single :class:`LokiStore` (the default)
-    or a replicated :class:`~repro.ring.cluster.RingLokiCluster` — both
-    expose the same store surface; only the ring accepts a trace context
-    so distributor→ingester spans join the pipeline's trace.
+    The log backend is a single :class:`LokiStore` (the default), a
+    replicated :class:`~repro.ring.cluster.RingLokiCluster`, or a
+    :class:`~repro.objstore.tiered.TieredLokiStore` wrapping either —
+    all expose the same store surface; the ring and the tiered store
+    also accept a trace context so distributor→ingester spans join the
+    pipeline's trace.  The retention manager runs against whatever
+    backend is installed: with the tiered store, a sweep archives and
+    deletes across the hot *and* cold tiers in one pass.
     """
 
     def __init__(
         self,
         clock: SimClock,
-        loki: LokiStore | RingLokiCluster | None = None,
+        loki: LokiStore | RingLokiCluster | TieredLokiStore | None = None,
         tsdb: TimeSeriesStore | None = None,
         policy: RetentionPolicy | None = None,
         admission: AdmissionController | None = None,
     ) -> None:
         self._clock = clock
         self.loki = loki or LokiStore()
-        self._ring = self.loki if isinstance(self.loki, RingLokiCluster) else None
+        # Backends that take a trace context on their push paths.
+        self._ring = (
+            self.loki
+            if isinstance(self.loki, (RingLokiCluster, TieredLokiStore))
+            else None
+        )
         self.tsdb = tsdb or TimeSeriesStore()
         self.archive = ArchiveStore()
         self.retention = RetentionManager(clock, self.loki, self.archive, policy)
@@ -120,7 +130,7 @@ class OmniWarehouse:
 
     def storage_report(self) -> dict[str, float]:
         """Sizes and ratios for the storage benches."""
-        return {
+        report = {
             "log_entries": float(self.loki.stats.entries_ingested),
             "log_streams": float(self.loki.stream_count()),
             "log_chunks": float(self.loki.chunk_count()),
@@ -133,6 +143,13 @@ class OmniWarehouse:
             "archive_blobs": float(self.archive.blob_count()),
             "archive_bytes": float(self.archive.bytes_archived),
         }
+        if isinstance(self.loki, TieredLokiStore):
+            # With the cold tier on, `log_stored_bytes` above is the
+            # *resident* hot-tier figure; these break out what moved cold.
+            report["log_cold_chunks"] = float(self.loki.cold_chunk_count())
+            report["log_cold_bytes"] = float(self.loki.cold_bytes())
+            report["log_cold_entries"] = float(self.loki.cold_entry_count())
+        return report
 
     def history_span_days(self) -> float:
         """How far back immediately-queryable log data reaches, in days."""

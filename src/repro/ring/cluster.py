@@ -20,7 +20,7 @@ from repro.common.errors import NotFoundError, ValidationError
 from repro.common.labels import LabelSet, Matcher
 from repro.loki.chunks import ChunkPolicy
 from repro.loki.model import LogEntry, PushRequest, PushStream
-from repro.loki.store import StoreStats, aggregate_stats
+from repro.loki.store import LokiStore, StoreStats, aggregate_stats
 from repro.ring.distributor import Distributor
 from repro.ring.hashring import HashRing
 from repro.ring.ingester import Ingester
@@ -94,8 +94,16 @@ class RingLokiCluster:
     ) -> list[tuple[LabelSet, list[LogEntry]]]:
         return self.distributor.select(matchers, start_ns, end_ns)
 
+    def active_stores(self) -> list["LokiStore"]:
+        """The live replicas' stores, in ingester order — the surface the
+        chunk shipper walks when flushing sealed chunks to the cold tier.
+        Crashed replicas are skipped; whatever they held resident is
+        either already flushed, replicated, or comes back via WAL replay
+        (and re-flushed copies dedup away by content hash)."""
+        return [i.store for i in self.ingesters.values() if i.active]
+
     def _active_stores(self):
-        return (i.store for i in self.ingesters.values() if i.active)
+        return iter(self.active_stores())
 
     def flush_all(self) -> int:
         return sum(store.flush_all() for store in self._active_stores())
@@ -173,11 +181,14 @@ class RingLokiCluster:
 
     def stream_count(self) -> int:
         """Distinct streams cluster-wide (union across replicas)."""
+        return len(set(self.stream_labels()))
+
+    def stream_labels(self) -> list[LabelSet]:
+        """Distinct stream label sets cluster-wide, sorted."""
         seen: set[LabelSet] = set()
         for ingester in self.ingesters.values():
-            index = ingester.store.index
-            seen.update(index.labels_of(sid) for sid in index.all_stream_ids())
-        return len(seen)
+            seen.update(ingester.store.stream_labels())
+        return sorted(seen, key=lambda ls: ls.items_tuple())
 
     def chunk_count(self) -> int:
         return sum(i.store.chunk_count() for i in self.ingesters.values())

@@ -16,41 +16,13 @@ import bisect
 from typing import Iterable, Mapping
 
 from repro.common.errors import StateError, ValidationError
+from repro.common.hashing import fnv1a_64, mix64
 from repro.common.labels import LabelSet
 
-_FNV_OFFSET = 0xCBF29CE484222325
-_FNV_PRIME = 0x100000001B3
-_MASK = 0xFFFFFFFFFFFFFFFF
-
-
-def fnv1a_64(data: bytes) -> int:
-    """64-bit FNV-1a — stable across runs (unlike builtin ``hash``)."""
-    h = _FNV_OFFSET
-    for byte in data:
-        h ^= byte
-        h = (h * _FNV_PRIME) & _MASK
-    return h
-
-
-def mix64(h: int) -> int:
-    """SplitMix64 finalizer: full-avalanche scrambling of a 64-bit value.
-
-    FNV-1a has weak avalanche on short suffixes: inputs differing only in
-    the final byte produce hashes differing by ``delta * prime``, so the
-    vnode tokens ``member#0 … member#63`` land in a handful of
-    micro-clusters instead of spreading over the circle — which breaks
-    the bounded-movement guarantee in practice (a joining member could
-    capture half the key space).  Running the finalizer over the token
-    hash restores uniformity without changing the key hash (pinned by
-    regression tests).
-    """
-    h &= _MASK
-    h ^= h >> 30
-    h = (h * 0xBF58476D1CE4E5B9) & _MASK
-    h ^= h >> 27
-    h = (h * 0x94D049BB133111EB) & _MASK
-    h ^= h >> 31
-    return h
+# Historical home of the hash primitives; they moved to
+# ``repro.common.hashing`` when the Loki shard placement (which the ring
+# packages import) started needing the same finalizer.
+__all__ = ["HashRing", "fnv1a_64", "mix64", "stream_key"]
 
 
 def stream_key(labels: LabelSet | Mapping[str, str]) -> str:

@@ -142,3 +142,16 @@ class Ingester:
     def delete_before(self, cutoff_ns: int) -> int:
         self._require_active()
         return self.store.delete_before(cutoff_ns)
+
+    def sealed_chunks(self):
+        """Sealed resident chunks awaiting shipment to the cold tier."""
+        self._require_active()
+        return self.store.sealed_chunks()
+
+    def drop_chunk(self, labels, chunk) -> bool:
+        """Release a shipped chunk from memory.  The WAL still holds the
+        entries, so a crash + replay re-materializes (and re-seals) them;
+        the re-flushed copies dedup against the already-shipped object by
+        content hash, keeping flush + crash idempotent."""
+        self._require_active()
+        return self.store.drop_chunk(labels, chunk)

@@ -1,0 +1,54 @@
+"""aggregate_stats folds StoreStats field-by-field via introspection.
+
+The point of the ``dataclasses.fields`` rewrite: a counter added to
+StoreStats can never again be silently dropped from cluster-wide totals.
+The canary test constructs stats where *every* field is distinct and
+nonzero, so missing any one of them changes the aggregate.
+"""
+
+import dataclasses
+
+from repro.loki.store import LokiStore, StoreStats, aggregate_stats
+
+
+def distinct_stats(base: int) -> StoreStats:
+    stats = StoreStats()
+    for offset, field in enumerate(dataclasses.fields(StoreStats)):
+        setattr(stats, field.name, base + offset)
+    return stats
+
+
+class TestAggregateStats:
+    def test_empty_iterable_is_all_zero(self):
+        total = aggregate_stats([])
+        assert total == StoreStats()
+
+    def test_every_field_is_summed(self):
+        """Fails if aggregate_stats ever skips a StoreStats field."""
+        stores = [LokiStore(), LokiStore(), LokiStore()]
+        for i, store in enumerate(stores):
+            store.stats = distinct_stats(100 * (i + 1))
+        total = aggregate_stats(stores)
+        for offset, field in enumerate(dataclasses.fields(StoreStats)):
+            expected = sum(100 * (i + 1) + offset for i in range(3))
+            assert getattr(total, field.name) == expected, field.name
+
+    def test_inputs_are_not_mutated(self):
+        store = LokiStore()
+        store.stats = distinct_stats(7)
+        snapshot = dataclasses.replace(store.stats)
+        aggregate_stats([store])
+        assert store.stats == snapshot
+
+    def test_real_ingest_counters_roll_up(self):
+        from repro.loki.model import LogEntry
+
+        a, b = LokiStore(), LokiStore()
+        a.push_stream({"app": "x"}, [LogEntry(1, "one"), LogEntry(2, "two")])
+        b.push_stream({"app": "y"}, [LogEntry(3, "three")])
+        total = aggregate_stats([a, b])
+        assert total.entries_ingested == 3
+        assert total.chunks_created == 2
+        assert total.bytes_ingested == (
+            a.stats.bytes_ingested + b.stats.bytes_ingested
+        )

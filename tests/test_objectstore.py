@@ -1,0 +1,148 @@
+"""The simulated S3 substrate: operations, latency accounting, chaos.
+
+The object store never advances the clock — it *accounts* latency and
+returns it, so these tests assert on returned/accumulated figures, not
+on clock movement.
+"""
+
+import pytest
+
+from repro.common.errors import NotFoundError, ValidationError
+from repro.common.simclock import NANOS_PER_SECOND, SimClock
+from repro.objstore import ObjectStore, ObjectStoreConfig, ObjectStoreUnavailable
+
+
+def make_store(**config):
+    return ObjectStore(SimClock(), ObjectStoreConfig(**config))
+
+
+class TestOperations:
+    def test_put_get_roundtrip(self):
+        store = make_store()
+        store.put("loki", "chunks/a", b"payload")
+        assert store.get("loki", "chunks/a") == b"payload"
+        assert store.object_count("loki") == 1
+        assert store.stored_bytes("loki") == len(b"payload")
+
+    def test_get_missing_raises(self):
+        store = make_store()
+        with pytest.raises(NotFoundError):
+            store.get("loki", "nope")
+
+    def test_head(self):
+        store = make_store()
+        store.put("loki", "k", b"x")
+        assert store.head("loki", "k")
+        assert not store.head("loki", "other")
+
+    def test_delete_is_idempotent(self):
+        store = make_store()
+        store.put("loki", "k", b"x")
+        assert store.delete("loki", "k") is True
+        assert store.delete("loki", "k") is False
+        assert store.object_count("loki") == 0
+
+    def test_overwrite_is_last_writer_wins_and_counted(self):
+        store = make_store()
+        store.put("loki", "k", b"one")
+        store.put("loki", "k", b"two")
+        assert store.get("loki", "k") == b"two"
+        assert store.overwrites == 1
+        assert store.object_count("loki") == 1
+
+    def test_list_keys_is_a_sorted_prefix_listing(self):
+        store = make_store()
+        for key in ("chunks/t2/x", "chunks/t1/b", "chunks/t1/a", "index/0"):
+            store.put("loki", key, b"d")
+        assert store.list_keys("loki", prefix="chunks/t1/") == [
+            "chunks/t1/a",
+            "chunks/t1/b",
+        ]
+        assert store.list_keys("loki") == sorted(
+            ["chunks/t2/x", "chunks/t1/b", "chunks/t1/a", "index/0"]
+        )
+
+    def test_prefix_scoped_accounting(self):
+        store = make_store()
+        store.put("loki", "chunks/t1/a", b"aaaa")
+        store.put("loki", "index/000/f", b"bb")
+        assert store.object_count("loki", prefix="chunks/") == 1
+        assert store.stored_bytes("loki", prefix="index/") == 2
+
+    def test_empty_bucket_or_key_rejected(self):
+        store = make_store()
+        with pytest.raises(ValidationError):
+            store.put("", "k", b"x")
+        with pytest.raises(ValidationError):
+            store.put("b", "", b"x")
+
+
+class TestLatencyAccounting:
+    def test_put_latency_is_base_plus_transfer(self):
+        store = make_store(
+            put_latency_ns=1_000_000, throughput_bytes_per_sec=1_000_000
+        )
+        data = bytes(500_000)  # half a second at 1 MB/s
+        latency = store.put("loki", "k", data)
+        expected = 1_000_000 + 500_000 * NANOS_PER_SECOND // 1_000_000
+        assert latency == expected
+        assert store.total_latency_ns == expected
+
+    def test_get_latency_includes_transfer(self):
+        store = make_store(
+            get_latency_ns=2_000_000, throughput_bytes_per_sec=1_000_000
+        )
+        store.put("loki", "k", bytes(1_000_000))
+        _, latency = store.get_with_latency("loki", "k")
+        assert latency == 2_000_000 + NANOS_PER_SECOND
+
+    def test_slowdown_multiplies_latency(self):
+        fast = make_store()
+        slow = make_store()
+        slow.set_slowdown(10.0)
+        data = b"x" * 1024
+        assert slow.put("loki", "k", data) == 10 * fast.put("loki", "k", data)
+
+    def test_slowdown_below_one_rejected(self):
+        store = make_store()
+        with pytest.raises(ValidationError):
+            store.set_slowdown(0.5)
+
+    def test_config_validation(self):
+        with pytest.raises(ValidationError):
+            ObjectStoreConfig(put_latency_ns=-1)
+        with pytest.raises(ValidationError):
+            ObjectStoreConfig(throughput_bytes_per_sec=0)
+
+
+class TestOutage:
+    def test_every_operation_raises_during_outage(self):
+        store = make_store()
+        store.put("loki", "k", b"x")
+        store.set_outage(True)
+        for op in (
+            lambda: store.put("loki", "k2", b"y"),
+            lambda: store.get("loki", "k"),
+            lambda: store.head("loki", "k"),
+            lambda: store.delete("loki", "k"),
+            lambda: store.list_keys("loki"),
+        ):
+            with pytest.raises(ObjectStoreUnavailable):
+                op()
+        assert store.outage_rejections == 5
+        # Nothing happened: the object survives, no new object landed.
+        store.set_outage(False)
+        assert store.get("loki", "k") == b"x"
+        assert store.object_count("loki") == 1
+
+    def test_counters_snapshot(self):
+        store = make_store()
+        store.put("loki", "k", b"abc")
+        store.get("loki", "k")
+        store.list_keys("loki")
+        counters = store.counters()
+        assert counters["puts"] == 1
+        assert counters["gets"] == 1
+        assert counters["lists"] == 1
+        assert counters["bytes_in"] == 3
+        assert counters["bytes_out"] == 3
