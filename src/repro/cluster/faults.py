@@ -26,6 +26,7 @@ if TYPE_CHECKING:
     from repro.objstore.objectstore import ObjectStore
     from repro.objstore.shipper import ChunkShipper
     from repro.omni.warehouse import OmniWarehouse
+    from repro.queryx.executor import QuerierPool
     from repro.resilience.journal import NotificationJournal
     from repro.resilience.receivers import FlakyReceiver
     from repro.ring.cluster import RingLokiCluster
@@ -58,6 +59,12 @@ class FaultKind(enum.Enum):
     # (accounted latencies multiplied).  Targets are backend names.
     OBJSTORE_OUTAGE = "objstore_outage"
     OBJSTORE_SLOW = "objstore_slow"
+    # Read-path faults (repro.queryx): a querier worker dies holding its
+    # subqueries (each is retried on a live peer), or drags as a
+    # straggler with multiplied execution costs.  Targets are querier
+    # worker ids ("querier-0", ...).
+    QUERIER_CRASH = "querier_crash"
+    SLOW_QUERIER = "slow_querier"
 
 
 #: Fault kinds whose target is an ingest-ring member id, not an xname.
@@ -77,6 +84,9 @@ _TENANCY_KINDS = frozenset({FaultKind.NOISY_NEIGHBOR})
 _OBJSTORE_KINDS = frozenset(
     {FaultKind.OBJSTORE_OUTAGE, FaultKind.OBJSTORE_SLOW}
 )
+
+#: Fault kinds whose target is a querier worker id.
+_QUERYX_KINDS = frozenset({FaultKind.QUERIER_CRASH, FaultKind.SLOW_QUERIER})
 
 
 @dataclass
@@ -113,6 +123,7 @@ class FaultInjector:
         self._scheduler: "QueryScheduler | None" = None
         self._objstore: "ObjectStore | None" = None
         self._shipper: "ChunkShipper | None" = None
+        self._querier_pool: "QuerierPool | None" = None
         self._flood_timers: dict[int, Timer] = {}
         self.faults: list[Fault] = []
 
@@ -156,6 +167,11 @@ class FaultInjector:
         self._objstore = store
         self._shipper = shipper
 
+    def attach_queryx(self, pool: "QuerierPool") -> None:
+        """Late-bind the querier pool (query-engine mode): the workers
+        the QUERIER_CRASH / SLOW_QUERIER faults kill and drag."""
+        self._querier_pool = pool
+
     # ------------------------------------------------------------------
     # Scheduling
     # ------------------------------------------------------------------
@@ -176,6 +192,7 @@ class FaultInjector:
             or kind in _DELIVERY_KINDS
             or kind in _TENANCY_KINDS
             or kind in _OBJSTORE_KINDS
+            or kind in _QUERYX_KINDS
         ):
             x: XName | str = str(target)
         else:
@@ -257,6 +274,15 @@ class FaultInjector:
         elif kind is FaultKind.OBJSTORE_SLOW:
             factor = float(detail.get("factor", 10.0))  # type: ignore[arg-type]
             self._require_objstore().set_slowdown(factor)
+        elif kind is FaultKind.QUERIER_CRASH:
+            pool = self._require_querier_pool()
+            pool.set_crashed(str(target), True)
+            # Ground truth: retries before the crash, so chaos tests can
+            # count the retries this fault alone caused.
+            detail["retries_at_start"] = pool.retries_total
+        elif kind is FaultKind.SLOW_QUERIER:
+            factor = float(detail.get("factor", 10.0))  # type: ignore[arg-type]
+            self._require_querier_pool().set_slow(str(target), factor)
         else:  # pragma: no cover - exhaustive over enum
             raise ValidationError(f"unhandled fault kind {kind}")
 
@@ -355,6 +381,14 @@ class FaultInjector:
             )
         return self._objstore
 
+    def _require_querier_pool(self) -> "QuerierPool":
+        if self._querier_pool is None:
+            raise ValidationError(
+                "querier fault requires an attached querier pool "
+                "(enable the query engine)"
+            )
+        return self._querier_pool
+
     def _end(self, fault: Fault) -> None:
         if not fault.active:
             return
@@ -409,6 +443,14 @@ class FaultInjector:
                 )
         elif kind is FaultKind.OBJSTORE_SLOW:
             self._require_objstore().set_slowdown(1.0)
+        elif kind is FaultKind.QUERIER_CRASH:
+            pool = self._require_querier_pool()
+            pool.set_crashed(str(target), False)
+            start = int(detail.get("retries_at_start", 0))  # type: ignore[arg-type]
+            detail["retries_at_end"] = pool.retries_total
+            detail["retries_during"] = pool.retries_total - start
+        elif kind is FaultKind.SLOW_QUERIER:
+            self._require_querier_pool().set_slow(str(target), 1.0)
 
     # ------------------------------------------------------------------
     # Ground truth

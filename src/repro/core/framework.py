@@ -17,7 +17,7 @@ from dataclasses import dataclass, field
 
 from repro.common.errors import ValidationError
 from repro.common.labels import Matcher, MatchOp
-from repro.common.simclock import NANOS_PER_DAY, SimClock, minutes, seconds
+from repro.common.simclock import NANOS_PER_DAY, SimClock, hours, minutes, seconds
 from repro.alerting.alertmanager import Alertmanager, Route
 from repro.alerting.rules import RuleSpec
 from repro.bus.broker import Broker
@@ -53,6 +53,7 @@ from repro.grafana.panels import (
 )
 from repro.exporters.tenancy_exporter import TenancyExporter
 from repro.exporters.objstore_exporter import ObjstoreExporter
+from repro.exporters.queryx_exporter import QueryxExporter
 from repro.loki.frontend import QueryFrontend
 from repro.loki.logql.engine import LogQLEngine
 from repro.loki.ruler import Ruler
@@ -64,6 +65,10 @@ from repro.objstore.objectstore import ObjectStore
 from repro.objstore.shipper import ChunkShipper
 from repro.objstore.tiered import TieredLokiStore
 from repro.omni.anomaly import EwmaDetector, ProactiveMonitor
+from repro.queryx.bloom import BloomStore
+from repro.queryx.engine import DEFAULT_SLOW_QUERY_NS, ShardedQueryEngine
+from repro.queryx.executor import QuerierPool
+from repro.queryx.planner import QueryPlanner
 from repro.omni.eventstore import EventStore, record_from_alert
 from repro.omni.warehouse import OmniWarehouse
 from repro.resilience.backoff import BackoffPolicy
@@ -147,6 +152,12 @@ def _object_storage_default() -> bool:
     """CI's object-storage leg flips the framework default via env so the
     integration suite runs with the tiered cold store switched on."""
     return os.environ.get("REPRO_OBJECT_STORAGE", "") not in ("", "0")
+
+
+def _query_engine_default() -> bool:
+    """CI's query-engine leg flips the framework default via env so the
+    integration suite runs with the sharded read path switched on."""
+    return os.environ.get("REPRO_QUERY_ENGINE", "") not in ("", "0")
 
 
 @dataclass
@@ -247,6 +258,27 @@ class FrameworkConfig:
     #: still sweeps both tiers on its own schedule either way.
     objstore_default_retention_ns: int | None = None
     objstore_tenant_retention_ns: dict[str, int] = field(default_factory=dict)
+    # Sharded parallel query engine (repro.queryx).  Off by default (or
+    # via the REPRO_QUERY_ENGINE env var, for CI's query-engine leg):
+    # queries run monolithically on one LogQL engine as before.  On:
+    # range queries are planned into time-split × stream-shard
+    # subqueries, fanned out across a pool of simulated querier workers
+    # (accounted wall-clock = busiest worker, not the sum) and merged
+    # back exactly; when object storage is also on, the compactor builds
+    # per-stream n-gram bloom blocks and the store-gateway uses them to
+    # skip cold chunks that cannot match a line filter.
+    enable_query_engine: bool = field(default_factory=_query_engine_default)
+    #: Stream shards per shardable query (Loki's -querier.max-query-parallelism).
+    queryx_shard_count: int = 4
+    #: Simulated querier workers in the executor pool.
+    queryx_workers: int = 4
+    #: Time-split interval; shared with the frontend cache so both cut a
+    #: range at identical aligned boundaries.
+    queryx_split_interval_ns: int = hours(1)
+    #: Accounted wall-clock above this marks a query slow (SlowQueries).
+    queryx_slow_query_threshold_ns: int = DEFAULT_SLOW_QUERY_NS
+    #: Target false-positive rate for the compactor-built bloom blocks.
+    queryx_bloom_fp_rate: float = 0.01
 
     def __post_init__(self) -> None:
         if not 0.0 <= self.tracing_sampling <= 1.0:
@@ -304,6 +336,23 @@ class FrameworkConfig:
             ):
                 raise ValidationError(
                     "objstore_default_retention_ns must be positive or None"
+                )
+        if self.enable_query_engine:
+            if self.queryx_shard_count < 1:
+                raise ValidationError("queryx_shard_count must be >= 1")
+            if self.queryx_workers < 1:
+                raise ValidationError("queryx_workers must be >= 1")
+            if self.queryx_split_interval_ns <= 0:
+                raise ValidationError(
+                    "queryx_split_interval_ns must be positive"
+                )
+            if self.queryx_slow_query_threshold_ns <= 0:
+                raise ValidationError(
+                    "queryx_slow_query_threshold_ns must be positive"
+                )
+            if not 0.0 < self.queryx_bloom_fp_rate < 1.0:
+                raise ValidationError(
+                    "queryx_bloom_fp_rate must be in (0, 1)"
                 )
         for name in (
             "redfish_poll_interval_ns",
@@ -417,6 +466,7 @@ class MonitoringFramework:
         self.store_gateway: StoreGateway | None = None
         self.tiered: TieredLokiStore | None = None
         self.objstore_exporter: ObjstoreExporter | None = None
+        self.blooms: BloomStore | None = None
         log_backend: RingLokiCluster | TieredLokiStore | LokiStore | None = (
             self.ring
         )
@@ -430,6 +480,12 @@ class MonitoringFramework:
                 hot, self.objstore, self.shipper_index, self.clock,
                 tracer=self.tracer,
             )
+            # Bloom blocks ride the same bucket as the chunks; the
+            # compactor builds them, the gateway consults them.
+            if cfg.enable_query_engine:
+                self.blooms = BloomStore(
+                    self.objstore, fp_rate=cfg.queryx_bloom_fp_rate
+                )
             self.compactor = Compactor(
                 self.objstore,
                 self.shipper_index,
@@ -440,10 +496,12 @@ class MonitoringFramework:
                 default_retention_ns=cfg.objstore_default_retention_ns,
                 tenant_retention_ns=cfg.objstore_tenant_retention_ns,
                 tracer=self.tracer,
+                blooms=self.blooms,
             )
             self.store_gateway = StoreGateway(
                 self.objstore, self.shipper_index, self.clock,
                 tracer=self.tracer,
+                blooms=self.blooms,
             )
             self.tiered = TieredLokiStore(
                 hot, self.objstore, self.shipper_index, self.shipper,
@@ -456,9 +514,45 @@ class MonitoringFramework:
         )
         self.logql = LogQLEngine(self.warehouse.loki)
         self.promql = PromQLEngine(self.warehouse.tsdb)
+        # --- sharded query engine (repro.queryx) -------------------------
+        self.queryx: ShardedQueryEngine | None = None
+        self.queryx_exporter: QueryxExporter | None = None
+        if cfg.enable_query_engine:
+            if self.store_gateway is not None:
+                gateway = self.store_gateway
+
+                def cold_latency_fn() -> int:
+                    # Charges each subquery with the cold object-store
+                    # latency it actually incurred (delta of this counter).
+                    return gateway.fetch_latency_ns_total
+            else:
+                cold_latency_fn = None
+            self.queryx = ShardedQueryEngine(
+                self.warehouse.loki,
+                self.clock,
+                planner=QueryPlanner(
+                    shard_count=cfg.queryx_shard_count,
+                    split_ns=cfg.queryx_split_interval_ns,
+                ),
+                pool=QuerierPool(workers=cfg.queryx_workers),
+                tracer=self.tracer,
+                cold_latency_fn=cold_latency_fn,
+                slow_query_threshold_ns=cfg.queryx_slow_query_threshold_ns,
+            )
+            self.faults.attach_queryx(self.queryx.pool)
         if cfg.enable_multi_tenancy:
             assert self.limits is not None
-            self.frontend = QueryFrontend(self.logql, self.clock)
+            # The frontend caches over whichever engine is configured;
+            # with queryx on, every uncached sub-window fans out across
+            # the querier pool, and the split intervals match so planner
+            # and cache cut ranges at identical aligned boundaries.
+            if self.queryx is not None:
+                self.frontend = QueryFrontend(
+                    self.queryx, self.clock,
+                    split_ns=cfg.queryx_split_interval_ns,
+                )
+            else:
+                self.frontend = QueryFrontend(self.logql, self.clock)
             self.scheduler = QueryScheduler(
                 self.frontend,
                 self.clock,
@@ -566,6 +660,17 @@ class MonitoringFramework:
             self.vmagent.add_target(
                 ScrapeTarget(
                     "objstore", "objstore-exporter:9105", self.objstore_exporter
+                )
+            )
+        if self.queryx is not None:
+            self.queryx_exporter = QueryxExporter(
+                self.queryx,
+                gateway=self.store_gateway,
+                blooms=self.blooms,
+            )
+            self.vmagent.add_target(
+                ScrapeTarget(
+                    "queryx", "queryx-exporter:9106", self.queryx_exporter
                 )
             )
 
@@ -916,6 +1021,22 @@ class MonitoringFramework:
                     },
                 )
             )
+        if cfg.enable_query_engine:
+            self.vmalert.add_rule(
+                RuleSpec(
+                    name="SlowQueries",
+                    # The exporter gauge is a since-last-scrape delta, so
+                    # it self-resolves on the next quiet scrape; no
+                    # sustain window — one slow refresh is worth knowing.
+                    expr="queryx_slow_queries_recent > 0",
+                    for_="0s",
+                    labels={"severity": "warning", "category": "query"},
+                    annotations={
+                        "summary": "{{ $value }} queries exceeded the "
+                        "slow-query threshold since the last scrape"
+                    },
+                )
+            )
         if cfg.enable_reliable_delivery:
             self.vmalert.add_rule(
                 RuleSpec(
@@ -1168,6 +1289,61 @@ class MonitoringFramework:
                 )
             )
             dashboards["objstore"] = objstore
+        if self.queryx is not None:
+            queryx = Dashboard("Query Engine", uid="query-engine")
+            queryx.add_panel(
+                StatPanel(
+                    title="Realized speedup (serial / wall)",
+                    datasource=prom_ds,
+                    query="queryx_speedup",
+                    unit="x",
+                )
+            )
+            queryx.add_panel(
+                TimeSeriesPanel(
+                    title="Last query latency: wall vs serial",
+                    datasource=prom_ds,
+                    query="queryx_last_query_seconds",
+                )
+            )
+            queryx.add_panel(
+                TopListPanel(
+                    title="Worker busy time (stragglers stand out)",
+                    datasource=prom_ds,
+                    query="topk(16, queryx_worker_busy_seconds)",
+                    label="worker",
+                )
+            )
+            queryx.add_panel(
+                TimeSeriesPanel(
+                    title="Subquery retries (querier crashes)",
+                    datasource=prom_ds,
+                    query="queryx_subquery_retries_total",
+                )
+            )
+            queryx.add_panel(
+                TimeSeriesPanel(
+                    title="Slow queries since last scrape (alert signal)",
+                    datasource=prom_ds,
+                    query="queryx_slow_queries_recent",
+                )
+            )
+            if self.blooms is not None:
+                queryx.add_panel(
+                    StatPanel(
+                        title="Bloom skip ratio",
+                        datasource=prom_ds,
+                        query="queryx_bloom_skip_ratio",
+                    )
+                )
+                queryx.add_panel(
+                    TimeSeriesPanel(
+                        title="Cold chunks considered / fetched / skipped",
+                        datasource=prom_ds,
+                        query="queryx_gateway_chunks_total",
+                    )
+                )
+            dashboards["queryx"] = queryx
         if self.traceql is not None:
             tempo_ds = TempoDatasource(self.traceql)
             tracing = Dashboard("Pipeline Tracing", uid="pipeline-tracing")
@@ -1334,4 +1510,19 @@ class MonitoringFramework:
                 self.tiered.cold_chunk_count()
             )
             summary["objstore_cold_bytes"] = float(self.tiered.cold_bytes())
+        if self.queryx is not None:
+            stats = self.queryx.stats()
+            summary["queryx_queries"] = float(stats["queries_total"])
+            summary["queryx_subqueries"] = float(stats["subqueries_total"])
+            summary["queryx_slow_queries"] = float(stats["slow_queries_total"])
+            summary["queryx_retries"] = float(stats["pool_retries_total"])
+            summary["queryx_speedup"] = float(stats["speedup"])
+        if self.blooms is not None:
+            bloom_stats = self.blooms.counters()
+            summary["queryx_bloom_blocks"] = float(bloom_stats["blocks"])
+            summary["queryx_chunks_skipped"] = float(
+                self.store_gateway.chunks_skipped_total
+                if self.store_gateway is not None
+                else 0
+            )
         return summary

@@ -1,0 +1,189 @@
+"""Query-engine exporter: the sharded read path's health for vmagent.
+
+The headline alert signal is ``queryx_slow_queries_recent``: queries
+whose accounted wall-clock crossed the slowness threshold since the
+last scrape.  As a since-last-scrape delta it self-resolves — one bad
+dashboard refresh fires ``SlowQueries`` once and the gauge falls back
+to zero on the next quiet scrape — matching how the tenancy exporter
+surfaces admission rejections.
+
+Alongside: fan-out volume (subqueries per query), the wall-vs-serial
+latency pair whose ratio is the realized speedup, per-worker busy
+timelines (a straggler shows up as one tall bar), retry/crash counters
+from the chaos faults, and the bloom story — chunks considered vs
+fetched vs skipped at the store-gateway, plus resident block counts.
+"""
+
+from __future__ import annotations
+
+from repro.common.simclock import NANOS_PER_SECOND
+from repro.exporters.textformat import MetricFamily, render_exposition
+from repro.objstore.gateway import StoreGateway
+from repro.queryx.bloom import BloomStore
+from repro.queryx.engine import ShardedQueryEngine
+
+
+class QueryxExporter:
+    """Exports planner, pool, merger and bloom-gate counters."""
+
+    def __init__(
+        self,
+        engine: ShardedQueryEngine,
+        gateway: StoreGateway | None = None,
+        blooms: BloomStore | None = None,
+    ) -> None:
+        self._engine = engine
+        self._gateway = gateway
+        self._blooms = blooms
+        self.scrapes_served = 0
+        self._last_slow_total = 0
+
+    def scrape(self) -> str:
+        engine = self._engine
+        families = []
+
+        queries = MetricFamily(
+            "queryx_queries_total",
+            "Queries planned and executed by the sharded engine, by kind.",
+            "counter",
+        )
+        queries.add(
+            float(engine.queries_total - engine.log_queries_total), kind="metric"
+        )
+        queries.add(float(engine.log_queries_total), kind="log")
+        families.append(queries)
+
+        subqueries = MetricFamily(
+            "queryx_subqueries_total",
+            "Subqueries fanned out across the querier pool.",
+            "counter",
+        )
+        subqueries.add(float(engine.subqueries_total))
+        families.append(subqueries)
+
+        unsharded = MetricFamily(
+            "queryx_unsharded_plans_total",
+            "Plans the planner refused to shard (time-split only).",
+            "counter",
+        )
+        unsharded.add(float(engine.planner.unsharded_plans))
+        families.append(unsharded)
+
+        pool = engine.pool.counters()
+        workers = MetricFamily(
+            "queryx_querier_workers",
+            "Querier workers in the pool, by liveness.",
+            "gauge",
+        )
+        workers.add(float(pool["live_workers"]), state="live")
+        workers.add(
+            float(pool["workers"] - pool["live_workers"]), state="crashed"
+        )
+        families.append(workers)
+
+        retries = MetricFamily(
+            "queryx_subquery_retries_total",
+            "Subquery attempts lost to querier crashes and retried.",
+            "counter",
+        )
+        retries.add(float(pool["retries_total"]))
+        families.append(retries)
+
+        busy = MetricFamily(
+            "queryx_worker_busy_seconds",
+            "Accounted busy time per worker for the last query "
+            "(stragglers show as one tall bar).",
+            "gauge",
+        )
+        for worker_id, busy_ns in sorted(engine.pool.worker_busy().items()):
+            busy.add(busy_ns / NANOS_PER_SECOND, worker=worker_id)
+        families.append(busy)
+
+        latency = MetricFamily(
+            "queryx_last_query_seconds",
+            "Accounted latency of the last query: parallel wall-clock vs "
+            "the serial single-querier equivalent.",
+            "gauge",
+        )
+        latency.add(engine.last_wall_ns / NANOS_PER_SECOND, mode="wall")
+        latency.add(engine.last_serial_ns / NANOS_PER_SECOND, mode="serial")
+        families.append(latency)
+
+        speedup = MetricFamily(
+            "queryx_speedup",
+            "Cumulative serial/wall ratio — the realized parallelism.",
+            "gauge",
+        )
+        speedup.add(engine.speedup())
+        families.append(speedup)
+
+        slow_total = MetricFamily(
+            "queryx_slow_queries_total",
+            "Queries whose wall-clock crossed the slowness threshold.",
+            "counter",
+        )
+        slow_total.add(float(engine.slow_queries_total))
+        families.append(slow_total)
+
+        slow_recent = MetricFamily(
+            "queryx_slow_queries_recent",
+            "Slow queries since the last scrape (alert signal; "
+            "self-resolves on the next quiet scrape).",
+            "gauge",
+        )
+        slow_recent.add(
+            float(engine.slow_queries_total - self._last_slow_total)
+        )
+        self._last_slow_total = engine.slow_queries_total
+        families.append(slow_recent)
+
+        if self._gateway is not None:
+            gw = self._gateway.counters()
+            pruning = MetricFamily(
+                "queryx_gateway_chunks_total",
+                "Cold chunks considered vs fetched vs bloom-skipped.",
+                "counter",
+            )
+            pruning.add(float(gw["chunks_considered"]), disposition="considered")
+            pruning.add(float(gw["chunks_fetched"]), disposition="fetched")
+            pruning.add(float(gw["chunks_skipped"]), disposition="skipped")
+            families.append(pruning)
+
+            skip_ratio = MetricFamily(
+                "queryx_bloom_skip_ratio",
+                "Fraction of considered chunks the blooms let us skip.",
+                "gauge",
+            )
+            skip_ratio.add(self._gateway.skip_ratio())
+            families.append(skip_ratio)
+
+        if self._blooms is not None:
+            bl = self._blooms.counters()
+            blocks = MetricFamily(
+                "queryx_bloom_blocks",
+                "Bloom blocks resident in the store.",
+                "gauge",
+            )
+            blocks.add(float(bl["blocks"]))
+            families.append(blocks)
+            built = MetricFamily(
+                "queryx_bloom_blocks_built_total",
+                "Bloom blocks (re)built by the compactor.",
+                "counter",
+            )
+            built.add(float(bl["blocks_built"]))
+            families.append(built)
+            checks = MetricFamily(
+                "queryx_bloom_needle_checks_total",
+                "Needle membership tests against bloom blocks, by verdict.",
+                "counter",
+            )
+            checks.add(
+                float(bl["needle_checks"] - bl["needle_rejections"]),
+                verdict="maybe",
+            )
+            checks.add(float(bl["needle_rejections"]), verdict="absent")
+            families.append(checks)
+
+        self.scrapes_served += 1
+        return render_exposition(families)

@@ -30,6 +30,24 @@ class RangeQueryable(Protocol):
     ) -> list[Series]: ...
 
 
+def aligned_windows(start_ns: int, end_ns: int, split_ns: int):
+    """Yield [start, end] sub-windows aligned to the split interval.
+
+    Each sub-window covers evaluation instants in [sub_start, sub_end]
+    inclusive; consecutive windows abut without repeating an instant.
+    Shared by the frontend cache and the queryx planner so both cut a
+    range at identical boundaries.
+    """
+    if split_ns <= 0:
+        raise ValidationError("split interval must be positive")
+    cursor = start_ns
+    while cursor <= end_ns:
+        boundary = (cursor // split_ns + 1) * split_ns
+        sub_end = min(end_ns, boundary - 1)
+        yield cursor, sub_end
+        cursor = sub_end + 1
+
+
 @dataclass(frozen=True)
 class _CacheKey:
     query: str
@@ -39,6 +57,11 @@ class _CacheKey:
     #: Cache entries are tenant-scoped: identical LogQL submitted by two
     #: tenants must never share results (their visible streams differ).
     tenant: str | None = None
+    #: The split interval the window was cut with.  A sub-window is only
+    #: reusable under the *same* split size: after a resize the aligned
+    #: boundaries move, and a stale differently-split window must miss
+    #: rather than alias a new one that happens to share its endpoints.
+    split_ns: int = 0
 
 
 class QueryFrontend:
@@ -112,6 +135,21 @@ class QueryFrontend:
         """Drop every cached sub-result (config or data rewrite)."""
         self._cache.clear()
 
+    @property
+    def split_ns(self) -> int:
+        return self._split_ns
+
+    def set_split_ns(self, split_ns: int) -> None:
+        """Change the split interval.
+
+        Old entries stay resident but can no longer be hit (the key
+        carries the split they were cut with), so they age out of the
+        LRU naturally instead of poisoning the new alignment.
+        """
+        if split_ns <= 0:
+            raise ValidationError("split interval must be positive")
+        self._split_ns = split_ns
+
     def hit_rate(self) -> float:
         total = self.cache_hits + self.cache_misses
         return self.cache_hits / total if total else 0.0
@@ -120,18 +158,7 @@ class QueryFrontend:
     # Internals
     # ------------------------------------------------------------------
     def _aligned_windows(self, start_ns: int, end_ns: int):
-        """Yield [start, end] sub-windows aligned to the split interval.
-
-        Each sub-window covers evaluation instants in [sub_start, sub_end]
-        inclusive; consecutive windows abut without repeating an instant.
-        """
-        split = self._split_ns
-        cursor = start_ns
-        while cursor <= end_ns:
-            boundary = (cursor // split + 1) * split
-            sub_end = min(end_ns, boundary - 1)
-            yield cursor, sub_end
-            cursor = sub_end + 1
+        return aligned_windows(start_ns, end_ns, self._split_ns)
 
     def _sub_query(
         self,
@@ -144,7 +171,9 @@ class QueryFrontend:
     ) -> list[Series]:
         # The phase keys the evaluation grid (instants are phase + k*step),
         # so differently-phased dashboards never share cache entries.
-        key = _CacheKey(query, start_ns - phase, end_ns - phase, step_ns, tenant)
+        key = _CacheKey(
+            query, start_ns - phase, end_ns - phase, step_ns, tenant, self._split_ns
+        )
         cached = self._cache.get(key)
         if cached is not None:
             self.cache_hits += 1

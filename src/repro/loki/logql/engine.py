@@ -31,6 +31,7 @@ from repro.loki.logql.ast import (
     LabelFilter,
     LabelFormatStage,
     LineFilter,
+    LineFilterOp,
     LineFormatStage,
     LogPipeline,
     MetricExpr,
@@ -135,10 +136,36 @@ class LogQLEngine:
     # ------------------------------------------------------------------
     # Pipeline evaluation
     # ------------------------------------------------------------------
+    @staticmethod
+    def _line_hints(pipeline: LogPipeline) -> tuple[str, ...]:
+        """CONTAINS needles that apply to the *stored* line.
+
+        Filters appearing after a ``line_format`` stage see rewritten
+        lines and cannot gate raw chunks.  The hints are purely a
+        pruning aid for stores that understand them (bloom blocks);
+        every filter is still re-applied here, so a store that ignores
+        or over-prunes nothing changes answers.
+        """
+        needles = []
+        for stage in pipeline.stages:
+            if isinstance(stage, LineFormatStage):
+                break
+            if isinstance(stage, LineFilter) and stage.op is LineFilterOp.CONTAINS:
+                needles.append(stage.needle)
+        return tuple(needles)
+
     def _eval_pipeline(
         self, pipeline: LogPipeline, start_ns: int, end_ns: int
     ) -> dict[LabelSet, list[LogEntry]]:
-        raw = self._source.select(pipeline.matchers, start_ns, end_ns)
+        if getattr(self._source, "supports_line_hints", False):
+            raw = self._source.select(
+                pipeline.matchers,
+                start_ns,
+                end_ns,
+                line_contains=self._line_hints(pipeline),
+            )
+        else:
+            raw = self._source.select(pipeline.matchers, start_ns, end_ns)
         grouped: dict[LabelSet, list[LogEntry]] = {}
         for stream_labels, entries in raw:
             base = stream_labels.to_dict()

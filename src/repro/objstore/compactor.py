@@ -85,6 +85,7 @@ class CompactionResult:
     retention_chunks_deleted: int = 0
     delete_requests_processed: int = 0
     index_files_removed: int = 0
+    bloom_blocks_built: int = 0
 
 
 class Compactor:
@@ -99,6 +100,7 @@ class Compactor:
         default_retention_ns: int | None = None,
         tenant_retention_ns: dict[str, int] | None = None,
         tracer: Tracer | None = None,
+        blooms=None,
     ) -> None:
         self._objstore = store
         self._index = index
@@ -107,6 +109,10 @@ class Compactor:
         self.default_retention_ns = default_retention_ns
         self.tenant_retention_ns = dict(tenant_retention_ns or {})
         self._tracer = tracer
+        #: Optional ``repro.queryx.bloom.BloomStore`` (duck-typed; the
+        #: compactor is the bloom *writer* — it already holds every
+        #: stream-period's entries when it runs).
+        self.blooms = blooms
         self._chunk_policy = ChunkPolicy(
             target_size_bytes=self.policy.target_object_bytes,
             max_age_ns=_NEVER_AGE_NS,
@@ -115,6 +121,7 @@ class Compactor:
         self._next_request_id = 1
         self.runs = 0
         self.run_failures = 0
+        self.bloom_blocks_built_total = 0
         self.chunks_merged_total = 0
         self.chunks_written_total = 0
         self.duplicates_dropped_total = 0
@@ -245,6 +252,36 @@ class Compactor:
             self._compact_group(tenant, labels, refs, result)
 
     # ------------------------------------------------------------------
+    # Bloom blocks
+    # ------------------------------------------------------------------
+    def _build_blooms(self, result: CompactionResult) -> None:
+        """(Re)build the bloom block of every stream-period group whose
+        chunk coverage changed since the last build.
+
+        Runs after merge/retention/deletes so the blocks describe the
+        bucket as it will be read.  Coverage is pinned to the exact
+        chunk-key set: a chunk shipped after this run is outside every
+        block and therefore never skipped on a stale bloom's word.
+        """
+        assert self.blooms is not None
+        for period in self._index.periods():
+            groups: dict[tuple[str, LabelSet], list[ChunkRef]] = {}
+            for ref in self._index.refs_in_period(period):
+                groups.setdefault((ref.tenant, ref.labels), []).append(ref)
+            for (tenant, labels), refs in sorted(
+                groups.items(), key=lambda kv: (kv[0][0], kv[0][1].items_tuple())
+            ):
+                keys = {ref.key for ref in refs}
+                if not self.blooms.needs_build(tenant, labels, period, keys):
+                    continue
+                entry_lists = [self._fetch_entries(ref) for ref in refs]
+                self.blooms.build_block(
+                    tenant, labels, period, _merge_replicas(entry_lists), keys
+                )
+                result.bloom_blocks_built += 1
+                self.bloom_blocks_built_total += 1
+
+    # ------------------------------------------------------------------
     # Retention and deletes
     # ------------------------------------------------------------------
     def delete_chunks_before(
@@ -304,6 +341,8 @@ class Compactor:
             self._apply_delete_requests(result)
             if self.default_retention_ns is not None or self.tenant_retention_ns:
                 self._apply_retention(now, result)
+            if self.blooms is not None:
+                self._build_blooms(result)
             self._index.persist_dirty()
             for period in self._index.periods():
                 removed = self._index.compact_period_files(period)
@@ -340,4 +379,5 @@ class Compactor:
             "retention_deleted": self.retention_deleted_total,
             "delete_requests": self.delete_requests_total,
             "index_files_removed": self.index_files_removed_total,
+            "bloom_blocks_built": self.bloom_blocks_built_total,
         }

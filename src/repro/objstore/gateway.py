@@ -10,17 +10,31 @@ dedup them still read back exactly once.
 
 Latency is accounted per query from the object store's charge model;
 ``last_query_latency_ns`` is what bench S1 prices cold reads with.
+
+Two pushed-down pruning hints cut the fetch set before any GET is paid
+(both optional, both exact):
+
+* ``shard=(i, n)`` keeps only refs whose stream fingerprint lands in
+  shard ``i`` of ``n`` — the queryx engine's stream partition;
+* ``line_contains=(needles...)`` consults the bloom store (when one is
+  attached): a chunk whose bloom block proves a needle absent is
+  skipped.  Blooms never produce false negatives and only blocks that
+  *cover* a ref may veto it, so skipped chunks cannot change answers.
+
+``chunks_considered`` / ``chunks_fetched`` / ``chunks_skipped`` count
+the pruning per query and in total — the numbers Q1 and the "Query
+Engine" dashboard report.
 """
 
 from __future__ import annotations
 
-from typing import Iterable
+from typing import Iterable, Sequence
 
 from repro.common.labels import LabelSet, Matcher
 from repro.common.simclock import SimClock
 from repro.loki.chunks import Chunk, ChunkPolicy
 from repro.loki.model import LogEntry
-from repro.objstore.index import ChunkRef, ShipperIndex
+from repro.objstore.index import ChunkRef, ShipperIndex, stream_fingerprint
 from repro.objstore.objectstore import ObjectStore
 from repro.ring.distributor import _merge_replicas
 from repro.tempo.tracer import Tracer
@@ -29,6 +43,11 @@ from repro.tempo.tracer import Tracer
 class StoreGateway:
     """Selects over shipped chunks, transparently to the querier."""
 
+    #: The queryx hint protocol: ``select`` accepts ``shard`` and
+    #: ``line_contains`` keyword pruning hints.
+    supports_shard_hints = True
+    supports_line_hints = True
+
     def __init__(
         self,
         store: ObjectStore,
@@ -36,17 +55,26 @@ class StoreGateway:
         clock: SimClock,
         policy: ChunkPolicy | None = None,
         tracer: Tracer | None = None,
+        blooms=None,
     ) -> None:
         self._objstore = store
         self._index = index
         self._clock = clock
         self._policy = policy or ChunkPolicy()
         self._tracer = tracer
+        #: Optional ``repro.queryx.bloom.BloomStore`` (duck-typed so the
+        #: storage layer carries no dependency on the query engine).
+        self.blooms = blooms
         self.queries = 0
         self.chunks_fetched_total = 0
         self.bytes_fetched_total = 0
         self.fetch_latency_ns_total = 0
         self.last_query_latency_ns = 0
+        self.chunks_considered_total = 0
+        self.chunks_skipped_total = 0
+        self.last_chunks_considered = 0
+        self.last_chunks_fetched = 0
+        self.last_chunks_skipped = 0
 
     @property
     def bucket(self) -> str:
@@ -86,6 +114,8 @@ class StoreGateway:
         start_ns: int,
         end_ns: int,
         tenant: str | None = None,
+        shard: tuple[int, int] | None = None,
+        line_contains: Sequence[str] = (),
     ) -> list[tuple[LabelSet, list[LogEntry]]]:
         """Cold entries per matching stream with ``start <= ts < end``."""
         started = self._clock.now_ns
@@ -93,6 +123,26 @@ class StoreGateway:
         refs = self._index.refs_overlapping(
             start_ns, end_ns, tenant=tenant, matchers=list(matchers)
         )
+        considered = len(refs)
+        if shard is not None:
+            shard_index, shard_count = shard
+            refs = [
+                ref
+                for ref in refs
+                if stream_fingerprint(ref.labels) % shard_count == shard_index
+            ]
+            # Off-shard refs belong to another subquery, not to this
+            # query's pruning story: they are not "considered" here.
+            considered = len(refs)
+        skipped = 0
+        if self.blooms is not None and line_contains:
+            kept = []
+            for ref in refs:
+                if self.blooms.can_skip(ref, line_contains):
+                    skipped += 1
+                else:
+                    kept.append(ref)
+            refs = kept
         latency = 0
         fetched: list[tuple[LabelSet, list[LogEntry]]] = []
         for ref in refs:
@@ -101,6 +151,11 @@ class StoreGateway:
             fetched.append((ref.labels, chunk.entries_between(start_ns, end_ns)))
         self.last_query_latency_ns = latency
         self.fetch_latency_ns_total += latency
+        self.last_chunks_considered = considered
+        self.last_chunks_fetched = len(refs)
+        self.last_chunks_skipped = skipped
+        self.chunks_considered_total += considered
+        self.chunks_skipped_total += skipped
         out = self._merge_per_stream(fetched)
         if self._tracer is not None and self._tracer.enabled:
             self._tracer.record(
@@ -110,7 +165,9 @@ class StoreGateway:
                 start_ns=started,
                 end_ns=self._clock.now_ns,
                 attributes={
+                    "chunks_considered": str(considered),
                     "chunks_fetched": str(len(refs)),
+                    "chunks_skipped": str(skipped),
                     "streams": str(len(out)),
                     "cold_latency_ns": str(latency),
                 },
@@ -134,10 +191,18 @@ class StoreGateway:
     def oldest_entry_ns(self) -> int | None:
         return self._index.oldest_first_ts()
 
+    def skip_ratio(self) -> float:
+        """Fraction of considered chunks the blooms let us not fetch."""
+        if self.chunks_considered_total == 0:
+            return 0.0
+        return self.chunks_skipped_total / self.chunks_considered_total
+
     def counters(self) -> dict[str, int]:
         return {
             "queries": self.queries,
+            "chunks_considered": self.chunks_considered_total,
             "chunks_fetched": self.chunks_fetched_total,
+            "chunks_skipped": self.chunks_skipped_total,
             "bytes_fetched": self.bytes_fetched_total,
             "fetch_latency_ns": self.fetch_latency_ns_total,
         }

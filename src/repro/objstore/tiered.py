@@ -12,14 +12,14 @@ manager, the LogQL engine, Promtail and the ruler run unmodified.
 
 from __future__ import annotations
 
-from typing import Iterable, Mapping
+from typing import Iterable, Mapping, Sequence
 
 from repro.common.labels import LabelSet, Matcher
 from repro.loki.model import LogEntry, PushRequest, PushStream
 from repro.loki.store import LokiStore, StoreStats
 from repro.objstore.compactor import CompactionResult, Compactor
 from repro.objstore.gateway import StoreGateway
-from repro.objstore.index import ShipperIndex
+from repro.objstore.index import ShipperIndex, stream_fingerprint
 from repro.objstore.objectstore import ObjectStore
 from repro.objstore.shipper import ChunkShipper, FlushResult
 from repro.ring.cluster import RingLokiCluster
@@ -29,6 +29,13 @@ from repro.tempo.model import SpanContext
 
 class TieredLokiStore:
     """Hot ingest tier + object-store cold tier, one store surface."""
+
+    #: queryx hint protocol: ``select`` takes ``shard``/``line_contains``
+    #: pruning hints.  The shard cut is pushed down to the gateway (refs
+    #: pruned before any GET) and applied to hot results by fingerprint;
+    #: line hints reach the gateway's bloom gate.
+    supports_shard_hints = True
+    supports_line_hints = True
 
     def __init__(
         self,
@@ -83,13 +90,24 @@ class TieredLokiStore:
     # Reads: both tiers, merged
     # ------------------------------------------------------------------
     def select(
-        self, matchers: Iterable[Matcher], start_ns: int, end_ns: int
+        self,
+        matchers: Iterable[Matcher],
+        start_ns: int,
+        end_ns: int,
+        shard: tuple[int, int] | None = None,
+        line_contains: Sequence[str] = (),
     ) -> list[tuple[LabelSet, list[LogEntry]]]:
         matchers = list(matchers)
         merged: dict[LabelSet, list[list[LogEntry]]] = {}
         for labels, entries in self.hot.select(matchers, start_ns, end_ns):
+            if shard is not None and (
+                stream_fingerprint(labels) % shard[1] != shard[0]
+            ):
+                continue
             merged.setdefault(labels, []).append(entries)
-        for labels, entries in self.gateway.select(matchers, start_ns, end_ns):
+        for labels, entries in self.gateway.select(
+            matchers, start_ns, end_ns, shard=shard, line_contains=line_contains
+        ):
             merged.setdefault(labels, []).append(entries)
         out = [
             (labels, _merge_replicas(entry_lists))

@@ -1,0 +1,313 @@
+"""Bloom filter blocks: n-gram membership tests that let the read path
+skip chunks which *cannot* match a line filter.
+
+Loki 3.x builds bloom filters over the n-grams of chunk contents so a
+needle-in-a-haystack query (``{job="syslog"} |= "GPU memory error"``)
+fetches only the chunks that might contain the needle instead of every
+chunk in the window.  This module reproduces that idea for the cold
+tier: the compactor builds one :class:`BloomBlock` per (tenant, stream,
+index period) from the merged entries it already holds in hand, persists
+it to the object store next to the chunks, and the store-gateway
+consults the block before paying a GET.
+
+Soundness: a Bloom filter has false positives but never false
+negatives, so "some n-gram of the needle is absent" proves no line in
+the covered chunks contains the needle — skipping those chunks cannot
+change a query answer.  A block also records exactly which chunk keys
+it was built from; the gateway only skips a chunk the block *covers*,
+so chunks shipped after the last compaction are always fetched.
+
+False-positive math (classic): for ``n`` inserted tokens and a target
+rate ``p``, the optimal bit count is ``m = -n·ln p / (ln 2)²`` and the
+optimal hash count ``k = (m/n)·ln 2``; the expected rate is then
+``(1 - e^(-kn/m))^k ≈ p``.  A false positive merely costs one avoidable
+GET — correctness never depends on the rate.
+"""
+
+from __future__ import annotations
+
+import math
+import zlib
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Iterable
+
+from repro.common.errors import ValidationError
+from repro.common.hashing import fnv1a_64, mix64
+from repro.common.jsonutil import dumps_compact, loads
+from repro.objstore.index import ChunkRef, stream_fingerprint
+
+if TYPE_CHECKING:
+    from repro.common.labels import LabelSet
+    from repro.loki.model import LogEntry
+    from repro.objstore.objectstore import ObjectStore
+
+#: Token length for line content.  Three is Loki's default: long enough
+#: to be selective, short enough that any needle of >= 3 characters can
+#: be decomposed into covered tokens.
+NGRAM_LEN = 3
+
+BLOOM_PREFIX = "blooms/"
+
+
+def line_ngrams(text: str, n: int = NGRAM_LEN) -> set[str]:
+    """Every length-``n`` substring of ``text`` (empty if shorter)."""
+    if len(text) < n:
+        return set()
+    return {text[i : i + n] for i in range(len(text) - n + 1)}
+
+
+class BloomFilter:
+    """A classic bit-array Bloom filter over string tokens.
+
+    Double hashing (Kirsch-Mitzenmacher): the i-th probe is
+    ``h1 + i*h2 mod m`` with ``h1`` = FNV-1a and ``h2`` = its SplitMix64
+    finalization forced odd, which is as good as k independent hashes.
+    """
+
+    __slots__ = ("m_bits", "k", "_bits", "inserted")
+
+    def __init__(self, m_bits: int, k: int) -> None:
+        if m_bits < 8:
+            raise ValidationError("bloom filter needs at least 8 bits")
+        if k < 1:
+            raise ValidationError("bloom filter needs at least one hash")
+        self.m_bits = m_bits
+        self.k = k
+        self._bits = bytearray((m_bits + 7) // 8)
+        self.inserted = 0
+
+    @classmethod
+    def for_capacity(cls, n: int, fp_rate: float = 0.01) -> "BloomFilter":
+        """Size a filter for ``n`` tokens at a target false-positive rate."""
+        if n < 1:
+            n = 1
+        if not 0.0 < fp_rate < 1.0:
+            raise ValidationError("fp_rate must be in (0, 1)")
+        m = max(8, math.ceil(-n * math.log(fp_rate) / (math.log(2) ** 2)))
+        k = max(1, round(m / n * math.log(2)))
+        return cls(m, k)
+
+    def _probes(self, token: str) -> Iterable[int]:
+        h1 = fnv1a_64(token.encode())
+        h2 = mix64(h1) | 1  # odd: cycles the whole bit space
+        for i in range(self.k):
+            yield (h1 + i * h2) % self.m_bits
+
+    def add(self, token: str) -> None:
+        for bit in self._probes(token):
+            self._bits[bit >> 3] |= 1 << (bit & 7)
+        self.inserted += 1
+
+    def might_contain(self, token: str) -> bool:
+        return all(
+            self._bits[bit >> 3] & (1 << (bit & 7)) for bit in self._probes(token)
+        )
+
+    def fill_ratio(self) -> float:
+        set_bits = sum(bin(b).count("1") for b in self._bits)
+        return set_bits / self.m_bits
+
+    def expected_fp_rate(self) -> float:
+        """``(1 - e^(-kn/m))^k`` for the tokens actually inserted."""
+        if self.inserted == 0:
+            return 0.0
+        return (1.0 - math.exp(-self.k * self.inserted / self.m_bits)) ** self.k
+
+    # ------------------------------------------------------------------
+    # Serialization (bit array + geometry)
+    # ------------------------------------------------------------------
+    def to_obj(self) -> dict:
+        return {
+            "m": self.m_bits,
+            "k": self.k,
+            "n": self.inserted,
+            "bits": zlib.compress(bytes(self._bits), level=6).hex(),
+        }
+
+    @classmethod
+    def from_obj(cls, obj: dict) -> "BloomFilter":
+        filt = cls(int(obj["m"]), int(obj["k"]))
+        bits = zlib.decompress(bytes.fromhex(obj["bits"]))
+        if len(bits) != len(filt._bits):
+            raise ValidationError("bloom bit array does not match geometry")
+        filt._bits = bytearray(bits)
+        filt.inserted = int(obj["n"])
+        return filt
+
+
+@dataclass
+class BloomBlock:
+    """One (tenant, stream, period)'s n-gram bloom plus its coverage.
+
+    ``chunk_keys`` pins exactly which chunk objects the filter was built
+    from; a ref outside that set is never skipped on this block's word.
+    """
+
+    tenant: str
+    fingerprint: int
+    period: int
+    filter: BloomFilter
+    chunk_keys: frozenset[str] = field(default_factory=frozenset)
+    lines_indexed: int = 0
+
+    def covers(self, ref: ChunkRef) -> bool:
+        return ref.key in self.chunk_keys
+
+    def might_match_needle(self, needle: str) -> bool:
+        """Whether some covered line *might* contain ``needle``.
+
+        Every n-gram of the needle must be present; a single absent gram
+        is proof of absence.  Needles shorter than the gram length are
+        unverifiable and conservatively match.
+        """
+        grams = line_ngrams(needle)
+        if not grams:
+            return True
+        return all(self.filter.might_contain(g) for g in grams)
+
+    def to_obj(self) -> dict:
+        return {
+            "t": self.tenant,
+            "f": self.fingerprint,
+            "p": self.period,
+            "keys": sorted(self.chunk_keys),
+            "lines": self.lines_indexed,
+            "filter": self.filter.to_obj(),
+        }
+
+    @classmethod
+    def from_obj(cls, obj: dict) -> "BloomBlock":
+        return cls(
+            tenant=obj["t"],
+            fingerprint=int(obj["f"]),
+            period=int(obj["p"]),
+            filter=BloomFilter.from_obj(obj["filter"]),
+            chunk_keys=frozenset(obj["keys"]),
+            lines_indexed=int(obj["lines"]),
+        )
+
+
+def bloom_object_key(tenant: str, fingerprint: int, period: int) -> str:
+    return f"{BLOOM_PREFIX}{tenant}/{period:012d}/{fingerprint:016x}.json.z"
+
+
+class BloomStore:
+    """Bloom blocks in memory, persisted to the chunk bucket.
+
+    The compactor is the only writer (it already holds each stream's
+    merged entries when it runs); the store-gateway is the reader.  Like
+    the shipper index, the in-memory maps answer queries uncharged and
+    :meth:`rebuild` restores them from a cold bucket.
+    """
+
+    def __init__(
+        self,
+        store: "ObjectStore",
+        bucket: str = "loki",
+        fp_rate: float = 0.01,
+    ) -> None:
+        if not 0.0 < fp_rate < 1.0:
+            raise ValidationError("fp_rate must be in (0, 1)")
+        self._store = store
+        self.bucket = bucket
+        self.fp_rate = fp_rate
+        self._blocks: dict[tuple[str, int, int], BloomBlock] = {}
+        self.blocks_built = 0
+        self.blocks_persisted = 0
+        self.needle_checks = 0
+        self.needle_rejections = 0
+
+    # ------------------------------------------------------------------
+    # Building (compactor side)
+    # ------------------------------------------------------------------
+    def get(self, tenant: str, fingerprint: int, period: int) -> BloomBlock | None:
+        return self._blocks.get((tenant, fingerprint, period))
+
+    def block_for_ref(self, ref: ChunkRef) -> BloomBlock | None:
+        return self.get(ref.tenant, stream_fingerprint(ref.labels), ref.period)
+
+    def needs_build(
+        self, tenant: str, labels: "LabelSet", period: int, chunk_keys: set[str]
+    ) -> bool:
+        """Whether the group's block is missing or stale (coverage moved)."""
+        block = self.get(tenant, stream_fingerprint(labels), period)
+        return block is None or block.chunk_keys != frozenset(chunk_keys)
+
+    def build_block(
+        self,
+        tenant: str,
+        labels: "LabelSet",
+        period: int,
+        entries: "list[LogEntry]",
+        chunk_keys: set[str],
+    ) -> BloomBlock:
+        """(Re)build and persist the block for one stream-period group."""
+        grams: set[str] = set()
+        for entry in entries:
+            grams |= line_ngrams(entry.line)
+        filt = BloomFilter.for_capacity(len(grams), self.fp_rate)
+        for gram in sorted(grams):  # sorted: deterministic insertion order
+            filt.add(gram)
+        block = BloomBlock(
+            tenant=tenant,
+            fingerprint=stream_fingerprint(labels),
+            period=period,
+            filter=filt,
+            chunk_keys=frozenset(chunk_keys),
+            lines_indexed=len(entries),
+        )
+        self._blocks[(block.tenant, block.fingerprint, block.period)] = block
+        self.blocks_built += 1
+        self._persist(block)
+        return block
+
+    def _persist(self, block: BloomBlock) -> None:
+        key = bloom_object_key(block.tenant, block.fingerprint, block.period)
+        payload = zlib.compress(dumps_compact(block.to_obj()).encode(), level=6)
+        self._store.put(self.bucket, key, payload)
+        self.blocks_persisted += 1
+
+    def rebuild(self) -> int:
+        """Reload every persisted block from the bucket (cold start)."""
+        self._blocks.clear()
+        for key in self._store.list_keys(self.bucket, BLOOM_PREFIX):
+            obj = loads(zlib.decompress(self._store.get(self.bucket, key)).decode())
+            block = BloomBlock.from_obj(obj)
+            self._blocks[(block.tenant, block.fingerprint, block.period)] = block
+        return len(self._blocks)
+
+    # ------------------------------------------------------------------
+    # Gating (gateway side)
+    # ------------------------------------------------------------------
+    def can_skip(self, ref: ChunkRef, needles: Iterable[str]) -> bool:
+        """True iff some needle provably cannot appear in ``ref``'s lines.
+
+        Conservative on every doubt: no block, a block that does not
+        cover the ref, or a needle too short to decompose all fetch.
+        """
+        block = self.block_for_ref(ref)
+        if block is None or not block.covers(ref):
+            return False
+        for needle in needles:
+            if not line_ngrams(needle):
+                continue
+            self.needle_checks += 1
+            if not block.might_match_needle(needle):
+                self.needle_rejections += 1
+                return True
+        return False
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def block_count(self) -> int:
+        return len(self._blocks)
+
+    def counters(self) -> dict[str, int]:
+        return {
+            "blocks": len(self._blocks),
+            "blocks_built": self.blocks_built,
+            "blocks_persisted": self.blocks_persisted,
+            "needle_checks": self.needle_checks,
+            "needle_rejections": self.needle_rejections,
+        }

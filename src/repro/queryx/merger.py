@@ -1,0 +1,91 @@
+"""Recombining subquery partials into the final query result.
+
+Two merge surfaces, matching the two query families:
+
+- **Metric partials** are ``Series`` lists.  Within one time window the
+  shard partials combine per (labels, instant) with the plan's merge
+  op (sum / max / min — the op :mod:`planner` proved distributes over
+  the stream partition); across time windows the per-label points
+  simply concatenate, because every evaluation instant belongs to
+  exactly one window.
+- **Log partials** are ``(labels, entries)`` groups.  Shard streams are
+  disjoint and time windows abut, so a plain union would do — but the
+  merger uses the same max-multiplicity ``_merge_replicas`` as
+  :class:`TieredLokiStore`, so a retried subquery whose partial ever
+  arrived twice, or a hot/cold overlap inside one shard, still counts
+  every entry exactly once.  Same dedup semantics end to end.
+"""
+
+from __future__ import annotations
+
+from repro.common.errors import ValidationError
+from repro.common.labels import LabelSet
+from repro.common.vector import Series
+from repro.loki.model import LogEntry
+from repro.queryx.planner import (
+    MERGE_MAX,
+    MERGE_MIN,
+    MERGE_NONE,
+    MERGE_SUM,
+    QueryPlan,
+    Subquery,
+)
+from repro.ring.distributor import _merge_replicas
+
+_MERGE_FN = {
+    MERGE_SUM: sum,
+    MERGE_MAX: max,
+    MERGE_MIN: min,
+    MERGE_NONE: None,  # single shard: nothing to combine
+}
+
+
+def merge_metric_partials(
+    plan: QueryPlan,
+    partials: list[tuple[Subquery, list[Series]]],
+) -> list[Series]:
+    """Combine per-(window, shard) series lists into the final frame."""
+    fn = _MERGE_FN.get(plan.merge, None)
+    if plan.merge not in _MERGE_FN:
+        raise ValidationError(f"not a metric merge class: {plan.merge!r}")
+    # (labels, ts) -> shard values within the owning window.  Windows
+    # partition the instants, so ts alone identifies the window.
+    cells: dict[tuple[LabelSet, int], list[float]] = {}
+    for _sub, series_list in partials:
+        for series in series_list:
+            for ts, value in series.points:
+                cells.setdefault((series.labels, ts), []).append(value)
+    merged: dict[LabelSet, list[tuple[int, float]]] = {}
+    for (labels, ts), values in cells.items():
+        if fn is None:
+            if len(values) != 1:
+                raise ValidationError(
+                    "unsharded plan produced colliding partials"
+                )
+            value = values[0]
+        else:
+            value = float(fn(values))
+        merged.setdefault(labels, []).append((ts, value))
+    out = []
+    for labels, points in merged.items():
+        points.sort(key=lambda p: p[0])
+        out.append(Series(labels, tuple(points)))
+    out.sort(key=lambda s: s.labels.items_tuple())
+    return out
+
+
+def merge_log_partials(
+    partials: list[tuple[Subquery, list[tuple[LabelSet, list[LogEntry]]]]],
+) -> list[tuple[LabelSet, list[LogEntry]]]:
+    """Union log groups across shards and windows, deduplicated with
+    the tiered store's max-multiplicity semantics."""
+    grouped: dict[LabelSet, list[list[LogEntry]]] = {}
+    for _sub, groups in partials:
+        for labels, entries in groups:
+            grouped.setdefault(labels, []).append(entries)
+    out = [
+        (labels, _merge_replicas(entry_lists))
+        for labels, entry_lists in grouped.items()
+    ]
+    out.sort(key=lambda pair: pair[0].items_tuple())
+    return out

@@ -1,0 +1,204 @@
+"""ShardedQueryEngine: merging, accounting, tracing, framework wiring."""
+
+import pytest
+
+from repro.common.errors import ValidationError
+from repro.common.labels import LabelSet
+from repro.common.simclock import SimClock, hours, minutes, seconds
+from repro.common.vector import Series
+from repro.core.framework import FrameworkConfig, MonitoringFramework
+from repro.cluster.topology import ClusterSpec
+from repro.loki.model import LogEntry, PushRequest
+from repro.loki.store import LokiStore
+from repro.queryx.engine import ShardedQueryEngine
+from repro.queryx.executor import QuerierPool
+from repro.queryx.merger import merge_log_partials, merge_metric_partials
+from repro.queryx.planner import QueryPlanner, Subquery
+from repro.tempo.store import TraceStore
+from repro.tempo.tracer import Tracer
+
+QUERY = 'sum(count_over_time({app="fm"}[30m]))'
+
+
+def make_store(streams=6, entries=48):
+    store = LokiStore()
+    for i in range(streams):
+        store.push(
+            PushRequest.single(
+                {"app": "fm", "host": f"n{i}"},
+                [
+                    (int(minutes(5 * j)) + i, f"line {i}-{j}")
+                    for j in range(entries)
+                ],
+            )
+        )
+    return store
+
+
+def make_engine(store, clock=None, **pool_kwargs):
+    clock = clock or SimClock(0)
+    return ShardedQueryEngine(
+        store,
+        clock,
+        planner=QueryPlanner(shard_count=4, split_ns=hours(1)),
+        pool=QuerierPool(workers=4, **pool_kwargs),
+    )
+
+
+class TestMerger:
+    def _plan(self, query=QUERY):
+        planner = QueryPlanner(shard_count=2, split_ns=hours(1))
+        return planner.plan_range(query, 0, int(hours(1)), int(minutes(30)))
+
+    def test_sum_merge_adds_cells(self):
+        plan = self._plan()
+        labels = LabelSet({})
+        partials = [
+            (plan.subqueries[0], [Series(labels, ((0, 1.0), (int(minutes(30)), 2.0)))]),
+            (plan.subqueries[1], [Series(labels, ((0, 3.0),))]),
+        ]
+        [series] = merge_metric_partials(plan, partials)
+        assert series.points == ((0, 4.0), (int(minutes(30)), 2.0))
+
+    def test_max_merge_takes_max(self):
+        plan = QueryPlanner(shard_count=2, split_ns=hours(1)).plan_range(
+            'max(max_over_time({app="fm"} | unwrap v [30m]))',
+            0, int(hours(1)), int(minutes(30)),
+        )
+        labels = LabelSet({})
+        partials = [
+            (plan.subqueries[0], [Series(labels, ((0, 5.0),))]),
+            (plan.subqueries[1], [Series(labels, ((0, 9.0),))]),
+        ]
+        [series] = merge_metric_partials(plan, partials)
+        assert series.points == ((0, 9.0),)
+
+    def test_merge_none_rejects_colliding_cells(self):
+        plan = QueryPlanner(shard_count=1, split_ns=hours(1)).plan_range(
+            'avg(count_over_time({app="fm"}[30m]))',
+            0, int(hours(1)), int(minutes(30)),
+        )
+        labels = LabelSet({})
+        fake_twin = Subquery(
+            index=1, start_ns=0, end_ns=int(hours(1)),
+            step_ns=int(minutes(30)), shard_index=0, shard_count=1,
+        )
+        partials = [
+            (plan.subqueries[0], [Series(labels, ((0, 1.0),))]),
+            (fake_twin, [Series(labels, ((0, 2.0),))]),
+        ]
+        with pytest.raises(ValidationError):
+            merge_metric_partials(plan, partials)
+
+    def test_log_merge_dedups_replicas(self):
+        labels = LabelSet({"app": "fm"})
+        a = [LogEntry(1, "x"), LogEntry(2, "y")]
+        b = [LogEntry(2, "y"), LogEntry(3, "z")]
+        plan = QueryPlanner(shard_count=2, split_ns=hours(1)).plan_logs(
+            '{app="fm"}', 0, int(hours(1))
+        )
+        merged = merge_log_partials(
+            [(plan.subqueries[0], [(labels, a)]), (plan.subqueries[1], [(labels, b)])]
+        )
+        [(got_labels, entries)] = merged
+        assert [e.line for e in entries] == ["x", "y", "z"]
+
+
+class TestAccounting:
+    def test_wall_below_serial_with_speedup(self):
+        store = make_store()
+        engine = make_engine(store)
+        frame = engine.query_range(QUERY, 0, int(hours(4)), int(minutes(10)))
+        assert frame
+        assert engine.last_wall_ns < engine.last_serial_ns
+        assert engine.last_speedup() > 2.0
+        assert engine.speedup() == engine.last_speedup()
+
+    def test_slow_query_counter(self):
+        store = make_store()
+        engine = ShardedQueryEngine(
+            store,
+            SimClock(0),
+            planner=QueryPlanner(shard_count=4, split_ns=hours(1)),
+            pool=QuerierPool(workers=4),
+            slow_query_threshold_ns=1,  # everything is slow
+        )
+        engine.query_range(QUERY, 0, int(hours(1)), int(minutes(10)))
+        assert engine.slow_queries_total == 1
+
+    def test_stats_shape(self):
+        engine = make_engine(make_store())
+        engine.query_range(QUERY, 0, int(hours(1)), int(minutes(10)))
+        stats = engine.stats()
+        assert stats["queries_total"] == 1
+        assert stats["subqueries_total"] == len(
+            engine.planner.plan_range(
+                QUERY, 0, int(hours(1)), int(minutes(10))
+            ).subqueries
+        )
+        assert stats["pool_retries_total"] == 0
+
+    def test_rejects_bad_threshold(self):
+        with pytest.raises(ValidationError):
+            ShardedQueryEngine(LokiStore(), SimClock(0), slow_query_threshold_ns=0)
+
+
+class TestTracing:
+    def test_spans_recorded(self):
+        clock = SimClock(0)
+        traces = TraceStore(100)
+        tracer = Tracer(traces, clock, sampling=1.0, seed=1)
+        engine = ShardedQueryEngine(
+            make_store(),
+            clock,
+            planner=QueryPlanner(shard_count=2, split_ns=hours(1)),
+            pool=QuerierPool(workers=2),
+            tracer=tracer,
+        )
+        engine.query_range(QUERY, 0, int(hours(1)), int(minutes(30)))
+        names = [
+            span.name
+            for trace_id in traces.trace_ids()
+            for span in traces.trace(trace_id)
+        ]
+        assert "queryx.query" in names
+        assert "queryx.plan" in names
+        assert "queryx.merge" in names
+        assert names.count("queryx.subquery") == 4  # 2 windows x 2 shards
+
+
+class TestSchedulerPath:
+    def test_subquery_granular_tickets(self):
+        spec = ClusterSpec(
+            cabinets=1, chassis_per_cabinet=1, slots_per_chassis=4,
+            nodes_per_slot=2,
+        )
+        fw = MonitoringFramework(FrameworkConfig(
+            cluster_spec=spec,
+            enable_query_engine=True,
+            enable_multi_tenancy=True,
+            install_default_rules=False,
+        ))
+        fw.run_for(minutes(10))
+        end = fw.clock.now_ns
+        start = end - int(minutes(10))
+        query = 'sum(count_over_time({data_type=~".+"}[5m]))'
+        plan, tickets = fw.queryx.submit_via_scheduler(
+            fw.scheduler, "fake", query, start, end, int(minutes(1))
+        )
+        assert len(tickets) == len(plan.subqueries) > 1
+        fw.run_for(seconds(30))  # scheduler drains its queue
+        frame = fw.queryx.collect(plan, tickets)
+        assert frame == fw.logql.query_range(query, start, end, int(minutes(1)))
+
+    def test_collect_rejects_pending(self):
+        engine = make_engine(make_store())
+
+        class Ticket:
+            done = False
+            error = None
+            result = None
+
+        plan = engine.planner.plan_range(QUERY, 0, int(hours(1)), int(minutes(30)))
+        with pytest.raises(ValidationError):
+            engine.collect(plan, [Ticket() for _ in plan.subqueries])
