@@ -30,6 +30,7 @@ if TYPE_CHECKING:
     from repro.resilience.journal import NotificationJournal
     from repro.resilience.receivers import FlakyReceiver
     from repro.ring.cluster import RingLokiCluster
+    from repro.selfheal.manager import SelfHealManager
     from repro.tenancy.scheduler import QueryScheduler
 
 
@@ -65,6 +66,14 @@ class FaultKind(enum.Enum):
     # worker ids ("querier-0", ...).
     QUERIER_CRASH = "querier_crash"
     SLOW_QUERIER = "slow_querier"
+    # Self-healing faults (repro.selfheal).  HEARTBEAT_LOSS is a *gray*
+    # failure: the target ingester keeps serving but its heartbeats
+    # vanish, so only the failure detector can tell something is wrong.
+    # ZONE_OUTAGE crashes every ingester in an availability zone and
+    # bars the supervisor from restarting into it until the fault ends.
+    # Targets are an ingester id / a zone name respectively.
+    HEARTBEAT_LOSS = "heartbeat_loss"
+    ZONE_OUTAGE = "zone_outage"
 
 
 #: Fault kinds whose target is an ingest-ring member id, not an xname.
@@ -87,6 +96,11 @@ _OBJSTORE_KINDS = frozenset(
 
 #: Fault kinds whose target is a querier worker id.
 _QUERYX_KINDS = frozenset({FaultKind.QUERIER_CRASH, FaultKind.SLOW_QUERIER})
+
+#: Fault kinds whose target is an ingester id / zone name (selfheal).
+_SELFHEAL_KINDS = frozenset(
+    {FaultKind.HEARTBEAT_LOSS, FaultKind.ZONE_OUTAGE}
+)
 
 
 @dataclass
@@ -124,6 +138,7 @@ class FaultInjector:
         self._objstore: "ObjectStore | None" = None
         self._shipper: "ChunkShipper | None" = None
         self._querier_pool: "QuerierPool | None" = None
+        self._selfheal: "SelfHealManager | None" = None
         self._flood_timers: dict[int, Timer] = {}
         self.faults: list[Fault] = []
 
@@ -172,6 +187,12 @@ class FaultInjector:
         the QUERIER_CRASH / SLOW_QUERIER faults kill and drag."""
         self._querier_pool = pool
 
+    def attach_selfheal(self, manager: "SelfHealManager") -> None:
+        """Late-bind the self-healing loop (self-healing mode): the
+        manager whose detector the HEARTBEAT_LOSS fault mutes and whose
+        supervisor the ZONE_OUTAGE fault bars."""
+        self._selfheal = manager
+
     # ------------------------------------------------------------------
     # Scheduling
     # ------------------------------------------------------------------
@@ -193,6 +214,7 @@ class FaultInjector:
             or kind in _TENANCY_KINDS
             or kind in _OBJSTORE_KINDS
             or kind in _QUERYX_KINDS
+            or kind in _SELFHEAL_KINDS
         ):
             x: XName | str = str(target)
         else:
@@ -240,6 +262,12 @@ class FaultInjector:
             pass
         elif kind is FaultKind.INGESTER_CRASH:
             self._require_ring().crash_ingester(str(target))
+            if self._selfheal is not None and fault.end_ns is not None:
+                # A crash with a declared duration is a *bounded* outage:
+                # the fault's own end is the recovery, so the self-healing
+                # loop must neither restart it early nor re-home its data.
+                self._selfheal.begin_bounded_crash(str(target))
+                detail["bounded_selfheal"] = True
         elif kind is FaultKind.INGESTER_RESTART:
             # A bounce: the process restarts immediately, rebuilding its
             # store from the checkpoint + WAL before serving again.
@@ -283,6 +311,22 @@ class FaultInjector:
         elif kind is FaultKind.SLOW_QUERIER:
             factor = float(detail.get("factor", 10.0))  # type: ignore[arg-type]
             self._require_querier_pool().set_slow(str(target), factor)
+        elif kind is FaultKind.HEARTBEAT_LOSS:
+            manager = self._require_selfheal()
+            manager.begin_heartbeat_loss(str(target))
+            if bool(detail.get("permanent", False)):
+                # The node behind the gray failure is actually gone:
+                # restarts will never answer, so the supervisor stands
+                # aside and the repair path takes over after detection.
+                manager.mark_unrecoverable(str(target))
+            # Ground truth for the chaos tests: detector state before
+            # the silence began.
+            detail["deaths_at_start"] = manager.memberlist.deaths_total
+            detail["repairs_at_start"] = manager.repairer.members_repaired_total
+        elif kind is FaultKind.ZONE_OUTAGE:
+            manager = self._require_selfheal()
+            detail["members_downed"] = manager.begin_zone_outage(str(target))
+            detail["restarts_at_start"] = manager.supervisor.restarts_total
         else:  # pragma: no cover - exhaustive over enum
             raise ValidationError(f"unhandled fault kind {kind}")
 
@@ -389,6 +433,14 @@ class FaultInjector:
             )
         return self._querier_pool
 
+    def _require_selfheal(self) -> "SelfHealManager":
+        if self._selfheal is None:
+            raise ValidationError(
+                "self-healing fault requires an attached manager "
+                "(enable self-healing)"
+            )
+        return self._selfheal
+
     def _end(self, fault: Fault) -> None:
         if not fault.active:
             return
@@ -410,9 +462,14 @@ class FaultInjector:
         elif kind is FaultKind.INGESTER_CRASH:
             # Fault end = the operator restarts the process; WAL replay
             # recovers every acknowledged entry the replica held.
-            fault.detail["replayed"] = self._require_ring().restart_ingester(
-                str(target)
-            )
+            if self._selfheal is not None and detail.get("bounded_selfheal"):
+                fault.detail["replayed"] = self._selfheal.end_bounded_crash(
+                    str(target)
+                )
+            else:
+                fault.detail["replayed"] = self._require_ring().restart_ingester(
+                    str(target)
+                )
         elif kind is FaultKind.RECEIVER_OUTAGE:
             flaky = self._require_receiver(str(target))
             flaky.set_down(False)
@@ -451,6 +508,15 @@ class FaultInjector:
             detail["retries_during"] = pool.retries_total - start
         elif kind is FaultKind.SLOW_QUERIER:
             self._require_querier_pool().set_slow(str(target), 1.0)
+        elif kind is FaultKind.HEARTBEAT_LOSS:
+            manager = self._require_selfheal()
+            manager.end_heartbeat_loss(str(target))
+            detail["deaths_at_end"] = manager.memberlist.deaths_total
+            detail["repairs_at_end"] = manager.repairer.members_repaired_total
+        elif kind is FaultKind.ZONE_OUTAGE:
+            manager = self._require_selfheal()
+            manager.end_zone_outage(str(target))
+            detail["restarts_at_end"] = manager.supervisor.restarts_total
 
     # ------------------------------------------------------------------
     # Ground truth

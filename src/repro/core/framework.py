@@ -80,6 +80,11 @@ from repro.resilience.receivers import (
     RetryingReceiver,
 )
 from repro.ring.cluster import RingLokiCluster
+from repro.selfheal.detector import FailureDetectorConfig
+from repro.selfheal.manager import SelfHealConfig, SelfHealManager
+from repro.selfheal.repairer import RingRepairerConfig
+from repro.selfheal.supervisor import SupervisorConfig
+from repro.exporters.selfheal_exporter import SelfHealExporter
 from repro.servicenow.cmdb import build_from_cluster
 from repro.servicenow.platform import ServiceNowPlatform, ServiceNowReceiver
 from repro.servicenow.service_map import ServiceMap
@@ -160,6 +165,12 @@ def _query_engine_default() -> bool:
     return os.environ.get("REPRO_QUERY_ENGINE", "") not in ("", "0")
 
 
+def _self_healing_default() -> bool:
+    """CI's self-healing leg flips the framework default via env so the
+    integration suite runs with the detect/restart/repair loop on."""
+    return os.environ.get("REPRO_SELF_HEAL", "") not in ("", "0")
+
+
 @dataclass
 class FrameworkConfig:
     """All the knobs, with production-plausible defaults."""
@@ -203,6 +214,26 @@ class FrameworkConfig:
     enable_ingest_ring: bool = False
     ring_ingesters: int = 4
     ring_replication: int = 3
+    #: Availability zones the ring ingesters spread over (round-robin).
+    #: 0 = unzoned; > 0 also turns on zone-aware replica placement.
+    ring_zones: int = 0
+    # Self-healing (repro.selfheal).  Off by default (or via the
+    # REPRO_SELF_HEAL env var, for CI's self-healing leg).  On — and
+    # only meaningful with the ingest ring also on — a heartbeat-driven
+    # failure detector moves ring members through ACTIVE → SUSPECT →
+    # DEAD → FORGOTTEN, the distributor routes writes/reads around
+    # unhealthy members, a supervisor restarts crashed-but-recoverable
+    # ingesters with capped exponential backoff, and an anti-entropy
+    # repairer re-replicates a permanently lost member's streams onto
+    # the surviving ring owners before releasing its tokens.
+    enable_self_healing: bool = field(default_factory=_self_healing_default)
+    selfheal_heartbeat_interval_ns: int = seconds(5)
+    selfheal_suspect_after_ns: int = seconds(15)
+    selfheal_dead_after_ns: int = seconds(45)
+    selfheal_sweep_interval_ns: int = seconds(5)
+    selfheal_repair_grace_ns: int = seconds(30)
+    selfheal_repair_interval_ns: int = seconds(10)
+    selfheal_supervisor_interval_ns: int = seconds(5)
     # At-least-once alert delivery (repro.resilience).  Off by default
     # (or via the REPRO_RELIABLE_DELIVERY env var, for CI's second leg):
     # receivers are called directly and a failure loses the notification.
@@ -298,6 +329,28 @@ class FrameworkConfig:
             if not 1 <= self.ring_replication <= self.ring_ingesters:
                 raise ValidationError(
                     "ring_replication must be in [1, ring_ingesters]"
+                )
+            if not 0 <= self.ring_zones <= self.ring_ingesters:
+                raise ValidationError(
+                    "ring_zones must be in [0, ring_ingesters]"
+                )
+        if self.enable_self_healing and self.enable_ingest_ring:
+            # The FailureDetectorConfig/RingRepairerConfig constructors
+            # validate the relationships (suspect_after vs heartbeat gap,
+            # dead_after vs suspect_after); here just the signs.
+            for name in (
+                "selfheal_heartbeat_interval_ns",
+                "selfheal_suspect_after_ns",
+                "selfheal_dead_after_ns",
+                "selfheal_sweep_interval_ns",
+                "selfheal_repair_interval_ns",
+                "selfheal_supervisor_interval_ns",
+            ):
+                if getattr(self, name) <= 0:
+                    raise ValidationError(f"{name} must be positive")
+            if self.selfheal_repair_grace_ns < 0:
+                raise ValidationError(
+                    "selfheal_repair_grace_ns must be >= 0"
                 )
         if self.enable_multi_tenancy:
             if not self.default_tenant:
@@ -444,6 +497,8 @@ class MonitoringFramework:
         # --- OMNI: the stores ------------------------------------------------
         self.ring: RingLokiCluster | None = None
         self.ring_exporter: RingExporter | None = None
+        self.selfheal: SelfHealManager | None = None
+        self.selfheal_exporter: SelfHealExporter | None = None
         if cfg.enable_ingest_ring:
             self.ring = RingLokiCluster(
                 ingesters=cfg.ring_ingesters,
@@ -452,9 +507,40 @@ class MonitoringFramework:
                 shard_size=(
                     cfg.tenant_shard_size if cfg.enable_multi_tenancy else 0
                 ),
+                zones=cfg.ring_zones,
             )
             self.ring_exporter = RingExporter(self.ring)
             self.faults.attach_ring(self.ring)
+            # Self-healing needs something to heal: with the ring off the
+            # flag is a no-op, so CI's REPRO_SELF_HEAL leg can run the
+            # whole suite (ring-less tests included) unmodified.
+            if cfg.enable_self_healing:
+                self.selfheal = SelfHealManager(
+                    self.clock,
+                    self.ring,
+                    SelfHealConfig(
+                        detector=FailureDetectorConfig(
+                            heartbeat_interval_ns=(
+                                cfg.selfheal_heartbeat_interval_ns
+                            ),
+                            suspect_after_ns=cfg.selfheal_suspect_after_ns,
+                            dead_after_ns=cfg.selfheal_dead_after_ns,
+                            sweep_interval_ns=cfg.selfheal_sweep_interval_ns,
+                        ),
+                        repairer=RingRepairerConfig(
+                            grace_ns=cfg.selfheal_repair_grace_ns,
+                            sweep_interval_ns=cfg.selfheal_repair_interval_ns,
+                        ),
+                        supervisor=SupervisorConfig(
+                            sweep_interval_ns=(
+                                cfg.selfheal_supervisor_interval_ns
+                            ),
+                        ),
+                    ),
+                    tracer=self.tracer,
+                )
+                self.selfheal_exporter = SelfHealExporter(self.selfheal)
+                self.faults.attach_selfheal(self.selfheal)
         # Tiered cold storage wraps whatever hot tier is configured — the
         # ring when it is on, a plain LokiStore otherwise — so both CI
         # legs compose: REPRO_OBJECT_STORAGE=1 on top of the ring gives
@@ -671,6 +757,14 @@ class MonitoringFramework:
             self.vmagent.add_target(
                 ScrapeTarget(
                     "queryx", "queryx-exporter:9106", self.queryx_exporter
+                )
+            )
+        if self.selfheal_exporter is not None:
+            self.vmagent.add_target(
+                ScrapeTarget(
+                    "selfheal",
+                    "selfheal-exporter:9107",
+                    self.selfheal_exporter,
                 )
             )
 
@@ -993,6 +1087,40 @@ class MonitoringFramework:
                     },
                 )
             )
+        if self.selfheal is not None:
+            self.vmalert.add_rule(
+                RuleSpec(
+                    name="IngesterSuspect",
+                    # One-hot lifecycle gauge from the ring exporter; no
+                    # sustain window — suspicion is itself the sustained
+                    # condition (heartbeats already stale for
+                    # suspect_after), and the state may progress to DEAD
+                    # before a second evaluation.
+                    expr='ring_member_state{state="suspect"} > 0',
+                    for_="0s",
+                    labels={"severity": "warning", "category": "pipeline"},
+                    annotations={
+                        "summary": "Ingester {{ $labels.ingester }} "
+                        "heartbeats have gone stale; writes are routing "
+                        "around it"
+                    },
+                )
+            )
+            self.vmalert.add_rule(
+                RuleSpec(
+                    name="UnderReplicatedStreams",
+                    # A live placement diff: fires while redundancy is
+                    # genuinely lost, self-resolves the scrape after the
+                    # repairer (or a restart + WAL replay) closes the gap.
+                    expr="selfheal_under_replicated_streams > 0",
+                    for_="0s",
+                    labels={"severity": "critical", "category": "pipeline"},
+                    annotations={
+                        "summary": "{{ $value }} streams are missing "
+                        "replicas; anti-entropy repair is pending"
+                    },
+                )
+            )
         if cfg.enable_multi_tenancy:
             self.vmalert.add_rule(
                 RuleSpec(
@@ -1151,6 +1279,60 @@ class MonitoringFramework:
                 )
             )
             dashboards["ring"] = ring_dash
+        if self.selfheal is not None:
+            selfheal = Dashboard("Self-Healing", uid="self-healing")
+            selfheal.add_panel(
+                TimeSeriesPanel(
+                    title="Members by lifecycle state",
+                    datasource=prom_ds,
+                    query="selfheal_members",
+                )
+            )
+            selfheal.add_panel(
+                TopListPanel(
+                    title="Heartbeat age per member",
+                    datasource=prom_ds,
+                    query="topk(16, ring_member_heartbeat_age_seconds)",
+                    label="ingester",
+                    unit=" s",
+                )
+            )
+            selfheal.add_panel(
+                TimeSeriesPanel(
+                    title="Under-replicated streams (alert signal)",
+                    datasource=prom_ds,
+                    query="selfheal_under_replicated_streams",
+                )
+            )
+            selfheal.add_panel(
+                StatPanel(
+                    title="Members retired by repair",
+                    datasource=prom_ds,
+                    query="sum(selfheal_members_repaired_total)",
+                )
+            )
+            selfheal.add_panel(
+                StatPanel(
+                    title="Entries re-replicated",
+                    datasource=prom_ds,
+                    query="sum(selfheal_entries_copied_total)",
+                )
+            )
+            selfheal.add_panel(
+                TimeSeriesPanel(
+                    title="Supervisor restarts / WAL replays",
+                    datasource=prom_ds,
+                    query="selfheal_supervisor_restarts_total",
+                )
+            )
+            selfheal.add_panel(
+                TimeSeriesPanel(
+                    title="Lifecycle transitions by kind",
+                    datasource=prom_ds,
+                    query="selfheal_transitions_total",
+                )
+            )
+            dashboards["selfheal"] = selfheal
         if self.config.enable_reliable_delivery:
             delivery = Dashboard("Alert Delivery", uid="alert-delivery")
             delivery.add_panel(
@@ -1398,6 +1580,8 @@ class MonitoringFramework:
             self.clock.every(
                 cfg.objstore_compaction_interval_ns, self.compactor.run
             )
+        if self.selfheal is not None:
+            self.selfheal.start()
         self.clock.every(minutes(1), self._mirror_alert_events)
         self._started = True
 
@@ -1517,6 +1701,9 @@ class MonitoringFramework:
             summary["queryx_slow_queries"] = float(stats["slow_queries_total"])
             summary["queryx_retries"] = float(stats["pool_retries_total"])
             summary["queryx_speedup"] = float(stats["speedup"])
+        if self.selfheal is not None:
+            for key, value in self.selfheal.health_summary().items():
+                summary[f"selfheal_{key}"] = value
         if self.blooms is not None:
             bloom_stats = self.blooms.counters()
             summary["queryx_bloom_blocks"] = float(bloom_stats["blocks"])

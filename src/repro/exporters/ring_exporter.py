@@ -59,6 +59,19 @@ class RingExporter:
             "Times the ingester process died.",
             "counter",
         )
+        member_state = MetricFamily(
+            "ring_member_state",
+            "One-hot lifecycle state per ring member: the series with "
+            "value 1 names the member's current state (active/suspect/"
+            "dead/forgotten — process state when no detector attached).",
+            "gauge",
+        )
+        heartbeat_age = MetricFamily(
+            "ring_member_heartbeat_age_seconds",
+            "Seconds since the member's last heartbeat (failure "
+            "detector attached only).",
+            "gauge",
+        )
         replayed = MetricFamily(
             "loki_ring_wal_replayed_records_total",
             "Records recovered via WAL replay across restarts.",
@@ -95,6 +108,23 @@ class RingExporter:
             wal_records.add(health["wal_records"], ingester=ingester_id)
             crashes.add(health["crashes"], ingester=ingester_id)
             replayed.add(health["replayed"], ingester=ingester_id)
+            current = str(health["state"])
+            zone = str(health.get("zone", ""))
+            for state in ("active", "suspect", "dead", "forgotten", "crashed"):
+                if state != current and state == "crashed":
+                    continue  # plain process-state rows only when current
+                member_state.add(
+                    1.0 if state == current else 0.0,
+                    ingester=ingester_id,
+                    state=state,
+                    zone=zone,
+                )
+            if "heartbeat_age_seconds" in health:
+                heartbeat_age.add(
+                    float(health["heartbeat_age_seconds"]),
+                    ingester=ingester_id,
+                    zone=zone,
+                )
         pushes.add(float(distributor.pushes))
         accepted.add(float(distributor.entries_accepted))
         replica_failures.add(float(distributor.replica_writes_failed))
@@ -110,6 +140,8 @@ class RingExporter:
                 wal_bytes,
                 wal_records,
                 crashes,
+                member_state,
+                heartbeat_age,
                 replayed,
                 pushes,
                 accepted,

@@ -1,0 +1,166 @@
+"""Self-healing exporter: the detect → restart → repair loop for vmagent.
+
+Two signals carry the alerting story.  Per-member lifecycle lives on the
+ring exporter (``ring_member_state`` one-hot gauge, which the
+``IngesterSuspect`` rule watches); this exporter adds the fleet-level
+counts plus the repair plane: ``selfheal_under_replicated_streams`` is a
+*live placement diff* — streams whose desired replicas are missing
+resident entries right now — so the ``UnderReplicatedStreams`` alert
+fires while redundancy is genuinely lost and self-resolves the scrape
+after the repairer (or a supervisor restart + WAL replay) closes the
+gap.
+
+Alongside: heartbeat/transition counters from the memberlist, repair
+volume (members retired, streams re-replicated, entries copied), and
+the supervisor's restart/replay/skip accounting.
+"""
+
+from __future__ import annotations
+
+from repro.exporters.textformat import MetricFamily, render_exposition
+from repro.selfheal.manager import SelfHealManager
+
+
+class SelfHealExporter:
+    """Exports memberlist, detector, repairer and supervisor counters."""
+
+    def __init__(self, manager: SelfHealManager) -> None:
+        self._manager = manager
+        self.scrapes_served = 0
+
+    def scrape(self) -> str:
+        manager = self._manager
+        memberlist = manager.memberlist
+        repairer = manager.repairer
+        supervisor = manager.supervisor
+        families = []
+
+        members = MetricFamily(
+            "selfheal_members",
+            "Ring members by lifecycle state.",
+            "gauge",
+        )
+        for state, count in manager.counts_by_state().items():
+            members.add(float(count), state=state)
+        families.append(members)
+
+        heartbeats = MetricFamily(
+            "selfheal_heartbeats_total",
+            "Heartbeats stamped into the memberlist.",
+            "counter",
+        )
+        heartbeats.add(float(memberlist.heartbeats_total))
+        families.append(heartbeats)
+
+        transitions = MetricFamily(
+            "selfheal_transitions_total",
+            "Lifecycle transitions by kind (suspect/dead/recovered/"
+            "forgotten).",
+            "counter",
+        )
+        transitions.add(float(memberlist.suspects_total), kind="suspect")
+        transitions.add(float(memberlist.deaths_total), kind="dead")
+        transitions.add(float(memberlist.recoveries_total), kind="recovered")
+        transitions.add(float(memberlist.forgotten_total), kind="forgotten")
+        families.append(transitions)
+
+        read_suspects = MetricFamily(
+            "selfheal_read_triggered_suspects_total",
+            "Members suspected because a read fan-out found them refusing "
+            "before the sweep noticed the stale heartbeat.",
+            "counter",
+        )
+        read_suspects.add(float(memberlist.read_triggered_suspects))
+        families.append(read_suspects)
+
+        under = MetricFamily(
+            "selfheal_under_replicated_streams",
+            "Streams whose desired replicas are missing resident entries "
+            "(live placement diff; self-resolves once repaired).",
+            "gauge",
+        )
+        under.add(float(repairer.under_replicated_streams()))
+        families.append(under)
+
+        repaired_members = MetricFamily(
+            "selfheal_members_repaired_total",
+            "DEAD members retired by anti-entropy repair.",
+            "counter",
+        )
+        repaired_members.add(float(repairer.members_repaired_total))
+        families.append(repaired_members)
+
+        heals = MetricFamily(
+            "selfheal_heal_passes_total",
+            "Anti-entropy heal passes that closed a placement gap with "
+            "no member to retire (scale-out newcomers, voluntary "
+            "leaves).",
+            "counter",
+        )
+        heals.add(float(repairer.heals_total))
+        families.append(heals)
+
+        repaired_streams = MetricFamily(
+            "selfheal_streams_repaired_total",
+            "Streams re-replicated onto new ring owners.",
+            "counter",
+        )
+        repaired_streams.add(float(repairer.streams_repaired_total))
+        families.append(repaired_streams)
+
+        copied = MetricFamily(
+            "selfheal_entries_copied_total",
+            "Entries grafted onto repair targets.",
+            "counter",
+        )
+        copied.add(float(repairer.entries_copied_total))
+        families.append(copied)
+
+        restarts = MetricFamily(
+            "selfheal_supervisor_restarts_total",
+            "Crashed ingesters the supervisor restarted.",
+            "counter",
+        )
+        restarts.add(float(supervisor.restarts_total))
+        families.append(restarts)
+
+        replayed = MetricFamily(
+            "selfheal_supervisor_replayed_records_total",
+            "WAL records replayed by supervised restarts.",
+            "counter",
+        )
+        replayed.add(float(supervisor.records_replayed_total))
+        families.append(replayed)
+
+        skipped = MetricFamily(
+            "selfheal_supervisor_skips_total",
+            "Restart candidates skipped, by reason.",
+            "counter",
+        )
+        skipped.add(float(supervisor.skipped_unrecoverable), reason="unrecoverable")
+        skipped.add(float(supervisor.skipped_zone_down), reason="zone_down")
+        skipped.add(float(supervisor.skipped_backoff), reason="backoff")
+        families.append(skipped)
+
+        degraded_reads = MetricFamily(
+            "selfheal_reads_degraded_total",
+            "Reads that failed because fewer than a quorum of replicas "
+            "answered.",
+            "counter",
+        )
+        degraded_reads.add(float(manager.cluster.distributor.reads_degraded))
+        families.append(degraded_reads)
+
+        skipped_writes = MetricFamily(
+            "selfheal_replicas_skipped_unhealthy_total",
+            "Desired write replicas skipped because the detector held "
+            "them SUSPECT or DEAD.",
+            "counter",
+        )
+        skipped_writes.add(
+            float(manager.cluster.distributor.replicas_skipped_unhealthy)
+        )
+        families.append(skipped_writes)
+
+        self.scrapes_served += 1
+        return render_exposition(families)

@@ -110,6 +110,28 @@ class LokiStore:
             self.stats.bytes_ingested += entry.size_bytes()
         return accepted
 
+    def replace_stream(
+        self, labels: LabelSet | Mapping[str, str], entries: Iterable[LogEntry]
+    ) -> int:
+        """Rebuild one stream from scratch with the given history.
+
+        The anti-entropy repair path (repro.selfheal) needs this: a
+        replica that took over a stream mid-outage holds only a *suffix*,
+        and the missing older entries can never arrive through
+        :meth:`push_stream` — the out-of-order watermark rejects them.
+        Replacing drops the stream's resident chunks and ordering
+        watermark, then re-ingests the merged history in timestamp
+        order through the normal push path.  Returns entries stored.
+
+        This is a physical rewrite: ingest counters advance for the
+        re-written entries exactly as they would for fresh pushes.
+        """
+        labelset = labels if isinstance(labels, LabelSet) else LabelSet(labels)
+        sid = self.index.get_or_create(labelset)
+        self._chunks[sid] = []
+        self._last_ts.pop(sid, None)
+        return self.push_stream(labelset, entries)
+
     def flush_aged(self, now_ns: int) -> int:
         """Seal open chunks older than the policy's max age; returns count."""
         sealed = 0

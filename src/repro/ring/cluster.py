@@ -41,13 +41,25 @@ class RingLokiCluster:
         wal_segment_bytes: int = 64 * 1024,
         tracer: Tracer | None = None,
         shard_size: int = 0,
+        zones: int = 0,
     ) -> None:
         """``shard_size`` > 0 turns on shuffle sharding: streams carrying
         a ``tenant`` label confine their replicas to the tenant's subring
-        of that many ingesters."""
+        of that many ingesters.  ``zones`` > 0 spreads the ingesters
+        round-robin over that many availability zones and turns on
+        zone-aware placement: each stream's replicas land in as many
+        distinct zones as possible."""
         if ingesters < 1:
             raise ValidationError("need at least one ingester")
+        if zones < 0:
+            raise ValidationError("zones must be >= 0")
+        if zones > ingesters:
+            raise ValidationError(
+                f"{zones} zones cannot all be populated by {ingesters} "
+                f"ingester(s)"
+            )
         self.ring = HashRing(vnodes=vnodes)
+        self.zones = zones
         self.ingesters: dict[str, Ingester] = {}
         for i in range(ingesters):
             ingester_id = f"ingester-{i}"
@@ -55,6 +67,8 @@ class RingLokiCluster:
                 ingester_id, policy=policy, wal_segment_bytes=wal_segment_bytes
             )
             self.ring.join(ingester_id)
+            if zones > 0:
+                self.ring.set_zone(ingester_id, f"zone-{i % zones}")
         self._policy = policy
         self._wal_segment_bytes = wal_segment_bytes
         self.sharder = ShuffleSharder(self.ring, shard_size)
@@ -64,7 +78,11 @@ class RingLokiCluster:
             replication_factor=replication_factor,
             tracer=tracer,
             sharder=self.sharder,
+            zone_aware=zones > 0,
         )
+        #: Failure-detector view (repro.selfheal); attached by the
+        #: SelfHealManager, ``None`` until then.
+        self.memberlist = None
 
     # ------------------------------------------------------------------
     # Store facade: ingest
@@ -150,7 +168,9 @@ class RingLokiCluster:
             i.checkpoint() for i in self.ingesters.values() if i.active
         )
 
-    def join_ingester(self, ingester_id: str) -> Ingester:
+    def join_ingester(
+        self, ingester_id: str, zone: str | None = None
+    ) -> Ingester:
         """Scale out: new empty ingester takes its token ranges for
         *future* writes (historical chunks stay put; reads fan out to
         every replica, so nothing needs migrating to stay queryable)."""
@@ -163,6 +183,8 @@ class RingLokiCluster:
         )
         self.ingesters[ingester_id] = ingester
         self.ring.join(ingester_id)
+        if zone is not None:
+            self.ring.set_zone(ingester_id, zone)
         return ingester
 
     def leave_ingester(self, ingester_id: str) -> None:
@@ -170,6 +192,23 @@ class RingLokiCluster:
         reads for data it already holds until it is finally removed."""
         self._ingester(ingester_id)
         self.ring.leave(ingester_id)
+
+    def remove_ingester(self, ingester_id: str) -> None:
+        """Forget a member entirely: drop it from the ring (if it still
+        holds tokens) and from the ingester map.  The anti-entropy
+        repairer calls this once a DEAD member's streams have been
+        re-replicated — removing it earlier would lose its replicas'
+        only copies."""
+        self._ingester(ingester_id)
+        if ingester_id in self.ring.members():
+            self.ring.leave(ingester_id)
+        del self.ingesters[ingester_id]
+
+    def attach_memberlist(self, memberlist) -> None:
+        """Hook the failure detector's shared view into the write/read
+        paths: the distributor starts skipping SUSPECT/DEAD members."""
+        self.memberlist = memberlist
+        self.distributor.memberlist = memberlist
 
     # ------------------------------------------------------------------
     # Accounting
@@ -216,11 +255,21 @@ class RingLokiCluster:
                 oldest = candidate
         return oldest
 
-    def ring_health(self) -> dict[str, dict[str, float]]:
-        """Per-ingester health snapshot for the exporter/dashboard."""
-        out = {}
+    def ring_health(self) -> dict[str, dict[str, float | str]]:
+        """Per-ingester health snapshot for the exporter/dashboard.
+
+        Numeric fields become per-ingester gauges.  With a failure
+        detector attached the snapshot also carries the lifecycle view:
+        ``state`` (the detector's verdict, not the process state — a
+        gray-failed member shows ``suspect`` while still ACTIVE) and
+        ``heartbeat_age_seconds`` since the member last heartbeat.
+        """
+        out: dict[str, dict[str, float | str]] = {}
+        lifecycle = (
+            self.memberlist.snapshot() if self.memberlist is not None else {}
+        )
         for ingester_id, ingester in sorted(self.ingesters.items()):
-            out[ingester_id] = {
+            row: dict[str, float | str] = {
                 "up": 1.0 if ingester.active else 0.0,
                 "entries": float(ingester.store.stats.entries_ingested),
                 "chunks": float(ingester.store.chunk_count()),
@@ -231,4 +280,14 @@ class RingLokiCluster:
                 "restarts": float(ingester.restarts),
                 "replayed": float(ingester.records_replayed_total),
             }
+            zone = self.ring.zone(ingester_id)
+            if zone is not None:
+                row["zone"] = zone
+            view = lifecycle.get(ingester_id)
+            if view is None:
+                row["state"] = "active" if ingester.active else "crashed"
+            else:
+                row["state"] = view.state.value
+                row["heartbeat_age_seconds"] = view.heartbeat_age_seconds
+            out[ingester_id] = row
         return out

@@ -15,23 +15,48 @@ replaying its WAL.
 
 from __future__ import annotations
 
-from collections import Counter
 from dataclasses import dataclass
-from typing import Iterable, Mapping
+from typing import TYPE_CHECKING, Iterable, Mapping
 
 from repro.common.errors import StateError, ValidationError
 from repro.common.labels import LabelSet, Matcher
 from repro.loki.model import LogEntry, PushRequest
 from repro.ring.hashring import HashRing, stream_key
 from repro.ring.ingester import Ingester
+from repro.ring.merge import merge_replica_entries
 from repro.tempo.model import SpanContext
 from repro.tempo.tracer import Tracer
 from repro.tenancy.limits import TENANT_LABEL
 from repro.tenancy.sharding import ShuffleSharder
 
+if TYPE_CHECKING:
+    from repro.selfheal.memberlist import Memberlist
+
+#: Historical home of the merge; it moved to ``repro.ring.merge`` when
+#: the anti-entropy repairer (which the ingester imports) needed it too.
+_merge_replicas = merge_replica_entries
+
 
 class QuorumError(StateError):
     """Fewer than a write quorum of replicas accepted a stream."""
+
+
+class ReadDegradedError(StateError):
+    """Fewer than a read quorum of replicas answered a select.
+
+    The fan-out read tolerates individual crashed replicas by falling
+    back to the survivors; only when the survivors cannot make a quorum
+    does the read fail — typed, so the frontend can distinguish "the
+    tier is degraded" from a malformed query.
+    """
+
+    def __init__(self, responded: int, quorum: int) -> None:
+        super().__init__(
+            f"read degraded: {responded} replica(s) responded, "
+            f"quorum is {quorum}"
+        )
+        self.responded = responded
+        self.quorum = quorum
 
 
 @dataclass(frozen=True)
@@ -53,6 +78,7 @@ class Distributor:
         replication_factor: int = 3,
         tracer: Tracer | None = None,
         sharder: ShuffleSharder | None = None,
+        zone_aware: bool = False,
     ) -> None:
         if replication_factor < 1:
             raise ValidationError("replication factor must be >= 1")
@@ -72,13 +98,19 @@ class Distributor:
         self.replication_factor = replication_factor
         self.tracer = tracer
         self.sharder = sharder
+        self.zone_aware = zone_aware
+        #: Failure-detector view (repro.selfheal); ``None`` = every ring
+        #: member is presumed healthy, exactly the pre-selfheal behaviour.
+        self.memberlist: "Memberlist | None" = None
         # Accounting for the ring exporter and bench R1.
         self.pushes = 0
         self.entries_accepted = 0
         self.replica_writes_ok = 0
         self.replica_writes_failed = 0
         self.quorum_failures = 0
+        self.replicas_skipped_unhealthy = 0
         self.reads = 0
+        self.reads_degraded = 0
 
     @property
     def write_quorum(self) -> int:
@@ -94,6 +126,60 @@ class Distributor:
         if not tenant:
             return self.ring
         return self.sharder.subring(tenant)
+
+    def replicas_for(self, labels: LabelSet) -> list[str]:
+        """The stream's *desired* replica set: pure ring placement with
+        no health exclusions — what the anti-entropy repairer diffs the
+        actual replica inventories against."""
+        return self._placement_ring(labels).preference_list(
+            stream_key(labels),
+            self.replication_factor,
+            zone_spread=self.zone_aware,
+        )
+
+    def replicas_excluding(
+        self, labels: LabelSet, exclude: set[str]
+    ) -> list[str]:
+        """Desired placement over the ring minus ``exclude`` — the walk
+        the anti-entropy repairer diffs inventories against: where the
+        stream's replicas *should* live given which members are usable
+        right now.  May return fewer than RF members when too few
+        survivors remain."""
+        if not exclude:
+            return self.replicas_for(labels)
+        return self._placement_ring(labels).preference_list(
+            stream_key(labels),
+            self.replication_factor,
+            zone_spread=self.zone_aware,
+            exclude=exclude,
+        )
+
+    def _write_replicas(self, labels: LabelSet) -> list[str]:
+        """The replicas a push actually targets: desired placement minus
+        members the failure detector holds SUSPECT or DEAD.  The walk
+        extends clockwise over the survivors, so the quorum is taken
+        over members that can plausibly answer instead of stalling on
+        ones that cannot."""
+        ring = self._placement_ring(labels)
+        exclude: set[str] = set()
+        if self.memberlist is not None:
+            exclude = self.memberlist.write_excluded()
+        if not exclude:
+            return ring.preference_list(
+                stream_key(labels),
+                self.replication_factor,
+                zone_spread=self.zone_aware,
+            )
+        desired = self.replicas_for(labels)
+        self.replicas_skipped_unhealthy += sum(
+            1 for member in desired if member in exclude
+        )
+        return ring.preference_list(
+            stream_key(labels),
+            self.replication_factor,
+            zone_spread=self.zone_aware,
+            exclude=exclude,
+        )
 
     # ------------------------------------------------------------------
     # Write path
@@ -123,10 +209,7 @@ class Distributor:
         accepted_total = 0
         ok_total = failed_total = 0
         for stream in request.streams:
-            key = stream_key(stream.labels)
-            replicas = self._placement_ring(stream.labels).preference_list(
-                key, self.replication_factor
-            )
+            replicas = self._write_replicas(stream.labels)
             accepted_counts = []
             for replica_id in replicas:
                 ingester = self.ingesters[replica_id]
@@ -176,60 +259,40 @@ class Distributor:
     def select(
         self, matchers: Iterable[Matcher], start_ns: int, end_ns: int
     ) -> list[tuple[LabelSet, list[LogEntry]]]:
-        """Quorum read: gather from every live replica, merge, dedupe."""
+        """Quorum read: gather from every live replica, merge, dedupe.
+
+        A replica that refuses mid-fan-out (crashed between placement
+        and contact) is tolerated: the read falls back to the remaining
+        replicas, and — when a failure detector is attached — the
+        refusal marks the member SUSPECT instead of stalling the query.
+        Members the detector already holds DEAD are not contacted at
+        all.  Only when fewer than a quorum of replicas answered does
+        the read fail, with a typed :class:`ReadDegradedError`.
+        """
         self.reads += 1
         matchers = list(matchers)
         per_stream: dict[LabelSet, list[list[LogEntry]]] = {}
-        for ingester in self.ingesters.values():
-            if not ingester.active:
+        responded = 0
+        for ingester_id, ingester in self.ingesters.items():
+            if self.memberlist is not None and self.memberlist.read_excluded(
+                ingester_id
+            ):
                 continue
-            for labels, entries in ingester.select(matchers, start_ns, end_ns):
+            try:
+                results = ingester.select(matchers, start_ns, end_ns)
+            except StateError:
+                if self.memberlist is not None:
+                    self.memberlist.suspect_from_read(ingester_id)
+                continue
+            responded += 1
+            for labels, entries in results:
                 per_stream.setdefault(labels, []).append(entries)
+        if responded < self.write_quorum:
+            self.reads_degraded += 1
+            raise ReadDegradedError(responded, self.write_quorum)
         out = [
-            (labels, _merge_replicas(replica_lists))
+            (labels, merge_replica_entries(replica_lists))
             for labels, replica_lists in per_stream.items()
         ]
         out.sort(key=lambda pair: pair[0].items_tuple())
         return out
-
-
-def _merge_replicas(replica_lists: list[list[LogEntry]]) -> list[LogEntry]:
-    """Merge one stream's entries across replicas, deduplicating.
-
-    Replicas hold consistent prefixes/subsequences of the same logical
-    stream (they applied the same pushes in the same order, minus crash
-    windows), so per timestamp the fullest replica's ordering is
-    authoritative; an identical ``(ts, line)`` seen on several replicas
-    is the same write and appears once — its multiplicity is the *max*
-    across replicas, never the sum.
-    """
-    if len(replica_lists) == 1:
-        return list(replica_lists[0])
-    # Group each replica's entries by timestamp, preserving intra-ts order.
-    by_ts: dict[int, list[list[str]]] = {}
-    for entries in replica_lists:
-        groups: dict[int, list[str]] = {}
-        for entry in entries:
-            groups.setdefault(entry.timestamp_ns, []).append(entry.line)
-        for ts, lines in groups.items():
-            by_ts.setdefault(ts, []).append(lines)
-    merged: list[LogEntry] = []
-    for ts in sorted(by_ts):
-        groups = by_ts[ts]
-        base = max(groups, key=len)
-        counts = Counter(base)
-        merged.extend(LogEntry(ts, line) for line in base)
-        # Any line a smaller group saw more often than the base is a
-        # genuine extra write the base replica missed.
-        extras: Counter[str] = Counter()
-        for group in groups:
-            if group is base:
-                continue
-            group_counts = Counter(group)
-            for line, n in group_counts.items():
-                short = n - counts[line]
-                if short > extras[line]:
-                    extras[line] = short
-        for line in sorted(extras):
-            merged.extend(LogEntry(ts, line) for _ in range(extras[line]))
-    return merged

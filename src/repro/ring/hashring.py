@@ -13,7 +13,7 @@ property-based test in ``tests/test_ring_hash.py`` pins down.
 from __future__ import annotations
 
 import bisect
-from typing import Iterable, Mapping
+from typing import Collection, Iterable, Mapping
 
 from repro.common.errors import StateError, ValidationError
 from repro.common.hashing import fnv1a_64, mix64
@@ -42,6 +42,10 @@ class HashRing:
         self._tokens: list[int] = []
         self._owners: list[str] = []
         self._members: set[str] = set()
+        # Optional availability-zone labels (repro.selfheal): members in
+        # distinct zones fail independently, so the zone-spread placement
+        # mode keeps a stream's replicas across as many zones as it can.
+        self._zones: dict[str, str] = {}
 
     # ------------------------------------------------------------------
     # Membership
@@ -81,9 +85,33 @@ class HashRing:
         if member not in self._members:
             raise StateError(f"member {member!r} not in the ring")
         self._members.discard(member)
+        self._zones.pop(member, None)
         keep = [(t, o) for t, o in zip(self._tokens, self._owners) if o != member]
         self._tokens = [t for t, _ in keep]
         self._owners = [o for _, o in keep]
+
+    # ------------------------------------------------------------------
+    # Zones
+    # ------------------------------------------------------------------
+    def set_zone(self, member: str, zone: str) -> None:
+        """Label a member with its availability zone."""
+        if member not in self._members:
+            raise StateError(f"member {member!r} not in the ring")
+        if not zone:
+            raise ValidationError("zone must be non-empty")
+        self._zones[member] = zone
+
+    def zone(self, member: str) -> str | None:
+        """The member's zone label, or ``None`` if unlabelled."""
+        return self._zones.get(member)
+
+    def zones(self) -> list[str]:
+        """Distinct zone labels in use, sorted."""
+        return sorted(set(self._zones.values()))
+
+    def members_in_zone(self, zone: str) -> list[str]:
+        """Members carrying the given zone label, sorted."""
+        return sorted(m for m, z in self._zones.items() if z == zone)
 
     # ------------------------------------------------------------------
     # Placement
@@ -92,12 +120,33 @@ class HashRing:
         """The single member owning ``key`` (first token clockwise)."""
         return self.preference_list(key, 1)[0]
 
-    def preference_list(self, key: str, n: int) -> list[str]:
+    def preference_list(
+        self,
+        key: str,
+        n: int,
+        *,
+        zone_spread: bool = False,
+        exclude: Collection[str] = (),
+    ) -> list[str]:
         """The first ``n`` *distinct* members clockwise of ``key``'s hash.
 
         This is the replica set for the key.  Asking for more members
         than the ring holds raises: a distributor must degrade its
         replication factor explicitly, not silently.
+
+        ``exclude`` is exactly that explicit degradation: members in it
+        (e.g. SUSPECT/DEAD per the failure detector) are skipped on the
+        clockwise walk, and the list may come back *shorter* than ``n``
+        when too few survivors remain — the caller decides whether the
+        survivors still make a quorum.
+
+        ``zone_spread`` makes the walk zone-aware: a first pass accepts
+        only members whose zone is not yet represented, a second pass
+        tops the list up with the remaining closest members regardless
+        of zone.  With at least ``n`` distinct zones among eligible
+        members the replicas therefore land in ``n`` distinct zones;
+        with fewer zones, every zone still gets at least one replica.
+        Unlabelled members never block on the zone constraint.
         """
         if n < 1:
             raise ValidationError("preference list size must be >= 1")
@@ -105,11 +154,35 @@ class HashRing:
             raise StateError(
                 f"ring has {len(self._members)} member(s), wanted {n} replicas"
             )
-        h = fnv1a_64(key.encode())
+        excluded = set(exclude)
+        # Finalize the key hash the same way member tokens are: raw
+        # FNV-1a of short, similar keys clusters on a narrow arc of the
+        # circle (the walk then always starts in the same band and a
+        # handful of members dominate every replica set); mix64 spreads
+        # the start points uniformly.
+        h = mix64(fnv1a_64(key.encode()))
         start = bisect.bisect_right(self._tokens, h)
-        out: list[str] = []
+        candidates: list[str] = []
         for i in range(len(self._tokens)):
             member = self._owners[(start + i) % len(self._tokens)]
+            if member in excluded or member in candidates:
+                continue
+            candidates.append(member)
+            if not zone_spread and len(candidates) == n:
+                break
+        if not zone_spread:
+            return candidates
+        out: list[str] = []
+        zones_used: set[str] = set()
+        for member in candidates:
+            zone = self._zones.get(member)
+            if zone is None or zone not in zones_used:
+                out.append(member)
+                if zone is not None:
+                    zones_used.add(zone)
+                if len(out) == n:
+                    return out
+        for member in candidates:
             if member not in out:
                 out.append(member)
                 if len(out) == n:

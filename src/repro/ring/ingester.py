@@ -22,6 +22,7 @@ from repro.common.labels import LabelSet, Matcher
 from repro.loki.chunks import ChunkPolicy
 from repro.loki.model import LogEntry
 from repro.loki.store import LokiStore
+from repro.ring.merge import merge_replica_entries
 
 
 class IngesterState(enum.Enum):
@@ -66,6 +67,60 @@ class Ingester:
         entries = list(entries)
         self.wal.append(labelset, entries)
         return self.store.push_stream(labelset, entries)
+
+    # ------------------------------------------------------------------
+    # Anti-entropy repair surface (repro.selfheal)
+    # ------------------------------------------------------------------
+    def stream_inventory(self) -> dict[LabelSet, int]:
+        """Resident entry count per stream — what the repairer diffs the
+        ring's desired placement against."""
+        self._require_active()
+        inventory: dict[LabelSet, int] = {}
+        for sid in self.store.index.all_stream_ids():
+            labels = self.store.index.labels_of(sid)
+            n = sum(
+                len(chunk.entries()) for chunk in self.store._chunks.get(sid, [])
+            )
+            inventory[labels] = n
+        return inventory
+
+    def entries_of(self, labels: LabelSet | Mapping[str, str]) -> list[LogEntry]:
+        """Every resident entry of one stream, in store order."""
+        self._require_active()
+        labelset = labels if isinstance(labels, LabelSet) else LabelSet(labels)
+        sid = self.store.index.lookup(labelset)
+        if sid is None:
+            return []
+        out: list[LogEntry] = []
+        for chunk in self.store._chunks.get(sid, []):
+            out.extend(chunk.entries())
+        return out
+
+    def repair_stream(
+        self, labels: LabelSet | Mapping[str, str], entries: Iterable[LogEntry]
+    ) -> int:
+        """Graft a donor replica's history into this stream.
+
+        A repair target may hold a *suffix* of the stream (it joined the
+        replica set after the stream started), so the donor's older
+        entries cannot go through :meth:`push_stream` — the store's
+        out-of-order watermark would reject them.  Instead the local and
+        donor copies are merged (max-multiplicity, same as quorum reads)
+        and the stream is rebuilt from scratch.
+
+        The rebuild bypasses the WAL; the repairer checkpoints every
+        touched target afterwards, which re-anchors durability at the
+        repaired state.  A crash between rebuild and checkpoint loses
+        only the grafted copy — the donors still hold it, and the next
+        anti-entropy sweep re-detects the gap.  Returns the number of
+        entries in the rebuilt stream.
+        """
+        self._require_active()
+        labelset = labels if isinstance(labels, LabelSet) else LabelSet(labels)
+        incoming = list(entries)
+        local = self.entries_of(labelset)
+        merged = merge_replica_entries([local, incoming]) if local else incoming
+        return self.store.replace_stream(labelset, merged)
 
     # ------------------------------------------------------------------
     # Lifecycle

@@ -80,5 +80,10 @@ class ShuffleSharder:
         subring = HashRing(vnodes=self.ring.vnodes)
         for member in shard:
             subring.join(member)
+            # Zone labels carry into the subring so zone-aware placement
+            # spreads a tenant's replicas exactly like unsharded streams.
+            zone = self.ring.zone(member)
+            if zone is not None:
+                subring.set_zone(member, zone)
         self._subrings[tenant] = (shard, subring)
         return subring

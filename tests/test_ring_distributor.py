@@ -11,7 +11,8 @@ from repro.common.errors import NotFoundError, StateError, ValidationError
 from repro.common.labels import label_matcher
 from repro.loki.model import LogEntry, PushRequest
 from repro.ring.cluster import RingLokiCluster
-from repro.ring.distributor import QuorumError
+from repro.ring.distributor import QuorumError, ReadDegradedError
+from repro.selfheal.memberlist import Memberlist, MemberState
 
 MATCH_ALL = [label_matcher("app", "=~", ".+")]
 
@@ -183,3 +184,81 @@ class TestClusterFacade:
         cluster = RingLokiCluster(ingesters=4, replication_factor=3)
         feed(cluster, 40)
         assert cluster.stream_count() == 8
+
+
+class TestReadFallback:
+    """Regression: a replica that refuses mid-fan-out must not abort the
+    query — the read falls back to the survivors, and only when fewer
+    than a quorum answered does it fail, with a *typed* error."""
+
+    def test_crashed_replica_mid_read_is_tolerated(self):
+        cluster = RingLokiCluster(ingesters=4, replication_factor=3)
+        feed(cluster, 80)
+        baseline = cluster.select(MATCH_ALL, 0, 10**9)
+        cluster.crash_ingester("ingester-1")
+        # Same answer off the surviving replicas, no exception.
+        assert cluster.select(MATCH_ALL, 0, 10**9) == baseline
+
+    def test_below_quorum_raises_typed_degradation(self):
+        cluster = RingLokiCluster(ingesters=4, replication_factor=3)
+        feed(cluster, 40)
+        for ingester_id in ("ingester-0", "ingester-1", "ingester-2"):
+            cluster.crash_ingester(ingester_id)
+        with pytest.raises(ReadDegradedError) as excinfo:
+            cluster.select(MATCH_ALL, 0, 10**9)
+        assert excinfo.value.responded == 1
+        assert excinfo.value.quorum == cluster.distributor.write_quorum
+        assert cluster.distributor.reads_degraded == 1
+        # A degraded read is still a StateError for callers that do not
+        # care which kind of unavailability they hit.
+        assert isinstance(excinfo.value, StateError)
+
+    def test_refusal_marks_member_suspect_when_detector_attached(self):
+        from repro.common.simclock import SimClock
+
+        cluster = RingLokiCluster(ingesters=4, replication_factor=3)
+        memberlist = Memberlist(SimClock())
+        for member in sorted(cluster.ingesters):
+            memberlist.register(member)
+        cluster.attach_memberlist(memberlist)
+        feed(cluster, 40)
+        cluster.crash_ingester("ingester-2")
+        cluster.select(MATCH_ALL, 0, 10**9)
+        # The fan-out noticed the refusal before any sweep did.
+        assert memberlist.state_of("ingester-2") is MemberState.SUSPECT
+        assert memberlist.read_triggered_suspects == 1
+
+    def test_dead_members_not_contacted_at_all(self):
+        from repro.common.simclock import SimClock
+
+        cluster = RingLokiCluster(ingesters=4, replication_factor=3)
+        memberlist = Memberlist(SimClock())
+        for member in sorted(cluster.ingesters):
+            memberlist.register(member)
+        cluster.attach_memberlist(memberlist)
+        feed(cluster, 40)
+        memberlist.suspect("ingester-3")
+        memberlist.declare_dead("ingester-3")
+        contacted = []
+        dead = cluster.ingesters["ingester-3"]
+        real_select = dead.select
+        dead.select = lambda *a, **k: contacted.append(1) or real_select(*a, **k)  # type: ignore[method-assign]
+        cluster.select(MATCH_ALL, 0, 10**9)
+        assert not contacted
+
+    def test_writes_route_around_excluded_members(self):
+        from repro.common.simclock import SimClock
+
+        cluster = RingLokiCluster(ingesters=5, replication_factor=3)
+        memberlist = Memberlist(SimClock())
+        for member in sorted(cluster.ingesters):
+            memberlist.register(member)
+        cluster.attach_memberlist(memberlist)
+        memberlist.suspect("ingester-0")
+        accepted = feed(cluster, 40)
+        assert accepted == 40
+        # The walk extended over healthy members: full RF everywhere,
+        # nothing landed on the suspect.
+        assert cluster.ingesters["ingester-0"].store.stats.entries_ingested == 0
+        assert cluster.distributor.replicas_skipped_unhealthy > 0
+        assert cluster.distributor.quorum_failures == 0
