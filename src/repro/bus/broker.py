@@ -16,6 +16,7 @@ from repro.common.errors import (
     StateError,
     ValidationError,
 )
+from repro.common.hashing import fnv1a_64, mix64
 from repro.common.simclock import SimClock
 
 #: Suffix appended to a topic's name to form its dead-letter topic.
@@ -434,9 +435,12 @@ class Broker:
 
 
 def _stable_hash(key: str) -> int:
-    """FNV-1a — deterministic across processes, unlike ``hash()``."""
-    h = 0xCBF29CE484222325
-    for byte in key.encode():
-        h ^= byte
-        h = (h * 0x100000001B3) & 0xFFFFFFFFFFFFFFFF
-    return h
+    """Deterministic across processes, unlike ``hash()``.
+
+    Finalized FNV-1a: raw FNV avalanches poorly in the low bits for
+    short structured keys (``x1000c0s3b0n0``-style hostnames differing
+    in one digit), and ``% partitions`` reads exactly those bits — the
+    same skew the ring placement fixed.  The SplitMix64 finalizer
+    decorrelates them.
+    """
+    return mix64(fnv1a_64(key.encode()))

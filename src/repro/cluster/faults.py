@@ -74,6 +74,13 @@ class FaultKind(enum.Enum):
     # Targets are an ingester id / a zone name respectively.
     HEARTBEAT_LOSS = "heartbeat_loss"
     ZONE_OUTAGE = "zone_outage"
+    # Pattern-mining faults (repro.patterns).  LOG_STORM floods the
+    # warehouse with one template at a digit-varying parameter — the
+    # alert-storm scenario pattern grouping must collapse.  NOVEL_ERROR
+    # injects a burst of a never-before-seen error-class template that
+    # no hand-written rule knows about.  Targets are app names.
+    LOG_STORM = "log_storm"
+    NOVEL_ERROR = "novel_error"
 
 
 #: Fault kinds whose target is an ingest-ring member id, not an xname.
@@ -101,6 +108,19 @@ _QUERYX_KINDS = frozenset({FaultKind.QUERIER_CRASH, FaultKind.SLOW_QUERIER})
 _SELFHEAL_KINDS = frozenset(
     {FaultKind.HEARTBEAT_LOSS, FaultKind.ZONE_OUTAGE}
 )
+
+#: Fault kinds whose target is an app name (pattern mining).
+_PATTERN_KINDS = frozenset({FaultKind.LOG_STORM, FaultKind.NOVEL_ERROR})
+
+
+def _letters_marker(n: int, length: int = 6) -> str:
+    """Deterministic all-alphabetic marker from an integer (the miner
+    masks digit-bearing tokens, so novelty markers must be letters)."""
+    out = []
+    for _ in range(length):
+        out.append(chr(ord("a") + n % 26))
+        n //= 26
+    return "".join(out)
 
 
 @dataclass
@@ -139,6 +159,8 @@ class FaultInjector:
         self._shipper: "ChunkShipper | None" = None
         self._querier_pool: "QuerierPool | None" = None
         self._selfheal: "SelfHealManager | None" = None
+        self._pattern_warehouse: "OmniWarehouse | None" = None
+        self._pattern_ingester = None
         self._flood_timers: dict[int, Timer] = {}
         self.faults: list[Fault] = []
 
@@ -193,6 +215,15 @@ class FaultInjector:
         supervisor the ZONE_OUTAGE fault bars."""
         self._selfheal = manager
 
+    def attach_patterns(
+        self, warehouse: "OmniWarehouse", ingester=None
+    ) -> None:
+        """Late-bind the log-pattern plane: the warehouse the LOG_STORM /
+        NOVEL_ERROR faults flood, plus (optionally) the pattern ingester
+        for ground-truth counters."""
+        self._pattern_warehouse = warehouse
+        self._pattern_ingester = ingester
+
     # ------------------------------------------------------------------
     # Scheduling
     # ------------------------------------------------------------------
@@ -215,6 +246,7 @@ class FaultInjector:
             or kind in _OBJSTORE_KINDS
             or kind in _QUERYX_KINDS
             or kind in _SELFHEAL_KINDS
+            or kind in _PATTERN_KINDS
         ):
             x: XName | str = str(target)
         else:
@@ -327,6 +359,10 @@ class FaultInjector:
             manager = self._require_selfheal()
             detail["members_downed"] = manager.begin_zone_outage(str(target))
             detail["restarts_at_start"] = manager.supervisor.restarts_total
+        elif kind is FaultKind.LOG_STORM:
+            self._begin_log_storm(fault)
+        elif kind is FaultKind.NOVEL_ERROR:
+            self._begin_novel_error(fault)
         else:  # pragma: no cover - exhaustive over enum
             raise ValidationError(f"unhandled fault kind {kind}")
 
@@ -386,6 +422,88 @@ class FaultInjector:
 
         self._flood_timers[id(fault)] = self._clock.every(interval, flood)
 
+    def _begin_log_storm(self, fault: Fault) -> None:
+        """Start an alert storm: every tick, a burst of lines that are
+        all instances of ONE template, varying only in a digit-bearing
+        parameter.  Per-line alerting would page once per line; pattern
+        grouping must collapse the whole storm into one incident."""
+        warehouse = self._require_pattern_warehouse()
+        app = str(fault.target)
+        detail = fault.detail
+        interval = int(detail.get("interval_ns", seconds(1)))  # type: ignore[arg-type]
+        lines = int(detail.get("lines_per_tick", 100))  # type: ignore[arg-type]
+        detail.setdefault("lines_injected", 0)
+        detail.setdefault("pushes_rejected", 0)
+        labels = LabelSet({"app": app, "data_type": "app_log"})
+        sector = [0]
+
+        def flood() -> None:
+            now = self._clock.now_ns
+            request = PushRequest(
+                streams=(
+                    PushStream(
+                        labels=labels,
+                        entries=tuple(
+                            LogEntry(
+                                now + i,
+                                f"{app}: I/O error on dev sda, sector "
+                                f"{sector[0] + i}",
+                            )
+                            for i in range(lines)
+                        ),
+                    ),
+                )
+            )
+            sector[0] += lines
+            try:
+                warehouse.ingest_logs(request)
+                detail["lines_injected"] = (
+                    int(detail["lines_injected"]) + lines  # type: ignore[arg-type]
+                )
+            except CapacityError:
+                detail["pushes_rejected"] = (
+                    int(detail["pushes_rejected"]) + 1  # type: ignore[arg-type]
+                )
+
+        self._flood_timers[id(fault)] = self._clock.every(interval, flood)
+
+    def _begin_novel_error(self, fault: Fault) -> None:
+        """Inject one burst of a never-before-seen error template.
+
+        The distinguishing marker is alphabetic (digit tokens are masked
+        to ``<*>`` by the miner, so a numeric marker would collapse into
+        a previously-seen template).  Instantaneous: the lines land and
+        the fault is over."""
+        warehouse = self._require_pattern_warehouse()
+        app = str(fault.target)
+        detail = fault.detail
+        lines = int(detail.get("lines", 20))  # type: ignore[arg-type]
+        marker = str(detail.get("marker", _letters_marker(fault.start_ns)))
+        now = self._clock.now_ns
+        labels = LabelSet({"app": app, "data_type": "app_log"})
+        request = PushRequest(
+            streams=(
+                PushStream(
+                    labels=labels,
+                    entries=tuple(
+                        LogEntry(
+                            now + i,
+                            f"{app}: FATAL {marker} assertion failure in "
+                            f"module {marker}_core, unit {i}",
+                        )
+                        for i in range(lines)
+                    ),
+                ),
+            )
+        )
+        detail["marker"] = marker
+        detail["injected_at_ns"] = now
+        try:
+            detail["lines_injected"] = warehouse.ingest_logs(request)
+        except CapacityError:
+            detail["lines_injected"] = 0
+        fault.active = False  # instantaneous, like INGESTER_RESTART
+
     def _require_ring(self) -> "RingLokiCluster":
         if self._ring is None:
             raise ValidationError("ingester fault requires an ingest ring")
@@ -416,6 +534,14 @@ class FaultInjector:
                 "(enable multi-tenancy)"
             )
         return self._warehouse
+
+    def _require_pattern_warehouse(self) -> "OmniWarehouse":
+        if self._pattern_warehouse is None:
+            raise ValidationError(
+                "log-storm/novel-error faults require an attached "
+                "warehouse (attach_patterns)"
+            )
+        return self._pattern_warehouse
 
     def _require_objstore(self) -> "ObjectStore":
         if self._objstore is None:
@@ -517,6 +643,10 @@ class FaultInjector:
             manager = self._require_selfheal()
             manager.end_zone_outage(str(target))
             detail["restarts_at_end"] = manager.supervisor.restarts_total
+        elif kind is FaultKind.LOG_STORM:
+            timer = self._flood_timers.pop(id(fault), None)
+            if timer is not None:
+                timer.cancel()
 
     # ------------------------------------------------------------------
     # Ground truth

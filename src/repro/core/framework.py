@@ -65,6 +65,11 @@ from repro.objstore.objectstore import ObjectStore
 from repro.objstore.shipper import ChunkShipper
 from repro.objstore.tiered import TieredLokiStore
 from repro.omni.anomaly import EwmaDetector, ProactiveMonitor
+from repro.exporters.patterns_exporter import PatternsExporter
+from repro.patterns.ingester import PatternIngester
+from repro.patterns.miner import DrainConfig
+from repro.patterns.ruler import BURST_EXPR, NOVEL_EXPR, PatternRuler
+from repro.patterns.store import PatternStore
 from repro.queryx.bloom import BloomStore
 from repro.queryx.engine import DEFAULT_SLOW_QUERY_NS, ShardedQueryEngine
 from repro.queryx.executor import QuerierPool
@@ -169,6 +174,12 @@ def _self_healing_default() -> bool:
     """CI's self-healing leg flips the framework default via env so the
     integration suite runs with the detect/restart/repair loop on."""
     return os.environ.get("REPRO_SELF_HEAL", "") not in ("", "0")
+
+
+def _pattern_mining_default() -> bool:
+    """CI's pattern-mining leg flips the framework default via env so the
+    integration suite runs with online template mining switched on."""
+    return os.environ.get("REPRO_PATTERNS", "") not in ("", "0")
 
 
 @dataclass
@@ -310,6 +321,39 @@ class FrameworkConfig:
     queryx_slow_query_threshold_ns: int = DEFAULT_SLOW_QUERY_NS
     #: Target false-positive rate for the compactor-built bloom blocks.
     queryx_bloom_fp_rate: float = 0.01
+    # Online log-template mining (repro.patterns).  Off by default (or
+    # via the REPRO_PATTERNS env var, for CI's pattern-mining leg).  On:
+    # a Drain-style miner tees off every accepted log push per (tenant,
+    # stream), maintaining templates with content-derived pattern ids;
+    # period-partitioned pattern blocks persist through the object store
+    # beside the chunks (when object storage is on) and the compactor
+    # rebuilds them cold; ``detected_patterns`` is served through the
+    # LogQL engine, logcli and the frontend cache; and a pattern ruler
+    # emits self-resolving PatternBurst / NovelErrorPattern alerts whose
+    # ``pattern_id`` label lets Alertmanager collapse an alert storm
+    # into one grouped incident.
+    enable_pattern_mining: bool = field(default_factory=_pattern_mining_default)
+    #: Drain similarity threshold: the exact-match fraction a line needs
+    #: to join an existing cluster instead of seeding a new one.
+    patterns_sim_threshold: float = 0.5
+    patterns_ruler_interval_ns: int = seconds(30)
+    #: EWMA smoothing for per-template rate baselines.
+    patterns_ewma_alpha: float = 0.3
+    #: A warmed-up template bursts at burst_factor × its EWMA baseline.
+    patterns_burst_factor: float = 8.0
+    #: Absolute storm floor (lines/s): any template above this rate is
+    #: bursting regardless of baseline — catches storms of brand-new
+    #: templates that have no history yet.
+    patterns_min_burst_rate: float = 50.0
+    #: Evaluations of baseline history before relative bursts can fire.
+    patterns_warmup_evals: int = 3
+    #: How long a NovelErrorPattern series stays active before it
+    #: self-resolves.
+    patterns_novel_active_ns: int = minutes(10)
+    #: Cold-start corpus bootstrap: templates first sighted within this
+    #: window of startup are not "novel" — an empty template store makes
+    #: every early line never-before-seen.
+    patterns_novel_bootstrap_ns: int = seconds(90)
 
     def __post_init__(self) -> None:
         if not 0.0 <= self.tracing_sampling <= 1.0:
@@ -406,6 +450,35 @@ class FrameworkConfig:
             if not 0.0 < self.queryx_bloom_fp_rate < 1.0:
                 raise ValidationError(
                     "queryx_bloom_fp_rate must be in (0, 1)"
+                )
+        if self.enable_pattern_mining:
+            if not 0.0 < self.patterns_sim_threshold <= 1.0:
+                raise ValidationError(
+                    "patterns_sim_threshold must be in (0, 1]"
+                )
+            if self.patterns_ruler_interval_ns <= 0:
+                raise ValidationError(
+                    "patterns_ruler_interval_ns must be positive"
+                )
+            if not 0.0 < self.patterns_ewma_alpha <= 1.0:
+                raise ValidationError(
+                    "patterns_ewma_alpha must be in (0, 1]"
+                )
+            if self.patterns_burst_factor <= 1.0:
+                raise ValidationError("patterns_burst_factor must be > 1")
+            if self.patterns_min_burst_rate <= 0.0:
+                raise ValidationError(
+                    "patterns_min_burst_rate must be positive"
+                )
+            if self.patterns_warmup_evals < 1:
+                raise ValidationError("patterns_warmup_evals must be >= 1")
+            if self.patterns_novel_active_ns <= 0:
+                raise ValidationError(
+                    "patterns_novel_active_ns must be positive"
+                )
+            if self.patterns_novel_bootstrap_ns < 0:
+                raise ValidationError(
+                    "patterns_novel_bootstrap_ns must be >= 0"
                 )
         for name in (
             "redfish_poll_interval_ns",
@@ -595,10 +668,38 @@ class MonitoringFramework:
             )
             self.faults.attach_objstore(self.objstore, self.shipper)
             log_backend = self.tiered
+        # --- online template mining (repro.patterns) ---------------------
+        self.pattern_store: PatternStore | None = None
+        self.pattern_ingester: PatternIngester | None = None
+        self.pattern_ruler: PatternRuler | None = None
+        self.patterns_exporter: PatternsExporter | None = None
+        if cfg.enable_pattern_mining:
+            drain_config = DrainConfig(sim_threshold=cfg.patterns_sim_threshold)
+            # With object storage on, pattern blocks persist beside the
+            # chunks; without, the store is memory-resident.
+            self.pattern_store = PatternStore(
+                self.objstore,
+                period_ns=cfg.objstore_index_period_ns,
+                config=drain_config,
+                tracer=self.tracer,
+            )
+            self.pattern_ingester = PatternIngester(
+                self.clock,
+                self.pattern_store,
+                config=drain_config,
+                tracer=self.tracer,
+                default_tenant=cfg.default_tenant,
+            )
+            if self.compactor is not None:
+                self.compactor.patterns = self.pattern_store
+            if self.store_gateway is not None:
+                self.store_gateway.patterns = self.pattern_store
         self.warehouse = OmniWarehouse(
-            self.clock, loki=log_backend, admission=self.admission
+            self.clock, loki=log_backend, admission=self.admission,
+            patterns=self.pattern_ingester,
         )
-        self.logql = LogQLEngine(self.warehouse.loki)
+        self.faults.attach_patterns(self.warehouse, self.pattern_ingester)
+        self.logql = LogQLEngine(self.warehouse.loki, patterns=self.pattern_store)
         self.promql = PromQLEngine(self.warehouse.tsdb)
         # --- sharded query engine (repro.queryx) -------------------------
         self.queryx: ShardedQueryEngine | None = None
@@ -632,19 +733,47 @@ class MonitoringFramework:
             # with queryx on, every uncached sub-window fans out across
             # the querier pool, and the split intervals match so planner
             # and cache cut ranges at identical aligned boundaries.
+            # Pattern queries always route to the LogQL engine (they
+            # read period-partitioned blocks, not chunks, so sharding
+            # buys nothing); the split matches the store's period so
+            # window merging is exact.
             if self.queryx is not None:
                 self.frontend = QueryFrontend(
                     self.queryx, self.clock,
                     split_ns=cfg.queryx_split_interval_ns,
+                    pattern_source=(
+                        self.logql if cfg.enable_pattern_mining else None
+                    ),
+                    pattern_split_ns=cfg.objstore_index_period_ns,
                 )
             else:
-                self.frontend = QueryFrontend(self.logql, self.clock)
+                self.frontend = QueryFrontend(
+                    self.logql, self.clock,
+                    pattern_source=(
+                        self.logql if cfg.enable_pattern_mining else None
+                    ),
+                    pattern_split_ns=cfg.objstore_index_period_ns,
+                )
             self.scheduler = QueryScheduler(
                 self.frontend,
                 self.clock,
                 registry=self.limits,
                 max_concurrency=cfg.query_max_concurrency,
                 tracer=self.tracer,
+            )
+        elif cfg.enable_pattern_mining:
+            # No tenancy plane, but detected_patterns still wants the
+            # frontend's window split + cache; no scheduler in front.
+            self.frontend = QueryFrontend(
+                self.queryx if self.queryx is not None else self.logql,
+                self.clock,
+                split_ns=(
+                    cfg.queryx_split_interval_ns
+                    if self.queryx is not None
+                    else hours(1)
+                ),
+                pattern_source=self.logql,
+                pattern_split_ns=cfg.objstore_index_period_ns,
             )
         if self.traces is not None:
             self.trace_metrics = TraceMetricsExporter(
@@ -777,30 +906,48 @@ class MonitoringFramework:
         for pdu_name in self.facility.pdus:
             cmdb.add(pdu_name, "cmdb_ci_pdu", parent=cfg.cluster_name)
         self.servicenow = ServiceNowPlatform(self.clock, cmdb=cmdb)
+        child_routes = [
+            Route(
+                receiver="servicenow",
+                matchers=(Matcher("severity", MatchOp.EQ, "critical"),),
+                group_by=("alertname", "cluster"),
+                group_wait=cfg.group_wait,
+                group_interval=cfg.group_interval,
+                repeat_interval=cfg.repeat_interval,
+                continue_=True,
+            ),
+        ]
+        if cfg.enable_pattern_mining:
+            # Storm suppression: pattern alerts group on pattern_id, so
+            # a storm of thousands of identical lines — across streams
+            # and ingesters — collapses into ONE aggregation group and
+            # one notification per group_wait/group_interval window.
+            child_routes.append(
+                Route(
+                    receiver="slack",
+                    matchers=(Matcher("category", MatchOp.EQ, "patterns"),),
+                    group_by=("alertname", "pattern_id", "cluster"),
+                    group_wait=cfg.group_wait,
+                    group_interval=cfg.group_interval,
+                    repeat_interval=cfg.repeat_interval,
+                )
+            )
+        child_routes.append(
+            Route(
+                receiver="slack",
+                group_by=("alertname", "cluster"),
+                group_wait=cfg.group_wait,
+                group_interval=cfg.group_interval,
+                repeat_interval=cfg.repeat_interval,
+            )
+        )
         route = Route(
             receiver="slack",
             group_by=("alertname", "cluster"),
             group_wait=cfg.group_wait,
             group_interval=cfg.group_interval,
             repeat_interval=cfg.repeat_interval,
-            routes=[
-                Route(
-                    receiver="servicenow",
-                    matchers=(Matcher("severity", MatchOp.EQ, "critical"),),
-                    group_by=("alertname", "cluster"),
-                    group_wait=cfg.group_wait,
-                    group_interval=cfg.group_interval,
-                    repeat_interval=cfg.repeat_interval,
-                    continue_=True,
-                ),
-                Route(
-                    receiver="slack",
-                    group_by=("alertname", "cluster"),
-                    group_wait=cfg.group_wait,
-                    group_interval=cfg.group_interval,
-                    repeat_interval=cfg.repeat_interval,
-                ),
-            ],
+            routes=child_routes,
         )
         self.alertmanager = Alertmanager(self.clock, route)
         self.dashboards = self._build_dashboards()
@@ -879,6 +1026,36 @@ class MonitoringFramework:
             self.alertmanager.register_receiver(sn_receiver)
         self.ruler = Ruler(self.logql, self.clock, ruler_notify)
         self.vmalert = VMAlert(self.promql, self.clock, vmalert_notify)
+        if cfg.enable_pattern_mining:
+            assert self.pattern_ingester is not None
+            assert self.pattern_store is not None
+            pattern_notify = self.alertmanager.receive
+            if self.tracing is not None:
+                pattern_notify = self.tracing.notifier(
+                    self.alertmanager.receive, "pattern-ruler"
+                )
+            self.pattern_ruler = PatternRuler(
+                self.clock,
+                pattern_notify,
+                self.pattern_ingester,
+                self.pattern_store,
+                cluster=cfg.cluster_name,
+                ewma_alpha=cfg.patterns_ewma_alpha,
+                burst_factor=cfg.patterns_burst_factor,
+                min_burst_rate=cfg.patterns_min_burst_rate,
+                warmup_evals=cfg.patterns_warmup_evals,
+                novel_active_ns=cfg.patterns_novel_active_ns,
+                novel_bootstrap_ns=cfg.patterns_novel_bootstrap_ns,
+                tracer=self.tracer,
+            )
+            self.patterns_exporter = PatternsExporter(
+                self.pattern_ingester, self.pattern_store, self.pattern_ruler
+            )
+            self.vmagent.add_target(
+                ScrapeTarget(
+                    "patterns", "patterns-exporter:9108", self.patterns_exporter
+                )
+            )
         if cfg.install_default_rules:
             self._install_default_rules()
 
@@ -1190,6 +1367,37 @@ class MonitoringFramework:
                 },
             )
         )
+        if self.pattern_ruler is not None:
+            # Pattern rules live on the *pattern* ruler, whose _query
+            # reads the miner directly instead of PromQL.  Both fire
+            # immediately (for_="0s"): a burst sample only exists while
+            # the rate genuinely exceeds the baseline, and a novel error
+            # template is by definition a one-time rising edge.
+            self.pattern_ruler.add_rule(
+                RuleSpec(
+                    name="PatternBurst",
+                    expr=BURST_EXPR,
+                    for_="0s",
+                    labels={"severity": "warning", "category": "patterns"},
+                    annotations={
+                        "summary": "Template '{{ $labels.pattern }}' is "
+                        "bursting at {{ $value }} lines/s over its "
+                        "baseline — storm grouped by pattern_id"
+                    },
+                )
+            )
+            self.pattern_ruler.add_rule(
+                RuleSpec(
+                    name="NovelErrorPattern",
+                    expr=NOVEL_EXPR,
+                    for_="0s",
+                    labels={"severity": "critical", "category": "patterns"},
+                    annotations={
+                        "summary": "Never-before-seen error template "
+                        "'{{ $labels.pattern }}' appeared"
+                    },
+                )
+            )
 
     def _build_dashboards(self) -> dict[str, Dashboard]:
         loki_ds = LokiDatasource(self.logql)
@@ -1526,6 +1734,53 @@ class MonitoringFramework:
                     )
                 )
             dashboards["queryx"] = queryx
+        if self.pattern_ingester is not None:
+            patterns = Dashboard("Log Patterns", uid="log-patterns")
+            patterns.add_panel(
+                StatPanel(
+                    title="Distinct templates",
+                    datasource=prom_ds,
+                    query="patterns_templates",
+                )
+            )
+            patterns.add_panel(
+                StatPanel(
+                    title="Compression ratio (lines per template)",
+                    datasource=prom_ds,
+                    query="patterns_compression_ratio",
+                    unit="x",
+                )
+            )
+            patterns.add_panel(
+                TimeSeriesPanel(
+                    title="Lines mined",
+                    datasource=prom_ds,
+                    query="patterns_lines_mined_total",
+                )
+            )
+            patterns.add_panel(
+                TopListPanel(
+                    title="Busiest templates",
+                    datasource=prom_ds,
+                    query="topk(10, patterns_template_lines_total)",
+                    label="pattern_id",
+                )
+            )
+            patterns.add_panel(
+                TimeSeriesPanel(
+                    title="Active bursts (alert signal)",
+                    datasource=prom_ds,
+                    query="patterns_bursts_active",
+                )
+            )
+            patterns.add_panel(
+                StatPanel(
+                    title="Novel error templates",
+                    datasource=prom_ds,
+                    query="patterns_novel_error_templates_total",
+                )
+            )
+            dashboards["patterns"] = patterns
         if self.traceql is not None:
             tempo_ds = TempoDatasource(self.traceql)
             tracing = Dashboard("Pipeline Tracing", uid="pipeline-tracing")
@@ -1579,6 +1834,14 @@ class MonitoringFramework:
         if self.compactor is not None:
             self.clock.every(
                 cfg.objstore_compaction_interval_ns, self.compactor.run
+            )
+        if self.pattern_ruler is not None:
+            self.pattern_ruler.run_periodic(cfg.patterns_ruler_interval_ns)
+        if self.pattern_store is not None and self.objstore is not None:
+            # Live pattern blocks ship on the chunk-flush cadence.
+            self.clock.every(
+                cfg.objstore_flush_interval_ns,
+                self.pattern_store.persist_dirty,
             )
         if self.selfheal is not None:
             self.selfheal.start()
@@ -1712,4 +1975,21 @@ class MonitoringFramework:
                 if self.store_gateway is not None
                 else 0
             )
+        if self.pattern_ingester is not None and self.pattern_store is not None:
+            summary["patterns_distinct_templates"] = float(
+                self.pattern_store.pattern_count()
+            )
+            summary["patterns_lines_mined"] = float(
+                self.pattern_ingester.lines_observed
+            )
+            summary["patterns_compression_ratio"] = (
+                self.pattern_ingester.compression_ratio()
+            )
+            if self.pattern_ruler is not None:
+                summary["patterns_bursts_detected"] = float(
+                    self.pattern_ruler.bursts_detected
+                )
+                summary["patterns_novel_errors"] = float(
+                    self.pattern_ruler.novel_detected
+                )
         return summary

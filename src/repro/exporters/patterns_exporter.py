@@ -1,0 +1,150 @@
+"""Pattern-mining exporter: template mining and burst signals for vmagent.
+
+The headline gauge is ``patterns_compression_ratio`` — raw lines per
+distinct template — which quantifies the triage leverage the miner buys
+(the paper's firehose problem).  ``patterns_bursts_active`` is the live
+alert signal: it rises while a template floods and self-resolves with
+the storm, mirroring the ``PatternBurst`` rule.  The per-template
+``patterns_template_lines_total`` counter (top ten by volume, labelled
+by ``pattern_id``) feeds the dashboard's busiest-templates panel.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.exporters.textformat import MetricFamily, render_exposition
+
+if TYPE_CHECKING:
+    from repro.patterns.ingester import PatternIngester
+    from repro.patterns.ruler import PatternRuler
+    from repro.patterns.store import PatternStore
+
+#: How many per-template series to expose; one series per template
+#: would defeat the cardinality story patterns exist to fix.
+TOP_TEMPLATES = 10
+
+
+class PatternsExporter:
+    """Exports miner, store and pattern-ruler counters."""
+
+    def __init__(
+        self,
+        ingester: "PatternIngester",
+        store: "PatternStore",
+        ruler: "PatternRuler | None" = None,
+    ) -> None:
+        self._ingester = ingester
+        self._store = store
+        self._ruler = ruler
+        self.scrapes_served = 0
+
+    def scrape(self) -> str:
+        ingester = self._ingester
+        store = self._store
+        families = []
+
+        lines = MetricFamily(
+            "patterns_lines_mined_total",
+            "Log lines consumed by the template miners.",
+            "counter",
+        )
+        lines.add(float(ingester.lines_observed))
+        families.append(lines)
+
+        templates = MetricFamily(
+            "patterns_templates",
+            "Distinct templates currently known across all blocks.",
+            "gauge",
+        )
+        templates.add(float(store.pattern_count()))
+        families.append(templates)
+
+        ratio = MetricFamily(
+            "patterns_compression_ratio",
+            "Raw lines per distinct template (triage leverage).",
+            "gauge",
+        )
+        ratio.add(float(ingester.compression_ratio()))
+        families.append(ratio)
+
+        miners = MetricFamily(
+            "patterns_miners",
+            "Live (tenant, stream) miner instances.",
+            "gauge",
+        )
+        miners.add(float(ingester.miner_count))
+        families.append(miners)
+
+        top = MetricFamily(
+            "patterns_template_lines_total",
+            "Lines absorbed by the busiest templates.",
+            "counter",
+        )
+        counts = store.counts_by_pattern()
+        busiest = sorted(
+            counts.items(), key=lambda kv: (-kv[1][0], kv[0])
+        )[:TOP_TEMPLATES]
+        for (tenant, pattern_id), (count, _template) in busiest:
+            top.add(float(count), tenant=tenant, pattern_id=pattern_id)
+        families.append(top)
+
+        novel = MetricFamily(
+            "patterns_novel_error_templates_total",
+            "Never-before-seen error-class templates detected.",
+            "counter",
+        )
+        novel.add(float(ingester.novel_error_templates))
+        families.append(novel)
+
+        blocks = MetricFamily(
+            "patterns_store_blocks",
+            "Pattern blocks resident in the store.",
+            "gauge",
+        )
+        blocks.add(float(store.block_count))
+        families.append(blocks)
+
+        persisted = MetricFamily(
+            "patterns_blocks_persisted_total",
+            "Pattern blocks flushed to the object store.",
+            "counter",
+        )
+        persisted.add(float(store.blocks_persisted_total))
+        families.append(persisted)
+
+        rebuilt = MetricFamily(
+            "patterns_blocks_rebuilt_total",
+            "Pattern blocks re-mined from chunks by the compactor.",
+            "counter",
+        )
+        rebuilt.add(float(store.blocks_rebuilt_total))
+        families.append(rebuilt)
+
+        if self._ruler is not None:
+            active = MetricFamily(
+                "patterns_bursts_active",
+                "Templates currently bursting above baseline.",
+                "gauge",
+            )
+            active.add(float(self._ruler.active_bursts))
+            families.append(active)
+
+            bursts = MetricFamily(
+                "patterns_bursts_detected_total",
+                "Burst episodes detected (rising edges).",
+                "counter",
+            )
+            bursts.add(float(self._ruler.bursts_detected))
+            families.append(bursts)
+
+            detections = MetricFamily(
+                "patterns_novel_detections_total",
+                "Novel error templates surfaced by the ruler.",
+                "counter",
+            )
+            detections.add(float(self._ruler.novel_detected))
+            families.append(detections)
+
+        self.scrapes_served += 1
+        return render_exposition(families)

@@ -20,7 +20,7 @@ from typing import Protocol
 
 from repro.common.errors import ValidationError
 from repro.common.labels import LabelSet
-from repro.common.simclock import SimClock, hours
+from repro.common.simclock import NANOS_PER_DAY, SimClock, hours
 from repro.common.vector import Series
 
 
@@ -28,6 +28,16 @@ class RangeQueryable(Protocol):
     def query_range(
         self, query: str, start_ns: int, end_ns: int, step_ns: int
     ) -> list[Series]: ...
+
+
+class PatternQueryable(Protocol):
+    def detected_patterns(
+        self,
+        selector: str,
+        start_ns: int,
+        end_ns: int,
+        tenant: str | None = None,
+    ) -> list: ...
 
 
 def aligned_windows(start_ns: int, end_ns: int, split_ns: int):
@@ -73,17 +83,29 @@ class QueryFrontend:
         clock: SimClock,
         split_ns: int = hours(1),
         max_entries: int = 1024,
+        pattern_source: PatternQueryable | None = None,
+        pattern_split_ns: int = NANOS_PER_DAY,
     ) -> None:
         if split_ns <= 0:
             raise ValidationError("split interval must be positive")
         if max_entries < 1:
             raise ValidationError("cache needs at least one entry")
+        if pattern_split_ns <= 0:
+            raise ValidationError("pattern split interval must be positive")
         self._engine = engine
         self._clock = clock
         self._split_ns = split_ns
         self._max_entries = max_entries
+        #: Engine exposing ``detected_patterns`` (the LogQL engine when
+        #: pattern mining is on); pattern windows split on the *store's*
+        #: period so each pattern record lands in exactly one sub-window
+        #: and the merged counts equal the direct call.
+        self._pattern_source = pattern_source
+        self._pattern_split_ns = pattern_split_ns
         # True LRU: ordered oldest-access-first; hits refresh recency.
-        self._cache: OrderedDict[_CacheKey, list[Series]] = OrderedDict()
+        # Values are lists of Series (range queries) or DetectedPattern
+        # rows (pattern queries) — the key's query string disambiguates.
+        self._cache: OrderedDict[_CacheKey, list] = OrderedDict()
         self.splits_executed = 0
         self.cache_hits = 0
         self.cache_misses = 0
@@ -129,6 +151,67 @@ class QueryFrontend:
             points.sort(key=lambda p: p[0])
             out.append(Series(labels, tuple(points)))
         out.sort(key=lambda s: s.labels.items_tuple())
+        return out
+
+    def detected_patterns(
+        self,
+        selector: str,
+        start_ns: int,
+        end_ns: int,
+        tenant: str | None = None,
+    ) -> list:
+        """Split + cached ``detected_patterns``, merged across windows.
+
+        Windows are aligned to the pattern store's index period, so each
+        period-partitioned pattern record falls in exactly one window
+        and summing counts across windows reproduces the direct answer.
+        Completed windows are cached under a ``patterns:``-prefixed key
+        (step 0 — patterns have no evaluation grid).
+        """
+        if self._pattern_source is None:
+            raise ValidationError("no pattern source wired into the frontend")
+        if end_ns <= start_ns:
+            raise ValidationError("detected_patterns requires start < end")
+        merged: dict[str, dict] = {}
+        for sub_start, sub_end in aligned_windows(
+            start_ns, end_ns - 1, self._pattern_split_ns
+        ):
+            rows = self._pattern_sub_query(
+                selector, sub_start, sub_end + 1, tenant
+            )
+            for row in rows:
+                have = merged.get(row.pattern_id)
+                if have is None:
+                    merged[row.pattern_id] = {
+                        "template": row.template,
+                        "count": row.count,
+                        "first": row.first_ts_ns,
+                        "last": row.last_ts_ns,
+                        "exemplar": row.exemplar,
+                        "streams": row.streams,
+                    }
+                    continue
+                have["count"] += row.count
+                if row.first_ts_ns < have["first"]:
+                    have["first"] = row.first_ts_ns
+                    have["exemplar"] = row.exemplar
+                have["last"] = max(have["last"], row.last_ts_ns)
+                have["streams"] = max(have["streams"], row.streams)
+        from repro.patterns.store import DetectedPattern
+
+        out = [
+            DetectedPattern(
+                pattern_id=pid,
+                template=row["template"],
+                count=row["count"],
+                first_ts_ns=row["first"],
+                last_ts_ns=row["last"],
+                exemplar=row["exemplar"],
+                streams=row["streams"],
+            )
+            for pid, row in merged.items()
+        ]
+        out.sort(key=lambda r: (-r.count, r.pattern_id))
         return out
 
     def invalidate(self) -> None:
@@ -190,5 +273,37 @@ class QueryFrontend:
         if end_ns < self._clock.now_ns:  # complete, immutable window
             if len(self._cache) >= self._max_entries:
                 self._cache.popitem(last=False)  # evict least recently used
+            self._cache[key] = result
+        return result
+
+    def _pattern_sub_query(
+        self,
+        selector: str,
+        start_ns: int,
+        end_ns: int,
+        tenant: str | None,
+    ) -> list:
+        key = _CacheKey(
+            "patterns:" + selector,
+            start_ns,
+            end_ns,
+            0,
+            tenant,
+            self._pattern_split_ns,
+        )
+        cached = self._cache.get(key)
+        if cached is not None:
+            self.cache_hits += 1
+            self._cache.move_to_end(key)
+            return cached
+        self.cache_misses += 1
+        assert self._pattern_source is not None
+        result = self._pattern_source.detected_patterns(
+            selector, start_ns, end_ns, tenant=tenant
+        )
+        self.splits_executed += 1
+        if end_ns <= self._clock.now_ns:  # window entirely in the past
+            if len(self._cache) >= self._max_entries:
+                self._cache.popitem(last=False)
             self._cache[key] = result
         return result

@@ -46,6 +46,9 @@ def _build_parser() -> argparse.ArgumentParser:
                             "instead of an instant query")
     query.add_argument("--output", choices=("default", "jsonl", "raw"),
                        default="default")
+    query.add_argument("--patterns", action="store_true",
+                       help="show mined log templates for a bare selector "
+                            "(Loki's detected_patterns) instead of lines")
 
     sub.add_parser("labels", help="list label names in the index")
 
@@ -57,10 +60,13 @@ def _build_parser() -> argparse.ArgumentParser:
     return parser
 
 
-def run_logcli(store: LokiStore, argv: list[str]) -> str:
-    """Execute one LogCLI invocation against ``store``; returns the output."""
+def run_logcli(store: LokiStore, argv: list[str], patterns=None) -> str:
+    """Execute one LogCLI invocation against ``store``; returns the output.
+
+    ``patterns`` is an optional pattern store enabling ``query
+    --patterns`` (``detected_patterns``)."""
     args = _build_parser().parse_args(argv)
-    engine = LogQLEngine(store)
+    engine = LogQLEngine(store, patterns=patterns)
     if args.command == "labels":
         return "\n".join(store.index.label_names())
     if args.command == "label-values":
@@ -77,6 +83,8 @@ def run_logcli(store: LokiStore, argv: list[str]) -> str:
 def _run_query(store: LokiStore, engine: LogQLEngine, args) -> str:
     if args.to_ns <= args.from_ns:
         raise ValidationError("--to must be after --from")
+    if args.patterns:
+        return _run_patterns(engine, args)
     expr = parse(args.logql)
     if isinstance(expr, LogPipeline):
         results = engine.query_logs(expr, args.from_ns, args.to_ns)
@@ -106,6 +114,38 @@ def _run_query(store: LokiStore, engine: LogQLEngine, args) -> str:
         return "\n".join(out)
     samples = engine.query_instant(expr, args.to_ns)
     return "\n".join(f"{s.labels} => {s.value:g}" for s in samples)
+
+
+def _run_patterns(engine: LogQLEngine, args) -> str:
+    """Render ``detected_patterns`` as a table (or JSONL), busiest first."""
+    rows = engine.detected_patterns(args.logql, args.from_ns, args.to_ns)
+    rows = rows[: args.limit]
+    if args.output == "jsonl":
+        return "\n".join(
+            json.dumps(
+                {
+                    "pattern_id": r.pattern_id,
+                    "template": r.template,
+                    "count": r.count,
+                    "streams": r.streams,
+                    "first_ts": r.first_ts_ns,
+                    "last_ts": r.last_ts_ns,
+                }
+            )
+            for r in rows
+        )
+    header = ("COUNT", "STREAMS", "PATTERN_ID", "TEMPLATE")
+    table = [header] + [
+        (str(r.count), str(r.streams), r.pattern_id, r.template) for r in rows
+    ]
+    widths = [max(len(row[i]) for row in table) for i in range(3)]
+    out = []
+    for count, streams, pid, template in table:
+        out.append(
+            f"{count:>{widths[0]}}  {streams:>{widths[1]}}  "
+            f"{pid:<{widths[2]}}  {template}"
+        )
+    return "\n".join(out)
 
 
 def main(argv: list[str] | None = None) -> int:  # pragma: no cover - thin shell

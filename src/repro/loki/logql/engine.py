@@ -78,16 +78,59 @@ class LogSource(Protocol):
     ) -> list[tuple[LabelSet, list[LogEntry]]]: ...
 
 
+class PatternSource(Protocol):
+    """What ``detected_patterns`` needs from a pattern store."""
+
+    def query(
+        self,
+        matchers: Iterable[Matcher],
+        start_ns: int,
+        end_ns: int,
+        tenant: str | None = None,
+    ) -> list: ...
+
+
 class LogQLEngine:
     """Evaluates LogQL log and metric queries."""
 
-    def __init__(self, source: LogSource) -> None:
+    def __init__(
+        self, source: LogSource, patterns: "PatternSource | None" = None
+    ) -> None:
         self._source = source
+        self._patterns = patterns
         self._pattern_cache: dict[str, PatternTemplate] = {}
 
     # ------------------------------------------------------------------
     # Public API
     # ------------------------------------------------------------------
+    def detected_patterns(
+        self,
+        selector: str | LogPipeline,
+        start_ns: int,
+        end_ns: int,
+        tenant: str | None = None,
+    ):
+        """Mined templates for streams matching a bare selector, busiest
+        first (Loki's ``/loki/api/v1/detected_patterns``).
+
+        Requires a pattern store wired in (``enable_pattern_mining``);
+        the selector must carry no pipeline stages — patterns are mined
+        from raw lines, so filters cannot apply.
+        """
+        if self._patterns is None:
+            raise QueryError(
+                "detected_patterns requires pattern mining "
+                "(enable_pattern_mining / REPRO_PATTERNS=1)"
+            )
+        expr = parse(selector) if isinstance(selector, str) else selector
+        if not isinstance(expr, LogPipeline) or expr.stages:
+            raise QueryError("detected_patterns requires a bare stream selector")
+        if end_ns <= start_ns:
+            raise QueryError("detected_patterns requires start < end")
+        return self._patterns.query(
+            expr.matchers, start_ns, end_ns, tenant=tenant
+        )
+
     def query_logs(
         self, query: str | LogPipeline, start_ns: int, end_ns: int
     ) -> list[tuple[LabelSet, list[LogEntry]]]:

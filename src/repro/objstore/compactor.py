@@ -86,6 +86,7 @@ class CompactionResult:
     delete_requests_processed: int = 0
     index_files_removed: int = 0
     bloom_blocks_built: int = 0
+    pattern_blocks_built: int = 0
 
 
 class Compactor:
@@ -101,6 +102,7 @@ class Compactor:
         tenant_retention_ns: dict[str, int] | None = None,
         tracer: Tracer | None = None,
         blooms=None,
+        patterns=None,
     ) -> None:
         self._objstore = store
         self._index = index
@@ -113,6 +115,11 @@ class Compactor:
         #: compactor is the bloom *writer* — it already holds every
         #: stream-period's entries when it runs).
         self.blooms = blooms
+        #: Optional ``repro.patterns.store.PatternStore`` (duck-typed,
+        #: same contract as blooms): the compactor re-mines pattern
+        #: blocks for stream-periods that have no live block or whose
+        #: chunk coverage changed.
+        self.patterns = patterns
         self._chunk_policy = ChunkPolicy(
             target_size_bytes=self.policy.target_object_bytes,
             max_age_ns=_NEVER_AGE_NS,
@@ -122,6 +129,7 @@ class Compactor:
         self.runs = 0
         self.run_failures = 0
         self.bloom_blocks_built_total = 0
+        self.pattern_blocks_built_total = 0
         self.chunks_merged_total = 0
         self.chunks_written_total = 0
         self.duplicates_dropped_total = 0
@@ -282,6 +290,32 @@ class Compactor:
                 self.bloom_blocks_built_total += 1
 
     # ------------------------------------------------------------------
+    # Pattern blocks
+    # ------------------------------------------------------------------
+    def _build_patterns(self, result: CompactionResult) -> None:
+        """Re-mine pattern blocks for stream-periods the store cannot
+        answer from live mining: a cold restart, or a compacted block
+        whose chunk coverage changed.  Live blocks are authoritative and
+        ``needs_build`` declines them."""
+        assert self.patterns is not None
+        for period in self._index.periods():
+            groups: dict[tuple[str, LabelSet], list[ChunkRef]] = {}
+            for ref in self._index.refs_in_period(period):
+                groups.setdefault((ref.tenant, ref.labels), []).append(ref)
+            for (tenant, labels), refs in sorted(
+                groups.items(), key=lambda kv: (kv[0][0], kv[0][1].items_tuple())
+            ):
+                keys = {ref.key for ref in refs}
+                if not self.patterns.needs_build(tenant, labels, period, keys):
+                    continue
+                entry_lists = [self._fetch_entries(ref) for ref in refs]
+                self.patterns.build_block(
+                    tenant, labels, period, _merge_replicas(entry_lists), keys
+                )
+                result.pattern_blocks_built += 1
+                self.pattern_blocks_built_total += 1
+
+    # ------------------------------------------------------------------
     # Retention and deletes
     # ------------------------------------------------------------------
     def delete_chunks_before(
@@ -343,6 +377,8 @@ class Compactor:
                 self._apply_retention(now, result)
             if self.blooms is not None:
                 self._build_blooms(result)
+            if self.patterns is not None:
+                self._build_patterns(result)
             self._index.persist_dirty()
             for period in self._index.periods():
                 removed = self._index.compact_period_files(period)
@@ -380,4 +416,5 @@ class Compactor:
             "delete_requests": self.delete_requests_total,
             "index_files_removed": self.index_files_removed_total,
             "bloom_blocks_built": self.bloom_blocks_built_total,
+            "pattern_blocks_built": self.pattern_blocks_built_total,
         }

@@ -8,7 +8,7 @@ plus the archive, retention manager and ingest accounting that backs the
 
 from __future__ import annotations
 
-from typing import Mapping
+from typing import TYPE_CHECKING, Mapping
 
 from repro.common.labels import LabelSet
 from repro.common.simclock import SimClock, NANOS_PER_SECOND, days
@@ -21,6 +21,9 @@ from repro.ring.cluster import RingLokiCluster
 from repro.tempo.model import SpanContext
 from repro.tenancy.admission import AdmissionController
 from repro.tsdb.storage import TimeSeriesStore
+
+if TYPE_CHECKING:
+    from repro.patterns.ingester import PatternIngester
 
 
 class OmniWarehouse:
@@ -43,6 +46,7 @@ class OmniWarehouse:
         tsdb: TimeSeriesStore | None = None,
         policy: RetentionPolicy | None = None,
         admission: AdmissionController | None = None,
+        patterns: "PatternIngester | None" = None,
     ) -> None:
         self._clock = clock
         self.loki = loki or LokiStore()
@@ -59,6 +63,10 @@ class OmniWarehouse:
         #: attributed to a tenant, tagged, and limit-checked before it
         #: reaches either log backend; over-limit pushes raise typed 429s.
         self.admission = admission
+        #: Pattern ingester tee (Loki's pattern ingester sits on the
+        #: distributor): every *accepted* push is also mined for
+        #: templates.  Rejected pushes never reach it.
+        self.patterns = patterns
         self.messages_ingested = 0
         self._ingest_started_ns = clock.now_ns
 
@@ -84,6 +92,9 @@ class OmniWarehouse:
             accepted = self._ring.push_stream(labels, entries, trace_ctx=trace_ctx)
         else:
             accepted = self.loki.push_stream(labels, entries)
+        if self.patterns is not None:
+            labelset = labels if isinstance(labels, LabelSet) else LabelSet(labels)
+            self.patterns.observe(labelset, entries, tenant=tenant)
         self.messages_ingested += accepted
         return accepted
 
@@ -103,6 +114,11 @@ class OmniWarehouse:
             accepted = self._ring.push(request, trace_ctx=trace_ctx)
         else:
             accepted = self.loki.push(request)
+        if self.patterns is not None:
+            for stream in request.streams:
+                self.patterns.observe(
+                    stream.labels, stream.entries, tenant=tenant
+                )
         self.messages_ingested += accepted
         return accepted
 

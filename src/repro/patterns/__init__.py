@@ -1,0 +1,11 @@
+"""repro.patterns — online log-template mining and pattern-aware alerting.
+
+Reproduces Loki's pattern ingester / ``detected_patterns`` capability:
+a Drain-style online miner clusters the ingest stream into templates
+(``repro.patterns.miner``), a period-partitioned store persists the
+per-stream pattern blocks beside the cold chunks
+(``repro.patterns.store``), and a pattern-aware ruler turns template
+rates into ``PatternBurst`` / ``NovelErrorPattern`` alerts whose
+``pattern_id`` label lets Alertmanager collapse an alert storm into a
+single grouped incident (``repro.patterns.ruler``).
+"""

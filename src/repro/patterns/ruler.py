@@ -1,0 +1,292 @@
+"""Pattern-aware ruler: EWMA burst baselines and novelty alerts.
+
+A :class:`~repro.alerting.rules.RuleEvaluator` whose query language is
+two pseudo-expressions over the pattern store:
+
+* ``pattern_burst`` — one sample per (tenant, pattern_id) whose current
+  line rate is bursting: above the absolute storm floor
+  (``min_burst_rate`` lines/s), or — once the baseline has warmed up —
+  above ``burst_factor ×`` its EWMA rate.  The EWMA is frozen while a
+  pattern bursts so the baseline cannot chase the storm and mask it.
+* ``novel_error_pattern`` — one sample per never-before-seen error-class
+  template, held active for ``novel_active_ns`` so the alert is visible
+  and then self-resolves when the series disappears.  Templates first
+  sighted within ``novel_bootstrap_ns`` of the ruler's birth are corpus
+  cold-start, not novelty — with an empty template store *everything*
+  is "never before seen".
+
+Every emitted sample carries ``pattern_id``, which is the whole point:
+Alertmanager groups on it, so a storm of thousands of identical lines —
+across streams and ingesters — collapses into one incident with one
+ServiceNow ticket, instead of one notification per line.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Callable
+
+from repro.alerting.events import AlertEvent
+from repro.alerting.rules import RuleEvaluator
+from repro.common.errors import ValidationError
+from repro.common.labels import LabelSet
+from repro.common.simclock import NANOS_PER_SECOND, minutes
+from repro.common.vector import Sample
+
+if TYPE_CHECKING:
+    from repro.common.simclock import SimClock
+    from repro.patterns.ingester import NovelPattern, PatternIngester
+    from repro.patterns.store import PatternStore
+    from repro.tempo.tracer import Tracer
+
+BURST_EXPR = "pattern_burst"
+NOVEL_EXPR = "novel_error_pattern"
+
+#: How much of a template to put in the ``pattern`` label — enough to
+#: read in Slack, bounded so labels stay sane.
+_TEMPLATE_LABEL_LEN = 96
+
+
+@dataclass
+class _Baseline:
+    ewma: float | None = None
+    last_count: int = 0
+    last_eval_ns: int = 0
+    evals: int = 0
+
+
+@dataclass
+class NovelDetection:
+    """Ground truth for the bench: when a novel error template appeared
+    and when the ruler noticed it."""
+
+    pattern_id: str
+    first_seen_ns: int
+    detected_ns: int
+
+    @property
+    def latency_ns(self) -> int:
+        return self.detected_ns - self.first_seen_ns
+
+
+class PatternRuler(RuleEvaluator):
+    """Evaluates pattern-rate rules against the store and ingester."""
+
+    def __init__(
+        self,
+        clock: "SimClock",
+        notifier: Callable[[AlertEvent], None],
+        ingester: "PatternIngester",
+        store: "PatternStore",
+        cluster: str = "",
+        ewma_alpha: float = 0.3,
+        burst_factor: float = 8.0,
+        min_burst_rate: float = 50.0,
+        warmup_evals: int = 3,
+        novel_active_ns: int = minutes(10),
+        novel_bootstrap_ns: int = 0,
+        tracer: "Tracer | None" = None,
+    ) -> None:
+        if not 0.0 < ewma_alpha <= 1.0:
+            raise ValidationError("ewma_alpha must be in (0, 1]")
+        if burst_factor <= 1.0:
+            raise ValidationError("burst_factor must be > 1")
+        if min_burst_rate <= 0.0:
+            raise ValidationError("min_burst_rate must be positive")
+        if warmup_evals < 1:
+            raise ValidationError("warmup_evals must be >= 1")
+        if novel_active_ns <= 0:
+            raise ValidationError("novel_active_ns must be positive")
+        if novel_bootstrap_ns < 0:
+            raise ValidationError("novel_bootstrap_ns must be >= 0")
+        super().__init__(clock, notifier, generator="pattern-ruler")
+        self._ingester = ingester
+        self._store = store
+        self._cluster = cluster
+        self._alpha = ewma_alpha
+        self._burst_factor = burst_factor
+        self._min_burst_rate = min_burst_rate
+        self._warmup_evals = warmup_evals
+        self._novel_active_ns = novel_active_ns
+        self._novel_bootstrap_ns = novel_bootstrap_ns
+        self._born_ns = clock.now_ns
+        self._tracer = tracer
+        self._baselines: dict[tuple[str, str], _Baseline] = {}
+        self._bursting: set[tuple[str, str]] = set()
+        self._last_burst_eval_ns: int | None = None
+        self._novel_cursor = 0
+        # (tenant, pattern_id) -> the NovelPattern event, kept active
+        # until novel_active_ns elapses past first_seen.
+        self._novel_active: dict[tuple[str, str], "NovelPattern"] = {}
+        self.bursts_detected = 0
+        self.novel_detected = 0
+        self.active_bursts = 0
+        self.novel_detections: list[NovelDetection] = []
+
+    # ------------------------------------------------------------------
+    # RuleEvaluator hooks
+    # ------------------------------------------------------------------
+
+    def _validate_expr(self, expr: str) -> None:
+        if expr not in (BURST_EXPR, NOVEL_EXPR):
+            raise ValidationError(
+                f"pattern ruler only evaluates {BURST_EXPR!r} or "
+                f"{NOVEL_EXPR!r}, got {expr!r}"
+            )
+
+    def _query(self, expr: str, time_ns: int) -> list[Sample]:
+        if expr == BURST_EXPR:
+            samples = self._burst_samples(time_ns)
+        else:
+            samples = self._novel_samples(time_ns)
+        if self._tracer is not None and self._tracer.enabled:
+            self._tracer.record(
+                "pattern-ruler",
+                f"ruler.{expr}",
+                None,
+                start_ns=time_ns,
+                end_ns=time_ns,
+                attributes={"samples": str(len(samples))},
+            )
+        return samples
+
+    # ------------------------------------------------------------------
+    # Burst detection
+    # ------------------------------------------------------------------
+
+    def _burst_samples(self, now_ns: int) -> list[Sample]:
+        samples: list[Sample] = []
+        counts = self._store.counts_by_pattern()
+        prev_eval_ns = self._last_burst_eval_ns
+        self._last_burst_eval_ns = now_ns
+        for key in sorted(counts):
+            tenant, pattern_id = key
+            total, template = counts[key]
+            state = self._baselines.get(key)
+            if state is None:
+                if prev_eval_ns is None:
+                    # Very first evaluation: no window to rate against —
+                    # anchor and move on.
+                    self._baselines[key] = _Baseline(
+                        last_count=total, last_eval_ns=now_ns
+                    )
+                    continue
+                # A template that did not exist at the previous
+                # evaluation accumulated its whole count since then, so
+                # that evaluation bounds its window: a brand-new storm
+                # template trips the absolute floor on first sighting
+                # (detection latency <= one evaluation interval).
+                state = _Baseline(last_count=0, last_eval_ns=prev_eval_ns)
+                self._baselines[key] = state
+            delta = total - state.last_count
+            dt = (now_ns - state.last_eval_ns) / NANOS_PER_SECOND
+            state.last_count = total
+            state.last_eval_ns = now_ns
+            if dt <= 0.0:
+                continue
+            rate = delta / dt
+            absolute_burst = rate >= self._min_burst_rate
+            relative_burst = (
+                state.evals >= self._warmup_evals
+                and state.ewma is not None
+                and rate >= self._burst_factor * max(state.ewma, 0.1)
+                and rate >= 1.0
+            )
+            if absolute_burst or relative_burst:
+                if key not in self._bursting:
+                    self._bursting.add(key)
+                    self.bursts_detected += 1
+                samples.append(
+                    Sample(
+                        self._labels_for(tenant, pattern_id, template),
+                        rate,
+                        now_ns,
+                    )
+                )
+            else:
+                # Baseline only learns from non-burst traffic.
+                self._bursting.discard(key)
+                if state.ewma is None:
+                    state.ewma = rate
+                else:
+                    state.ewma = (
+                        self._alpha * rate + (1.0 - self._alpha) * state.ewma
+                    )
+                state.evals += 1
+        self.active_bursts = len(samples)
+        return samples
+
+    def baseline_rate(self, tenant: str, pattern_id: str) -> float:
+        state = self._baselines.get((tenant, pattern_id))
+        if state is None or state.ewma is None:
+            return 0.0
+        return state.ewma
+
+    # ------------------------------------------------------------------
+    # Novelty detection
+    # ------------------------------------------------------------------
+
+    def _novel_samples(self, now_ns: int) -> list[Sample]:
+        events = self._ingester.novel_events
+        while self._novel_cursor < len(events):
+            event = events[self._novel_cursor]
+            self._novel_cursor += 1
+            if not event.is_error:
+                continue
+            if (
+                event.first_seen_ns - self._born_ns
+                < self._novel_bootstrap_ns
+            ):
+                # Cold start: with an empty corpus every early template
+                # is "never before seen".  Templates first sighted
+                # inside the bootstrap window are corpus, not novelty.
+                continue
+            self._novel_active[(event.tenant, event.pattern_id)] = event
+            self.novel_detected += 1
+            self.novel_detections.append(
+                NovelDetection(
+                    pattern_id=event.pattern_id,
+                    first_seen_ns=event.first_seen_ns,
+                    detected_ns=now_ns,
+                )
+            )
+        samples: list[Sample] = []
+        expired = []
+        for key, event in self._novel_active.items():
+            if now_ns - event.first_seen_ns >= self._novel_active_ns:
+                expired.append(key)
+                continue
+            samples.append(
+                Sample(
+                    self._labels_for(
+                        event.tenant, event.pattern_id, event.template
+                    ),
+                    1.0,
+                    now_ns,
+                )
+            )
+        for key in expired:
+            del self._novel_active[key]
+        return samples
+
+    # ------------------------------------------------------------------
+
+    def _labels_for(
+        self, tenant: str, pattern_id: str, template: str
+    ) -> LabelSet:
+        labels = {
+            "pattern_id": pattern_id,
+            "pattern": template[:_TEMPLATE_LABEL_LEN],
+            "tenant": tenant,
+        }
+        if self._cluster:
+            labels["cluster"] = self._cluster
+        return LabelSet(labels)
+
+    def counters(self) -> dict[str, int]:
+        return {
+            "bursts_detected": self.bursts_detected,
+            "active_bursts": self.active_bursts,
+            "novel_detected": self.novel_detected,
+            "evaluations": self.evaluations,
+        }

@@ -1,0 +1,426 @@
+"""Period-partitioned pattern blocks persisted beside the chunks.
+
+Mirrors the bloom-block layout (:mod:`repro.queryx.bloom`): one
+:class:`_PatternBlock` per (tenant, stream, index period), keyed in the
+object store as ``patterns/{tenant}/{period:012d}/{fp:016x}.json.z``.
+Blocks come from two producers:
+
+* the **live** path — the pattern ingester calls :meth:`observe` per
+  mined line, and the framework flushes dirty blocks on the shipper
+  cadence; a live block is authoritative for its period and is never
+  rebuilt;
+* the **compactor** — for periods with no live block (a querier that
+  restarted cold, or blocks lost with the process) it re-mines the
+  merged chunk entries it already holds and persists the result, so the
+  store-gateway can answer ``detected_patterns`` from object storage
+  alone.
+
+A compacted block records exactly which chunk keys it was mined from;
+``needs_build`` requests a rebuild only when that coverage changed —
+the same idempotence contract the bloom store uses.
+"""
+
+from __future__ import annotations
+
+import zlib
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Iterable, Sequence
+
+from repro.common.errors import ValidationError
+from repro.common.jsonutil import dumps_compact, loads
+from repro.common.labels import LabelSet, Matcher, matches_all
+from repro.common.simclock import NANOS_PER_DAY
+from repro.objstore.index import stream_fingerprint
+from repro.objstore.objectstore import ObjectStoreUnavailable
+from repro.patterns.miner import DrainConfig, DrainMiner
+
+if TYPE_CHECKING:
+    from repro.loki.model import LogEntry
+    from repro.objstore.objectstore import ObjectStore
+    from repro.tempo.tracer import Tracer
+
+PATTERN_PREFIX = "patterns/"
+
+
+def pattern_object_key(tenant: str, fingerprint: int, period: int) -> str:
+    return f"{PATTERN_PREFIX}{tenant}/{period:012d}/{fingerprint:016x}.json.z"
+
+
+@dataclass
+class PatternRecord:
+    """One template's aggregates within a single block."""
+
+    pattern_id: str
+    template: str
+    count: int
+    first_ts_ns: int
+    last_ts_ns: int
+    exemplar: str
+
+    def to_obj(self) -> dict:
+        return {
+            "id": self.pattern_id,
+            "tpl": self.template,
+            "n": self.count,
+            "first": self.first_ts_ns,
+            "last": self.last_ts_ns,
+            "ex": self.exemplar,
+        }
+
+    @classmethod
+    def from_obj(cls, obj: dict) -> "PatternRecord":
+        return cls(
+            pattern_id=obj["id"],
+            template=obj["tpl"],
+            count=int(obj["n"]),
+            first_ts_ns=int(obj["first"]),
+            last_ts_ns=int(obj["last"]),
+            exemplar=obj["ex"],
+        )
+
+
+@dataclass(frozen=True)
+class DetectedPattern:
+    """One row of a ``detected_patterns`` answer (merged across blocks)."""
+
+    pattern_id: str
+    template: str
+    count: int
+    first_ts_ns: int
+    last_ts_ns: int
+    exemplar: str
+    streams: int
+
+
+@dataclass
+class _PatternBlock:
+    tenant: str
+    fingerprint: int
+    labels: LabelSet
+    period: int
+    origin: str  # "live" | "compacted"
+    chunk_keys: frozenset[str] | None = None
+    records: dict[str, PatternRecord] = field(default_factory=dict)
+
+    def to_obj(self) -> dict:
+        records = [
+            self.records[pid].to_obj() for pid in sorted(self.records)
+        ]
+        return {
+            "tenant": self.tenant,
+            "fp": self.fingerprint,
+            "labels": self.labels.to_dict(),
+            "period": self.period,
+            "origin": self.origin,
+            "keys": sorted(self.chunk_keys) if self.chunk_keys is not None else None,
+            "records": records,
+        }
+
+    @classmethod
+    def from_obj(cls, obj: dict) -> "_PatternBlock":
+        keys = obj.get("keys")
+        block = cls(
+            tenant=obj["tenant"],
+            fingerprint=int(obj["fp"]),
+            labels=LabelSet(obj["labels"]),
+            period=int(obj["period"]),
+            origin=obj["origin"],
+            chunk_keys=frozenset(keys) if keys is not None else None,
+        )
+        for rec_obj in obj["records"]:
+            rec = PatternRecord.from_obj(rec_obj)
+            block.records[rec.pattern_id] = rec
+        return block
+
+
+class PatternStore:
+    """Pattern blocks: live mining sink, object-store persistence, and
+    the ``detected_patterns`` query surface."""
+
+    def __init__(
+        self,
+        store: "ObjectStore | None" = None,
+        bucket: str = "loki",
+        period_ns: int = NANOS_PER_DAY,
+        config: DrainConfig | None = None,
+        tracer: "Tracer | None" = None,
+    ) -> None:
+        if period_ns <= 0:
+            raise ValidationError("period_ns must be positive")
+        self._store = store
+        self._bucket = bucket
+        self._period_ns = period_ns
+        self._config = config or DrainConfig()
+        self._tracer = tracer
+        self._blocks: dict[tuple[str, int, int], _PatternBlock] = {}
+        self._dirty: set[tuple[str, int, int]] = set()
+        self.lines_recorded = 0
+        self.blocks_persisted_total = 0
+        self.persist_failures = 0
+        self.blocks_rebuilt_total = 0
+        self.queries_served = 0
+
+    # ------------------------------------------------------------------
+    # Live path
+    # ------------------------------------------------------------------
+
+    def observe(
+        self,
+        tenant: str,
+        labels: LabelSet,
+        pattern_id: str,
+        template: str,
+        timestamp_ns: int,
+        line: str,
+    ) -> None:
+        """Record one mined line into the live block for its period."""
+        period = timestamp_ns // self._period_ns
+        fp = stream_fingerprint(labels)
+        key = (tenant, fp, period)
+        block = self._blocks.get(key)
+        if block is None or block.origin != "live":
+            # Live data supersedes anything the compactor reconstructed.
+            block = _PatternBlock(
+                tenant=tenant,
+                fingerprint=fp,
+                labels=labels,
+                period=period,
+                origin="live",
+            )
+            self._blocks[key] = block
+        record = block.records.get(pattern_id)
+        if record is None:
+            record = PatternRecord(
+                pattern_id=pattern_id,
+                template=template,
+                count=0,
+                first_ts_ns=timestamp_ns,
+                last_ts_ns=timestamp_ns,
+                exemplar=line,
+            )
+            block.records[pattern_id] = record
+        record.count += 1
+        record.template = template  # templates only widen over time
+        record.first_ts_ns = min(record.first_ts_ns, timestamp_ns)
+        record.last_ts_ns = max(record.last_ts_ns, timestamp_ns)
+        self._dirty.add(key)
+        self.lines_recorded += 1
+
+    # ------------------------------------------------------------------
+    # Query path
+    # ------------------------------------------------------------------
+
+    def query(
+        self,
+        matchers: Sequence[Matcher],
+        start_ns: int,
+        end_ns: int,
+        tenant: str | None = None,
+    ) -> list[DetectedPattern]:
+        """Merged templates for streams matching ``matchers`` whose
+        activity overlaps ``[start_ns, end_ns)``, busiest first."""
+        if end_ns <= start_ns:
+            raise ValidationError("query range must satisfy start < end")
+        first_period = start_ns // self._period_ns
+        last_period = (end_ns - 1) // self._period_ns
+        merged: dict[str, dict] = {}
+        for (blk_tenant, _fp, period), block in self._blocks.items():
+            if tenant is not None and blk_tenant != tenant:
+                continue
+            if not first_period <= period <= last_period:
+                continue
+            if not matches_all(block.labels, matchers):
+                continue
+            for record in block.records.values():
+                if record.last_ts_ns < start_ns or record.first_ts_ns >= end_ns:
+                    continue
+                row = merged.get(record.pattern_id)
+                if row is None:
+                    merged[record.pattern_id] = {
+                        "template": record.template,
+                        "count": record.count,
+                        "first": record.first_ts_ns,
+                        "last": record.last_ts_ns,
+                        "exemplar": record.exemplar,
+                        "streams": 1,
+                    }
+                    continue
+                row["count"] += record.count
+                if record.first_ts_ns < row["first"]:
+                    row["first"] = record.first_ts_ns
+                    row["exemplar"] = record.exemplar
+                row["last"] = max(row["last"], record.last_ts_ns)
+                row["streams"] += 1
+        rows = [
+            DetectedPattern(
+                pattern_id=pid,
+                template=row["template"],
+                count=row["count"],
+                first_ts_ns=row["first"],
+                last_ts_ns=row["last"],
+                exemplar=row["exemplar"],
+                streams=row["streams"],
+            )
+            for pid, row in merged.items()
+        ]
+        rows.sort(key=lambda r: (-r.count, r.pattern_id))
+        self.queries_served += 1
+        if self._tracer is not None and self._tracer.enabled:
+            now = self._tracer.now_ns
+            self._tracer.record(
+                "patterns",
+                "patterns.query",
+                None,
+                start_ns=now,
+                end_ns=now,
+                attributes={
+                    "matchers": str(len(matchers)),
+                    "rows": str(len(rows)),
+                },
+            )
+        return rows
+
+    def counts_by_pattern(
+        self, tenant: str | None = None
+    ) -> dict[tuple[str, str], tuple[int, str]]:
+        """Total count and current template per (tenant, pattern_id) —
+        the ruler's rate source."""
+        totals: dict[tuple[str, str], tuple[int, str]] = {}
+        for (blk_tenant, _fp, _period), block in self._blocks.items():
+            if tenant is not None and blk_tenant != tenant:
+                continue
+            for record in block.records.values():
+                key = (blk_tenant, record.pattern_id)
+                prev = totals.get(key)
+                count = record.count + (prev[0] if prev else 0)
+                totals[key] = (count, record.template)
+        return totals
+
+    def pattern_count(self, tenant: str | None = None) -> int:
+        """Distinct pattern ids across all blocks."""
+        seen: set[str] = set()
+        for (blk_tenant, _fp, _period), block in self._blocks.items():
+            if tenant is not None and blk_tenant != tenant:
+                continue
+            seen.update(block.records)
+        return len(seen)
+
+    @property
+    def block_count(self) -> int:
+        return len(self._blocks)
+
+    # ------------------------------------------------------------------
+    # Persistence
+    # ------------------------------------------------------------------
+
+    def persist_dirty(self) -> int:
+        """Flush dirty live blocks to the object store; returns blocks
+        written.  Failed writes stay dirty and retry next flush."""
+        if self._store is None:
+            self._dirty.clear()
+            return 0
+        written = 0
+        for key in sorted(self._dirty):
+            try:
+                self._persist(self._blocks[key])
+            except ObjectStoreUnavailable:
+                self.persist_failures += 1
+                continue
+            self._dirty.discard(key)
+            written += 1
+        return written
+
+    def _persist(self, block: _PatternBlock) -> None:
+        assert self._store is not None
+        payload = zlib.compress(
+            dumps_compact(block.to_obj()).encode(), level=6
+        )
+        self._store.put(
+            self._bucket,
+            pattern_object_key(block.tenant, block.fingerprint, block.period),
+            payload,
+        )
+        self.blocks_persisted_total += 1
+
+    def rebuild(self) -> int:
+        """Cold start: repopulate every block from the object store."""
+        if self._store is None:
+            return 0
+        self._blocks.clear()
+        self._dirty.clear()
+        loaded = 0
+        for key in sorted(self._store.list_keys(self._bucket, PATTERN_PREFIX)):
+            payload = self._store.get(self._bucket, key)
+            block = _PatternBlock.from_obj(
+                loads(zlib.decompress(payload).decode())
+            )
+            self._blocks[(block.tenant, block.fingerprint, block.period)] = block
+            loaded += 1
+        return loaded
+
+    # ------------------------------------------------------------------
+    # Compactor hooks (duck-typed like BloomStore)
+    # ------------------------------------------------------------------
+
+    def needs_build(
+        self,
+        tenant: str,
+        labels: LabelSet,
+        period: int,
+        chunk_keys: Iterable[str],
+    ) -> bool:
+        block = self._blocks.get((tenant, stream_fingerprint(labels), period))
+        if block is None:
+            return True
+        if block.origin == "live":
+            # The live miner saw every line pre-flush; chunk coverage is
+            # irrelevant to it.
+            return False
+        return block.chunk_keys != frozenset(chunk_keys)
+
+    def build_block(
+        self,
+        tenant: str,
+        labels: LabelSet,
+        period: int,
+        entries: "Sequence[LogEntry]",
+        chunk_keys: Iterable[str],
+    ) -> int:
+        """Re-mine ``entries`` (the compactor's merged chunk contents)
+        into a compacted block; returns the template count."""
+        miner = DrainMiner(self._config)
+        for entry in entries:
+            miner.add_line(entry.line, entry.timestamp_ns)
+        block = _PatternBlock(
+            tenant=tenant,
+            fingerprint=stream_fingerprint(labels),
+            labels=labels,
+            period=period,
+            origin="compacted",
+            chunk_keys=frozenset(chunk_keys),
+        )
+        for cluster in miner.clusters():
+            block.records[cluster.pattern_id] = PatternRecord(
+                pattern_id=cluster.pattern_id,
+                template=cluster.template,
+                count=cluster.count,
+                first_ts_ns=cluster.first_seen_ns,
+                last_ts_ns=cluster.last_seen_ns,
+                exemplar=cluster.exemplar,
+            )
+        self._blocks[(block.tenant, block.fingerprint, block.period)] = block
+        if self._store is not None:
+            self._persist(block)
+        self.blocks_rebuilt_total += 1
+        return len(block.records)
+
+    def counters(self) -> dict[str, int]:
+        return {
+            "blocks": len(self._blocks),
+            "dirty": len(self._dirty),
+            "lines_recorded": self.lines_recorded,
+            "blocks_persisted_total": self.blocks_persisted_total,
+            "persist_failures": self.persist_failures,
+            "blocks_rebuilt_total": self.blocks_rebuilt_total,
+            "queries_served": self.queries_served,
+        }

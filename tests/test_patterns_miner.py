@@ -1,0 +1,162 @@
+"""Unit tests for the Drain-style template miner."""
+
+import pytest
+
+from repro.common.errors import ValidationError
+from repro.patterns.miner import (
+    REST_MARKER,
+    WILDCARD,
+    DrainConfig,
+    DrainMiner,
+    pattern_id_for,
+    template_matches,
+    tokenize,
+)
+
+
+class TestDrainConfig:
+    def test_defaults_valid(self):
+        cfg = DrainConfig()
+        assert cfg.leading_tokens == 2
+        assert cfg.max_clusters() > 0
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"leading_tokens": 0},
+            {"sim_threshold": 0.0},
+            {"sim_threshold": 1.5},
+            {"max_children": 0},
+            {"max_clusters_per_leaf": 0},
+            {"max_length_tokens": 0},
+        ],
+    )
+    def test_validation(self, kwargs):
+        with pytest.raises(ValidationError):
+            DrainConfig(**kwargs)
+
+    def test_max_clusters_formula(self):
+        cfg = DrainConfig(
+            leading_tokens=2,
+            max_children=3,
+            max_clusters_per_leaf=5,
+            max_length_tokens=10,
+        )
+        assert cfg.max_clusters() == (10 + 1) * (3 + 1) ** 2 * 5
+
+
+class TestTokenize:
+    def test_blank_lines_are_none(self):
+        cfg = DrainConfig()
+        assert tokenize("", cfg) is None
+        assert tokenize("   ", cfg) is None
+
+    def test_overlong_lines_clamped(self):
+        cfg = DrainConfig(max_length_tokens=4)
+        tokens = tokenize("a b c d e f g", cfg)
+        assert tokens == ["a", "b", "c", "d", REST_MARKER]
+
+
+class TestMiner:
+    def test_parameterized_lines_share_cluster(self):
+        miner = DrainMiner()
+        c1, created1 = miner.add_line("app: I/O error on dev sda, sector 100")
+        c2, created2 = miner.add_line("app: I/O error on dev sda, sector 999")
+        assert created1 and not created2
+        assert c1 is c2
+        assert c1.count == 2
+        assert c1.template == "app: I/O error on dev sda, sector <*>"
+
+    def test_pattern_id_content_derived(self):
+        """Same storm on two independent miners → same pattern_id."""
+        a = DrainMiner()
+        b = DrainMiner()
+        ca, _ = a.add_line("nid001 oom killer invoked pid 4242")
+        cb, _ = b.add_line("nid001 oom killer invoked pid 777")
+        # Different parameters but the same seed template → same id.
+        assert ca.pattern_id == cb.pattern_id
+
+    def test_different_shapes_get_different_clusters(self):
+        miner = DrainMiner()
+        c1, _ = miner.add_line("link up on port 3")
+        c2, _ = miner.add_line("fan failure detected in chassis 7 slot 2")
+        assert c1 is not c2
+        assert miner.cluster_count == 2
+
+    def test_blank_line_ignored(self):
+        miner = DrainMiner()
+        assert miner.add_line("") is None
+        assert miner.lines_mined == 0
+
+    def test_every_line_matches_its_template(self):
+        cfg = DrainConfig()
+        miner = DrainMiner(cfg)
+        lines = [
+            "app: I/O error on dev sda, sector 100",
+            "app: I/O error on dev sdb, sector 200",
+            "kernel: oom-killer invoked by pid 4242",
+            "sshd[1234]: Failed password for root from 10.0.0.1",
+            "sshd[9999]: Failed password for admin from 10.0.0.2",
+        ]
+        for line in lines:
+            cluster, _ = miner.add_line(line)
+            assert template_matches(cluster.template, line, cfg)
+
+    def test_leaf_overflow_forces_merge(self):
+        cfg = DrainConfig(max_clusters_per_leaf=2, sim_threshold=0.99)
+        miner = DrainMiner(cfg)
+        # Same length + leading tokens → same leaf; high threshold keeps
+        # them from clustering until the leaf fills.
+        miner.add_line("a b one xx")
+        miner.add_line("a b two yy")
+        cluster, created = miner.add_line("a b three zz")
+        assert not created
+        assert miner.forced_merges == 1
+        assert miner.cluster_count == 2
+        assert cluster in miner.clusters()
+
+    def test_child_overflow_folds_into_wildcard(self):
+        cfg = DrainConfig(leading_tokens=1, max_children=2)
+        miner = DrainMiner(cfg)
+        for word in ("alpha", "beta", "gamma", "delta"):
+            miner.add_line(f"{word} event occurred now")
+        # All four lines routed somewhere and were admitted.
+        assert miner.lines_mined == 4
+        assert sum(c.count for c in miner.clusters()) == 4
+
+    def test_digit_tokens_masked_in_seed(self):
+        miner = DrainMiner()
+        cluster, _ = miner.add_line("port 42 flapped")
+        assert cluster.tokens == ["port", WILDCARD, "flapped"]
+
+    def test_timestamps_tracked(self):
+        miner = DrainMiner()
+        c, _ = miner.add_line("x y z", timestamp_ns=100)
+        miner.add_line("x y z", timestamp_ns=50)
+        miner.add_line("x y z", timestamp_ns=300)
+        assert c.first_seen_ns == 50
+        assert c.last_seen_ns == 300
+
+    def test_pattern_id_is_16_hex(self):
+        pid = pattern_id_for(["a", "b", WILDCARD])
+        assert len(pid) == 16
+        int(pid, 16)  # parses as hex
+
+
+class TestTemplateMatches:
+    def test_wildcard_positions_match_anything(self):
+        cfg = DrainConfig()
+        assert template_matches("port <*> down", "port 7 down", cfg)
+        assert template_matches("port <*> down", "port seven down", cfg)
+
+    def test_length_mismatch_fails(self):
+        cfg = DrainConfig()
+        assert not template_matches("port <*> down", "port 7 went down", cfg)
+
+    def test_literal_mismatch_fails(self):
+        cfg = DrainConfig()
+        assert not template_matches("port <*> down", "port 7 up", cfg)
+
+    def test_blank_line_never_matches(self):
+        cfg = DrainConfig()
+        assert not template_matches("port <*> down", "", cfg)

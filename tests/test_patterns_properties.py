@@ -1,0 +1,97 @@
+"""Property-based suite for the Drain miner.
+
+Three invariants over randomized line corpora and tree shapes:
+
+1. **Coverage** — every mined line is an instance of the template of
+   the cluster it joined (``template_matches``), whatever order lines
+   arrive in and however the tree is configured.
+2. **Boundedness** — the number of distinct clusters never exceeds the
+   bound the tree shape implies (``DrainConfig.max_clusters``), even
+   under adversarial high-cardinality input.
+3. **Determinism** — mining the same corpus twice (or in two separate
+   miners) yields identical (pattern_id, template, count) triples; the
+   miner has no hidden ordering or randomness.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.patterns.miner import (
+    DrainConfig,
+    DrainMiner,
+    template_matches,
+)
+
+# Tokens drawn from a small alphabet plus numerics: enough collisions to
+# exercise clustering, enough variety to exercise routing.
+_WORD = st.sampled_from(
+    ["error", "link", "up", "down", "node", "fan", "disk", "ok",
+     "timeout", "retry", "gpu", "temp"]
+)
+_NUM = st.integers(min_value=0, max_value=99999).map(str)
+_TOKEN = st.one_of(_WORD, _NUM)
+_LINE = st.lists(_TOKEN, min_size=1, max_size=12).map(" ".join)
+_CORPUS = st.lists(_LINE, min_size=1, max_size=60)
+
+
+def _configs():
+    return st.builds(
+        DrainConfig,
+        leading_tokens=st.integers(min_value=1, max_value=3),
+        sim_threshold=st.floats(min_value=0.1, max_value=1.0),
+        max_children=st.integers(min_value=1, max_value=6),
+        max_clusters_per_leaf=st.integers(min_value=1, max_value=8),
+        max_length_tokens=st.integers(min_value=4, max_value=20),
+    )
+
+
+@settings(max_examples=60, deadline=None)
+@given(corpus=_CORPUS, config=_configs())
+def test_every_line_matches_its_cluster_template(corpus, config):
+    miner = DrainMiner(config)
+    for line in corpus:
+        result = miner.add_line(line)
+        assert result is not None  # corpus lines are never blank
+        cluster, _ = result
+        # The template may widen *later*, but at absorption time the
+        # line must be an instance of it — and widening only ever adds
+        # wildcards, so it keeps matching afterwards too.
+        assert template_matches(cluster.template, line, config)
+    # Re-check against the final (widest) templates.
+    final = {c.pattern_id: c.template for c in miner.clusters()}
+    for line in corpus:
+        assert any(
+            template_matches(tpl, line, config) for tpl in final.values()
+        )
+
+
+@settings(max_examples=60, deadline=None)
+@given(corpus=_CORPUS, config=_configs())
+def test_cluster_count_bounded_by_tree_shape(corpus, config):
+    miner = DrainMiner(config)
+    for line in corpus:
+        miner.add_line(line)
+    assert miner.cluster_count <= config.max_clusters()
+
+
+@settings(max_examples=60, deadline=None)
+@given(corpus=_CORPUS, config=_configs())
+def test_mining_is_deterministic_for_fixed_order(corpus, config):
+    def mine():
+        miner = DrainMiner(config)
+        for line in corpus:
+            miner.add_line(line)
+        return [
+            (c.pattern_id, c.template, c.count) for c in miner.clusters()
+        ]
+
+    assert mine() == mine()
+
+
+@settings(max_examples=40, deadline=None)
+@given(corpus=_CORPUS)
+def test_counts_conserve_lines(corpus):
+    miner = DrainMiner()
+    for line in corpus:
+        miner.add_line(line)
+    assert sum(c.count for c in miner.clusters()) == len(corpus)
+    assert miner.lines_mined == len(corpus)
