@@ -1,0 +1,212 @@
+"""O1 — SLO burn-rate alerting: detection latency, slow-burn coverage,
+and the noise-soak false-page rate vs static thresholds.
+
+Three claims the ``repro.slo`` plane must earn over the Google-SRE
+multi-window multi-burn-rate design:
+
+1. **Fast burns page fast.**  A total outage pages within the short
+   window plus one evaluation interval — in practice near the analytic
+   crossing (~52 s for 14.4x against 99.9%), far inside the 5 m window
+   — and the page self-resolves once the burn stops.
+2. **Slow burns are still caught.**  A 2x-budget trickle (0.2% errors)
+   never trips a loose static error threshold, but the 1x ticket tier
+   catches it before the budget quietly disappears.
+3. **Within-budget noise never pages.**  Hours of bursty-but-compliant
+   traffic produce zero page-tier firings, while a tight static
+   threshold fires continuously — the 3am-noise problem the workbook
+   design exists to solve.
+
+The harness is the standalone pipeline (exporter → vmagent → recording
+rules → vmalert) on a simulated clock, so every latency is exact.
+"""
+
+from repro.alerting.events import AlertState
+from repro.alerting.rules import RuleSpec
+from repro.common.simclock import (
+    NANOS_PER_SECOND,
+    SimClock,
+    hours,
+    minutes,
+    seconds,
+)
+from repro.exporters.slo_exporter import SloExporter
+from repro.slo import (
+    SLO,
+    BurnWindow,
+    SloManager,
+    StaticSource,
+    detection_latency_bound_ns,
+)
+from repro.tsdb import PromQLEngine, TimeSeriesStore
+from repro.tsdb.vmagent import ScrapeTarget, VMAgent
+from repro.tsdb.vmalert import VMAlert
+
+from conftest import report
+
+OBJECTIVE = 0.999
+STEP = seconds(15)  # scrape + recording + rule evaluation cadence
+
+#: Page tiers straight from the workbook; the ticket tier is scaled
+#: down (15m/2h at 1x) so a multi-day slow burn fits in a bench run.
+WINDOWS = (
+    BurnWindow("5m", "1h", 14.4, "page"),
+    BurnWindow("30m", "6h", 6.0, "page"),
+    BurnWindow("15m", "2h", 1.0, "ticket"),
+)
+
+LOOSE_STATIC = 0.05  # 5% error ratio: the naive "obviously broken" rule
+TIGHT_STATIC = 0.001  # at the budget rate: fires on any compliant noise
+
+
+class Harness:
+    """Exporter → vmagent → recording rules → vmalert, one SLO."""
+
+    def __init__(self):
+        self.clock = SimClock(0)
+        store = TimeSeriesStore()
+        promql = PromQLEngine(store)
+        self.events = []
+        self.manager = SloManager(
+            self.clock, promql, store, self.events.append, windows=WINDOWS
+        )
+        self.collector = self.manager.register(
+            SLO(name="bench", description="bench SLI", objective=OBJECTIVE),
+            StaticSource(),
+        )
+        agent = VMAgent(store, self.clock)
+        agent.add_target(
+            ScrapeTarget("slo", "slo-exporter:9109", SloExporter(self.manager))
+        )
+        self.vmalert = VMAlert(promql, self.clock, self.events.append)
+        for spec in self.manager.rule_specs():
+            self.vmalert.add_rule(spec)
+        self.vmalert.add_rule(
+            RuleSpec(
+                name="StaticLoose",
+                expr=f"slo_error_ratio_5m > {LOOSE_STATIC:g}",
+                for_="0s",
+                labels={"severity": "critical"},
+            )
+        )
+        self.vmalert.add_rule(
+            RuleSpec(
+                name="StaticTight",
+                expr=f"slo_error_ratio_5m > {TIGHT_STATIC:g}",
+                for_="0s",
+                labels={"severity": "critical"},
+            )
+        )
+        agent.run_periodic(STEP)
+        self.manager.run_periodic(STEP)
+        self.vmalert.run_periodic(STEP)
+        self._carry = 0.0
+
+    def run(self, duration_ns, events_per_step=1500.0, error_rate=0.0):
+        """Advance in STEP chunks, injecting SLI traffic each step (the
+        fractional bad share uses a carry accumulator, so e.g. 0.2%
+        yields exactly 3 bad events per 1500 with no randomness)."""
+        steps = int(duration_ns // STEP)
+        for _ in range(steps):
+            self._carry += events_per_step * error_rate
+            bad = int(self._carry)
+            self._carry -= bad
+            self.collector.inject(events_per_step - bad, bad)
+            self.clock.advance(STEP)
+
+    def firings(self, name):
+        return [
+            e
+            for e in self.events
+            if e.labels.get("alertname") == name
+            and e.state is AlertState.FIRING
+        ]
+
+    def resolves(self, name):
+        return [
+            e
+            for e in self.events
+            if e.labels.get("alertname") == name
+            and e.state is AlertState.RESOLVED
+        ]
+
+
+def test_o1_slo_burn_alerting(benchmark):
+    def scenario():
+        results = {}
+
+        # -- 1. Fast burn: clean hour, then total outage ---------------
+        h = Harness()
+        h.run(hours(1))
+        burn_start = h.clock.now_ns
+        h.run(minutes(10), error_rate=1.0)
+        page = h.firings("SloPageBurn_5m_1h")
+        results["fast_latency_ns"] = (
+            page[0].fired_at_ns - burn_start if page else None
+        )
+        # Burn stops; the short window (plus staleness) drains the page.
+        h.run(minutes(30), error_rate=0.0)
+        results["fast_resolved"] = bool(h.resolves("SloPageBurn_5m_1h"))
+
+        # -- 2. Slow burn: 2x budget (0.2% errors) for 90 minutes ------
+        h = Harness()
+        h.run(hours(1))
+        h.run(minutes(90), error_rate=0.002)
+        results["slow_ticket_fired"] = bool(h.firings("SloTicketBurn_15m_2h"))
+        results["slow_paged"] = bool(
+            h.firings("SloPageBurn_5m_1h") or h.firings("SloPageBurn_30m_6h")
+        )
+        results["slow_loose_static"] = len(h.firings("StaticLoose"))
+
+        # -- 3. Noise soak: 2 hours at 3x budget (still within page
+        #       tolerance: 3 < the smallest page factor 6) -------------
+        h = Harness()
+        h.run(hours(1))
+        h.run(hours(2), error_rate=0.003)
+        results["noise_pages"] = len(
+            h.firings("SloPageBurn_5m_1h") + h.firings("SloPageBurn_30m_6h")
+        )
+        results["noise_tight_static"] = len(h.firings("StaticTight"))
+        return results
+
+    r = benchmark.pedantic(scenario, rounds=1, iterations=1)
+
+    fast_bound_ns = (
+        detection_latency_bound_ns(WINDOWS[0], OBJECTIVE, STEP)
+        + 2 * STEP  # scrape + recording staleness on top of rule eval
+    )
+    hard_bound_ns = WINDOWS[0].short_ns + STEP
+    latency_s = r["fast_latency_ns"] / NANOS_PER_SECOND
+
+    rows = [
+        f"fast-burn page latency      {latency_s:.0f} s "
+        f"(analytic {fast_bound_ns / NANOS_PER_SECOND:.0f} s, "
+        f"hard bound {hard_bound_ns / NANOS_PER_SECOND:.0f} s)",
+        f"fast-burn self-resolved     {r['fast_resolved']}",
+        f"slow-burn ticket fired      {r['slow_ticket_fired']} "
+        f"(2x budget, 0.2% errors)",
+        f"slow-burn pages fired       {r['slow_paged']} (expected False)",
+        f"slow-burn loose static      {r['slow_loose_static']} firings "
+        f"(threshold {LOOSE_STATIC:.0%} never crossed)",
+        f"noise-soak page firings     {r['noise_pages']} (target 0)",
+        f"noise-soak tight static     {r['noise_tight_static']} firings "
+        f"(the noise a static threshold at the budget rate emits)",
+    ]
+    report("o1_slo", "\n".join(rows))
+
+    # 1. Fast burns page inside the short window + one eval interval,
+    #    and in practice inside the analytic crossing + eval stack.
+    assert r["fast_latency_ns"] is not None, "fast burn never paged"
+    assert r["fast_latency_ns"] <= hard_bound_ns
+    assert r["fast_latency_ns"] <= fast_bound_ns
+    assert r["fast_resolved"], "page did not self-resolve after the burn"
+
+    # 2. The slow burn is invisible to the loose static rule but caught
+    #    by the 1x ticket tier — without paging anyone.
+    assert r["slow_ticket_fired"], "slow burn missed by ticket tier"
+    assert not r["slow_paged"]
+    assert r["slow_loose_static"] == 0
+
+    # 3. Within-budget noise: zero pages, while the tight static rule
+    #    fires away.
+    assert r["noise_pages"] == 0
+    assert r["noise_tight_static"] > 0

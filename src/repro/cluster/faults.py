@@ -31,6 +31,7 @@ if TYPE_CHECKING:
     from repro.resilience.receivers import FlakyReceiver
     from repro.ring.cluster import RingLokiCluster
     from repro.selfheal.manager import SelfHealManager
+    from repro.slo.manager import SloManager
     from repro.tenancy.scheduler import QueryScheduler
 
 
@@ -81,6 +82,11 @@ class FaultKind(enum.Enum):
     # no hand-written rule knows about.  Targets are app names.
     LOG_STORM = "log_storm"
     NOVEL_ERROR = "novel_error"
+    # SLO fault (repro.slo): degrade a chosen SLI at a configured error
+    # rate — synthetic events flow into the SLI collector every tick,
+    # burning error budget until the multi-window burn-rate rules page.
+    # The target is an SLO name.
+    BURN_INJECTION = "burn_injection"
 
 
 #: Fault kinds whose target is an ingest-ring member id, not an xname.
@@ -111,6 +117,9 @@ _SELFHEAL_KINDS = frozenset(
 
 #: Fault kinds whose target is an app name (pattern mining).
 _PATTERN_KINDS = frozenset({FaultKind.LOG_STORM, FaultKind.NOVEL_ERROR})
+
+#: Fault kinds whose target is an SLO name.
+_SLO_KINDS = frozenset({FaultKind.BURN_INJECTION})
 
 
 def _letters_marker(n: int, length: int = 6) -> str:
@@ -161,6 +170,7 @@ class FaultInjector:
         self._selfheal: "SelfHealManager | None" = None
         self._pattern_warehouse: "OmniWarehouse | None" = None
         self._pattern_ingester = None
+        self._slo_manager: "SloManager | None" = None
         self._flood_timers: dict[int, Timer] = {}
         self.faults: list[Fault] = []
 
@@ -224,6 +234,11 @@ class FaultInjector:
         self._pattern_warehouse = warehouse
         self._pattern_ingester = ingester
 
+    def attach_slo(self, manager: "SloManager") -> None:
+        """Late-bind the SLO plane: the manager whose SLI collectors the
+        BURN_INJECTION fault degrades."""
+        self._slo_manager = manager
+
     # ------------------------------------------------------------------
     # Scheduling
     # ------------------------------------------------------------------
@@ -247,6 +262,7 @@ class FaultInjector:
             or kind in _QUERYX_KINDS
             or kind in _SELFHEAL_KINDS
             or kind in _PATTERN_KINDS
+            or kind in _SLO_KINDS
         ):
             x: XName | str = str(target)
         else:
@@ -363,6 +379,8 @@ class FaultInjector:
             self._begin_log_storm(fault)
         elif kind is FaultKind.NOVEL_ERROR:
             self._begin_novel_error(fault)
+        elif kind is FaultKind.BURN_INJECTION:
+            self._begin_burn_injection(fault)
         else:  # pragma: no cover - exhaustive over enum
             raise ValidationError(f"unhandled fault kind {kind}")
 
@@ -504,6 +522,40 @@ class FaultInjector:
             detail["lines_injected"] = 0
         fault.active = False  # instantaneous, like INGESTER_RESTART
 
+    def _begin_burn_injection(self, fault: Fault) -> None:
+        """Start burning a chosen SLO's error budget: every tick,
+        ``events_per_tick`` synthetic SLI events of which ``error_rate``
+        are bad flow into the SLO's collector.  At 1.0 the SLI is a
+        total outage; at e.g. 0.002 against a 99.9% objective it is the
+        slow 2x burn only the long-window ticket tiers catch."""
+        manager = self._require_slo_manager()
+        name = str(fault.target)
+        manager.collector(name)  # fail fast on unknown SLO names
+        detail = fault.detail
+        interval = int(detail.get("interval_ns", seconds(1)))  # type: ignore[arg-type]
+        events = int(detail.get("events_per_tick", 100))  # type: ignore[arg-type]
+        rate = float(detail.get("error_rate", 1.0))  # type: ignore[arg-type]
+        if not 0.0 < rate <= 1.0:
+            raise ValidationError("error_rate must be in (0, 1]")
+        if events < 1:
+            raise ValidationError("events_per_tick must be >= 1")
+        detail.setdefault("injected_good", 0)
+        detail.setdefault("injected_bad", 0)
+        # Deterministic rate without randomness: accumulate the exact
+        # fractional quota and inject its integer part each tick.
+        carry = [0.0]
+
+        def burn() -> None:
+            carry[0] += events * rate
+            bad = int(carry[0])
+            carry[0] -= bad
+            good = events - bad
+            manager.inject(name, good, bad)
+            detail["injected_good"] = int(detail["injected_good"]) + good  # type: ignore[arg-type]
+            detail["injected_bad"] = int(detail["injected_bad"]) + bad  # type: ignore[arg-type]
+
+        self._flood_timers[id(fault)] = self._clock.every(interval, burn)
+
     def _require_ring(self) -> "RingLokiCluster":
         if self._ring is None:
             raise ValidationError("ingester fault requires an ingest ring")
@@ -566,6 +618,14 @@ class FaultInjector:
                 "(enable self-healing)"
             )
         return self._selfheal
+
+    def _require_slo_manager(self) -> "SloManager":
+        if self._slo_manager is None:
+            raise ValidationError(
+                "burn-injection fault requires an attached SLO manager "
+                "(enable the SLO plane)"
+            )
+        return self._slo_manager
 
     def _end(self, fault: Fault) -> None:
         if not fault.active:
@@ -647,6 +707,14 @@ class FaultInjector:
             timer = self._flood_timers.pop(id(fault), None)
             if timer is not None:
                 timer.cancel()
+        elif kind is FaultKind.BURN_INJECTION:
+            timer = self._flood_timers.pop(id(fault), None)
+            if timer is not None:
+                timer.cancel()
+            manager = self._require_slo_manager()
+            detail["budget_remaining_at_end"] = manager.budget(
+                str(target)
+            ).remaining_ratio()
 
     # ------------------------------------------------------------------
     # Ground truth

@@ -45,6 +45,7 @@ from repro.grafana.datasource import (
     TempoDatasource,
 )
 from repro.grafana.panels import (
+    HeatmapPanel,
     LogsPanel,
     StatPanel,
     TimeSeriesPanel,
@@ -119,6 +120,20 @@ from repro.tempo.metrics import TraceMetricsExporter
 from repro.tempo.store import TraceStore
 from repro.tempo.tracer import Tracer
 from repro.tempo.traceql.engine import TraceQLEngine
+from repro.exporters.slo_exporter import SloExporter
+from repro.slo.burnrate import (
+    DEFAULT_BURN_WINDOWS,
+    BurnWindow,
+    burn_metric_name,
+)
+from repro.slo.manager import SloManager
+from repro.slo.model import SLO
+from repro.slo.sources import (
+    AlertDeliverySource,
+    IngestAvailabilitySource,
+    PatternFreshnessSource,
+    QueryLatencySource,
+)
 from repro.tsdb.promql import PromQLEngine
 from repro.tsdb.vmagent import ScrapeTarget, VMAgent
 from repro.tsdb.vmalert import VMAlert
@@ -180,6 +195,22 @@ def _pattern_mining_default() -> bool:
     """CI's pattern-mining leg flips the framework default via env so the
     integration suite runs with online template mining switched on."""
     return os.environ.get("REPRO_PATTERNS", "") not in ("", "0")
+
+
+def _slo_default() -> bool:
+    """CI's SLO leg flips the framework default via env so the
+    integration suite runs with the SLO plane switched on unmodified."""
+    return os.environ.get("REPRO_SLO", "") not in ("", "0")
+
+
+#: Default objectives for the built-in SLOs; override per SLO name via
+#: ``FrameworkConfig.slo_objectives``.
+DEFAULT_SLO_OBJECTIVES: dict[str, float] = {
+    "ingest-availability": 0.999,
+    "query-latency": 0.95,
+    "alert-delivery": 0.999,
+    "pattern-freshness": 0.9,
+}
 
 
 @dataclass
@@ -354,6 +385,27 @@ class FrameworkConfig:
     #: window of startup are not "novel" — an empty template store makes
     #: every early line never-before-seen.
     patterns_novel_bootstrap_ns: int = seconds(90)
+    # Service-level objectives (repro.slo).  Off by default (or via the
+    # REPRO_SLO env var, for CI's SLO leg).  On: built-in SLOs for
+    # ingest availability, query latency (query engine on), alert
+    # delivery (reliable delivery on) and pattern-detection freshness
+    # (pattern mining on) are registered with an SloManager; burn-rate
+    # recording rules persist derived series back into the TSDB, vmalert
+    # runs Google-SRE-workbook multi-window multi-burn-rate rules over
+    # them, pages (severity=critical) open ServiceNow incidents while
+    # slow-burn tickets only annotate, and budget exhaustion escalates
+    # as a critical incident with the burn history attached.
+    enable_slo: bool = field(default_factory=_slo_default)
+    #: Recording-rule + budget evaluation cadence.
+    slo_eval_interval_ns: int = seconds(30)
+    #: Error-budget window shared by the built-in SLOs.
+    slo_window: str = "30d"
+    #: Per-SLO objective overrides on top of DEFAULT_SLO_OBJECTIVES.
+    slo_objectives: dict[str, float] = field(default_factory=dict)
+    #: The multi-window multi-burn-rate alert tiers.
+    slo_burn_windows: tuple[BurnWindow, ...] = DEFAULT_BURN_WINDOWS
+    #: A novel pattern detected within this bound counts as "fresh".
+    slo_pattern_freshness_bound_ns: int = minutes(2)
 
     def __post_init__(self) -> None:
         if not 0.0 <= self.tracing_sampling <= 1.0:
@@ -480,6 +532,23 @@ class FrameworkConfig:
                 raise ValidationError(
                     "patterns_novel_bootstrap_ns must be >= 0"
                 )
+        if self.enable_slo:
+            if self.slo_eval_interval_ns <= 0:
+                raise ValidationError("slo_eval_interval_ns must be positive")
+            if not self.slo_burn_windows:
+                raise ValidationError(
+                    "slo_burn_windows needs at least one tier"
+                )
+            if self.slo_pattern_freshness_bound_ns <= 0:
+                raise ValidationError(
+                    "slo_pattern_freshness_bound_ns must be positive"
+                )
+            for name, objective in self.slo_objectives.items():
+                if not 0.0 < objective < 1.0:
+                    raise ValidationError(
+                        f"slo objective for {name!r} must be in (0, 1) "
+                        f"exclusive, got {objective}"
+                    )
         for name in (
             "redfish_poll_interval_ns",
             "sensor_interval_ns",
@@ -917,6 +986,22 @@ class MonitoringFramework:
                 continue_=True,
             ),
         ]
+        if cfg.enable_slo:
+            # Severity-tiered SLO routing.  Pages (severity=critical)
+            # already matched the ServiceNow route above (continue=True)
+            # and opened an incident; this route groups both pages and
+            # slow-burn tickets per (alert, SLO) for the Slack channel —
+            # tickets never reach ServiceNow at all.
+            child_routes.append(
+                Route(
+                    receiver="slack",
+                    matchers=(Matcher("category", MatchOp.EQ, "slo"),),
+                    group_by=("alertname", "slo", "cluster"),
+                    group_wait=cfg.group_wait,
+                    group_interval=cfg.group_interval,
+                    repeat_interval=cfg.repeat_interval,
+                )
+            )
         if cfg.enable_pattern_mining:
             # Storm suppression: pattern alerts group on pattern_id, so
             # a storm of thousands of identical lines — across streams
@@ -1056,6 +1141,83 @@ class MonitoringFramework:
                     "patterns", "patterns-exporter:9108", self.patterns_exporter
                 )
             )
+        # --- service-level objectives (repro.slo) -----------------------
+        # Built last on the alerting plane: the SLI sources read the
+        # journal/queryx/pattern counters, and budget escalation posts
+        # straight into Alertmanager.
+        self.slo_manager: SloManager | None = None
+        self.slo_exporter: SloExporter | None = None
+        if cfg.enable_slo:
+            slo_notify = self.alertmanager.receive
+            if self.tracing is not None:
+                slo_notify = self.tracing.notifier(
+                    self.alertmanager.receive, "slo-manager"
+                )
+            self.slo_manager = SloManager(
+                self.clock,
+                self.promql,
+                self.warehouse.tsdb,
+                slo_notify,
+                windows=cfg.slo_burn_windows,
+                cluster=cfg.cluster_name,
+                tracer=self.tracer,
+            )
+            objectives = {**DEFAULT_SLO_OBJECTIVES, **cfg.slo_objectives}
+
+            def _slo(name: str, description: str) -> SLO:
+                return SLO(
+                    name=name,
+                    description=description,
+                    objective=objectives[name],
+                    window=cfg.slo_window,
+                )
+
+            self.slo_manager.register(
+                _slo(
+                    "ingest-availability",
+                    "log entries accepted vs discarded or lost",
+                ),
+                IngestAvailabilitySource(
+                    self.warehouse,
+                    admission=self.admission,
+                    distributor=(
+                        self.ring.distributor if self.ring is not None else None
+                    ),
+                ),
+            )
+            if self.queryx is not None:
+                self.slo_manager.register(
+                    _slo(
+                        "query-latency",
+                        "queries under the slowness threshold",
+                    ),
+                    QueryLatencySource(self.queryx),
+                )
+            if self.journal is not None:
+                self.slo_manager.register(
+                    _slo(
+                        "alert-delivery",
+                        "alert notifications delivered vs dead-lettered",
+                    ),
+                    AlertDeliverySource(self.journal),
+                )
+            if self.pattern_ruler is not None:
+                self.slo_manager.register(
+                    _slo(
+                        "pattern-freshness",
+                        "novel error templates detected within the bound",
+                    ),
+                    PatternFreshnessSource(
+                        self.pattern_ruler, cfg.slo_pattern_freshness_bound_ns
+                    ),
+                )
+            for spec in self.slo_manager.rule_specs():
+                self.vmalert.add_rule(spec)
+            self.slo_exporter = SloExporter(self.slo_manager)
+            self.vmagent.add_target(
+                ScrapeTarget("slo", "slo-exporter:9109", self.slo_exporter)
+            )
+            self.faults.attach_slo(self.slo_manager)
         if cfg.install_default_rules:
             self._install_default_rules()
 
@@ -1781,6 +1943,56 @@ class MonitoringFramework:
                 )
             )
             dashboards["patterns"] = patterns
+        if self.config.enable_slo:
+            fastest = self.config.slo_burn_windows[0]
+            slo_dash = Dashboard("SLO Overview", uid="slo-overview")
+            slo_dash.add_panel(
+                StatPanel(
+                    title="Lowest budget remaining",
+                    datasource=prom_ds,
+                    query="slo_budget_remaining_ratio",
+                    reducer="min",
+                )
+            )
+            slo_dash.add_panel(
+                StatPanel(
+                    title="Budgets exhausted",
+                    datasource=prom_ds,
+                    query="slo_budget_exhausted",
+                )
+            )
+            slo_dash.add_panel(
+                TimeSeriesPanel(
+                    title="Error budget remaining",
+                    datasource=prom_ds,
+                    query="slo_budget_remaining_ratio",
+                )
+            )
+            slo_dash.add_panel(
+                HeatmapPanel(
+                    title="Burn rate heatmap (slo/window)",
+                    datasource=prom_ds,
+                    query="slo_burn_rate",
+                    scale_max=fastest.factor,
+                )
+            )
+            slo_dash.add_panel(
+                TopListPanel(
+                    title=f"Hottest {fastest.short} burn",
+                    datasource=prom_ds,
+                    query=f"topk(8, {burn_metric_name(fastest.short)})",
+                    label="slo",
+                    unit="x",
+                )
+            )
+            slo_dash.add_panel(
+                TimeSeriesPanel(
+                    title="Bad events since last scrape",
+                    datasource=prom_ds,
+                    query="slo_bad_events_recent",
+                )
+            )
+            dashboards["slo"] = slo_dash
         if self.traceql is not None:
             tempo_ds = TempoDatasource(self.traceql)
             tracing = Dashboard("Pipeline Tracing", uid="pipeline-tracing")
@@ -1845,6 +2057,8 @@ class MonitoringFramework:
             )
         if self.selfheal is not None:
             self.selfheal.start()
+        if self.slo_manager is not None:
+            self.slo_manager.run_periodic(cfg.slo_eval_interval_ns)
         self.clock.every(minutes(1), self._mirror_alert_events)
         self._started = True
 
@@ -1992,4 +2206,17 @@ class MonitoringFramework:
                 summary["patterns_novel_errors"] = float(
                     self.pattern_ruler.novel_detected
                 )
+        if self.slo_manager is not None:
+            exhausted = 0.0
+            for row in self.slo_manager.status():
+                name = str(row["slo"]).replace("-", "_")
+                summary[f"slo_{name}_budget_remaining"] = float(
+                    row["budget_remaining"]
+                )
+                if row["state"] == "exhausted":
+                    exhausted += 1.0
+            summary["slo_budgets_exhausted"] = exhausted
+            summary["slo_recording_samples"] = float(
+                self.slo_manager.recording.samples_recorded
+            )
         return summary

@@ -1,0 +1,59 @@
+"""Self-resolving "since last scrape" deltas over monotonic counters.
+
+Several exporters surface alert signals as the *delta* of a counter
+between two scrapes: the tenancy exporter's per-tenant discard burst,
+the query engine's slow-query burst, the SLO exporter's bad-event
+burst.  The gauge is positive while the underlying condition is live
+and falls back to zero on the next quiet scrape, so threshold rules on
+it self-resolve without any ``rate()`` support in the PromQL engine.
+
+The snapshot bookkeeping was copy-pasted per exporter; this helper owns
+it once, including the reset case: when the source process restarts
+its counter drops below the snapshot, and the honest reading is that
+the new counter's entire value accumulated since the last scrape (the
+same convention Prometheus uses for counter resets).  A delta is never
+negative.
+"""
+
+from __future__ import annotations
+
+__all__ = ["RecentDelta"]
+
+#: Key used for the un-keyed (single counter) convenience form.
+_SCALAR_KEY = ()
+
+
+class RecentDelta:
+    """Tracks per-key counter snapshots and yields since-last deltas.
+
+    Keys are arbitrary hashables — a tenant name, a (tenant, reason)
+    tuple, or nothing at all for a single global counter.  The first
+    observation of a key baselines against zero, matching the
+    historical exporter behaviour: everything counted before the first
+    scrape reads as "recent" once.
+    """
+
+    def __init__(self) -> None:
+        self._last: dict[object, float] = {}
+
+    def observe(self, key: object, total: float) -> float:
+        """Return the delta for ``key`` since its previous observation
+        and advance the snapshot.  Counter resets (``total`` below the
+        snapshot) yield ``total`` itself, never a negative."""
+        last = self._last.get(key, 0.0)
+        self._last[key] = float(total)
+        if total < last:  # counter reset: source restarted
+            return float(total)
+        return float(total - last)
+
+    def observe_scalar(self, total: float) -> float:
+        """Single-counter convenience form of :meth:`observe`."""
+        return self.observe(_SCALAR_KEY, total)
+
+    def peek(self, key: object = _SCALAR_KEY) -> float:
+        """The snapshot currently held for ``key`` (0 if never seen)."""
+        return self._last.get(key, 0.0)
+
+    def forget(self, key: object) -> None:
+        """Drop the snapshot for ``key`` (e.g. a deleted tenant)."""
+        self._last.pop(key, None)

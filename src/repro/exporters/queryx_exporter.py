@@ -17,6 +17,7 @@ fetched vs skipped at the store-gateway, plus resident block counts.
 from __future__ import annotations
 
 from repro.common.simclock import NANOS_PER_SECOND
+from repro.exporters.deltas import RecentDelta
 from repro.exporters.textformat import MetricFamily, render_exposition
 from repro.objstore.gateway import StoreGateway
 from repro.queryx.bloom import BloomStore
@@ -36,7 +37,7 @@ class QueryxExporter:
         self._gateway = gateway
         self._blooms = blooms
         self.scrapes_served = 0
-        self._last_slow_total = 0
+        self._recent_slow = RecentDelta()
 
     def scrape(self) -> str:
         engine = self._engine
@@ -131,10 +132,7 @@ class QueryxExporter:
             "self-resolves on the next quiet scrape).",
             "gauge",
         )
-        slow_recent.add(
-            float(engine.slow_queries_total - self._last_slow_total)
-        )
-        self._last_slow_total = engine.slow_queries_total
+        slow_recent.add(self._recent_slow.observe_scalar(engine.slow_queries_total))
         families.append(slow_recent)
 
         if self._gateway is not None:

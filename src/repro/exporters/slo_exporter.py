@@ -1,0 +1,82 @@
+"""SLO exporter: SLI counters and budget gauges for vmagent.
+
+This exporter closes the SLO plane's metric loop: the manager's SLI
+collectors are published as cumulative ``slo_sli_good_total`` /
+``slo_sli_total`` counters, vmagent scrapes them into the TSDB, the
+recording engine derives per-window burn rates from them, and vmalert
+pages on the derived series.  Budget gauges ride along for dashboards
+and ``logcli slo``.
+
+``slo_bad_events_recent`` is the since-last-scrape bad-event burst via
+the shared :class:`~repro.exporters.deltas.RecentDelta` helper — the
+same self-resolving alert-signal convention the tenancy and queryx
+exporters use.
+"""
+
+from __future__ import annotations
+
+from repro.exporters.deltas import RecentDelta
+from repro.exporters.textformat import MetricFamily, render_exposition
+from repro.slo.manager import SloManager
+from repro.slo.model import SLO_LABEL
+
+
+class SloExporter:
+    """Exports per-SLO SLI counters and error-budget gauges."""
+
+    def __init__(self, manager: SloManager) -> None:
+        self._manager = manager
+        self.scrapes_served = 0
+        self._recent_bad = RecentDelta()
+
+    def scrape(self) -> str:
+        good = MetricFamily(
+            "slo_sli_good_total",
+            "Cumulative good events per SLO (SLI numerator).",
+            "counter",
+        )
+        total = MetricFamily(
+            "slo_sli_total",
+            "Cumulative total events per SLO (SLI denominator).",
+            "counter",
+        )
+        objective = MetricFamily(
+            "slo_objective",
+            "Configured objective per SLO (fraction, e.g. 0.999).",
+            "gauge",
+        )
+        remaining = MetricFamily(
+            "slo_budget_remaining_ratio",
+            "Error budget left over the SLO window (1 untouched, "
+            "0 exhausted, negative when overspent).",
+            "gauge",
+        )
+        exhausted = MetricFamily(
+            "slo_budget_exhausted",
+            "1 while the SLO's error budget is spent, else 0.",
+            "gauge",
+        )
+        recent_bad = MetricFamily(
+            "slo_bad_events_recent",
+            "Bad events since the last scrape (alert signal; "
+            "self-resolves on the next quiet scrape).",
+            "gauge",
+        )
+
+        for slo in self._manager.slos():
+            labels = {SLO_LABEL: slo.name}
+            snap = self._manager.collector(slo.name).snapshot()
+            budget = self._manager.budget(slo.name)
+            good.add(snap.good, **labels)
+            total.add(snap.total, **labels)
+            objective.add(slo.objective, **labels)
+            remaining.add(budget.remaining_ratio(), **labels)
+            exhausted.add(1.0 if budget.exhausted else 0.0, **labels)
+            recent_bad.add(
+                self._recent_bad.observe(slo.name, snap.bad), **labels
+            )
+
+        self.scrapes_served += 1
+        return render_exposition(
+            [good, total, objective, remaining, exhausted, recent_bad]
+        )

@@ -20,6 +20,7 @@ from __future__ import annotations
 
 from repro.bus.broker import Broker
 from repro.common.simclock import NANOS_PER_SECOND
+from repro.exporters.deltas import RecentDelta
 from repro.exporters.textformat import MetricFamily, render_exposition
 from repro.tenancy.admission import AdmissionController
 from repro.tenancy.scheduler import QueryScheduler
@@ -38,7 +39,7 @@ class TenancyExporter:
         self._scheduler = scheduler
         self._broker = broker
         #: tenant -> entries_discarded at the previous scrape.
-        self._last_discarded: dict[str, int] = {}
+        self._recent_discards = RecentDelta()
         self.scrapes_served = 0
 
     def scrape(self) -> str:
@@ -72,10 +73,10 @@ class TenancyExporter:
             accepted.add(float(counters.entries_accepted), tenant=tenant)
             for reason, count in sorted(counters.discarded.items()):
                 discarded.add(float(count), tenant=tenant, reason=reason)
-            now_discarded = counters.entries_discarded
-            last = self._last_discarded.get(tenant, 0)
-            recent.add(float(now_discarded - last), tenant=tenant)
-            self._last_discarded[tenant] = now_discarded
+            recent.add(
+                self._recent_discards.observe(tenant, counters.entries_discarded),
+                tenant=tenant,
+            )
             streams.add(
                 float(self._admission.active_streams(tenant)), tenant=tenant
             )

@@ -92,6 +92,87 @@ class TracePanel:
 
 
 @dataclass
+class HeatmapPanel:
+    """An ASCII heatmap: one row per series, shaded cells over time.
+
+    Built for the SLO burn-rate view — rows are (slo, window) series of
+    the recorded ``slo_burn_rate`` family — but generic over any query
+    whose series are distinguished by ``row_labels``.  Cell intensity
+    is the bucket mean normalized against ``scale_max`` (absolute, so a
+    14.4x burn always renders hot) or, when ``scale_max`` is 0, against
+    the hottest cell on the panel.
+    """
+
+    title: str
+    datasource: Datasource
+    query: str
+    row_labels: tuple[str, ...] = ("slo", "window")
+    width: int = 48
+    scale_max: float = 0.0
+    shades: str = " .:-=+*#%@"
+
+    def __post_init__(self) -> None:
+        if self.width < 1:
+            raise ValidationError("heatmap width must be >= 1")
+        if self.scale_max < 0:
+            raise ValidationError("heatmap scale_max must be >= 0")
+        if len(self.shades) < 2:
+            raise ValidationError("heatmap needs at least two shades")
+
+    def _row_name(self, labels) -> str:
+        parts = [labels.get(name, "") for name in self.row_labels]
+        return "/".join(p for p in parts if p) or str(labels)
+
+    def render(self, start_ns: int, end_ns: int, step_ns: int) -> str:
+        series = self.datasource.query_range(
+            self.query, start_ns, end_ns, step_ns
+        )
+        header = f"== {self.title} =="
+        if not series or end_ns <= start_ns:
+            return f"{header}\n(no data)"
+        span = end_ns - start_ns
+        rows: list[tuple[str, list[float]]] = []
+        for s in series:
+            sums = [0.0] * self.width
+            counts = [0] * self.width
+            for ts, value in s.points:
+                col = min(
+                    int((ts - start_ns) * self.width / span), self.width - 1
+                )
+                if col < 0:
+                    continue
+                sums[col] += value
+                counts[col] += 1
+            cells = [
+                sums[i] / counts[i] if counts[i] else 0.0
+                for i in range(self.width)
+            ]
+            rows.append((self._row_name(s.labels), cells))
+        rows.sort(key=lambda r: r[0])
+        top = self.scale_max or max(
+            (c for _, cells in rows for c in cells), default=0.0
+        )
+        lines = [header]
+        label_w = max(len(name) for name, _ in rows)
+        for name, cells in rows:
+            chars = []
+            for cell in cells:
+                if top <= 0:
+                    idx = 0
+                else:
+                    frac = min(cell / top, 1.0)
+                    idx = min(
+                        int(frac * len(self.shades)), len(self.shades) - 1
+                    )
+                chars.append(self.shades[idx])
+            lines.append(f"{name:<{label_w}} |{''.join(chars)}|")
+        lines.append(
+            f"scale: ' '=0 .. '{self.shades[-1]}'>={top:.4g}"
+        )
+        return "\n".join(lines)
+
+
+@dataclass
 class StatPanel:
     """A single-value tile evaluated at the window end."""
 

@@ -57,15 +57,25 @@ def _build_parser() -> argparse.ArgumentParser:
 
     series = sub.add_parser("series", help="list streams matching a selector")
     series.add_argument("selector")
+
+    slo = sub.add_parser(
+        "slo", help="service-level objective status (budget, burn, state)"
+    )
+    slo.add_argument("--output", choices=("default", "jsonl"),
+                     default="default")
     return parser
 
 
-def run_logcli(store: LokiStore, argv: list[str], patterns=None) -> str:
+def run_logcli(store: LokiStore, argv: list[str], patterns=None, slo=None) -> str:
     """Execute one LogCLI invocation against ``store``; returns the output.
 
     ``patterns`` is an optional pattern store enabling ``query
-    --patterns`` (``detected_patterns``)."""
+    --patterns`` (``detected_patterns``); ``slo`` is an optional
+    :class:`~repro.slo.manager.SloManager` enabling the ``slo``
+    status-table subcommand."""
     args = _build_parser().parse_args(argv)
+    if args.command == "slo":
+        return _run_slo(slo, args)
     engine = LogQLEngine(store, patterns=patterns)
     if args.command == "labels":
         return "\n".join(store.index.label_names())
@@ -144,6 +154,52 @@ def _run_patterns(engine: LogQLEngine, args) -> str:
         out.append(
             f"{count:>{widths[0]}}  {streams:>{widths[1]}}  "
             f"{pid:<{widths[2]}}  {template}"
+        )
+    return "\n".join(out)
+
+
+def _run_slo(manager, args) -> str:
+    """Render the SLO status table (or JSONL), like ``--patterns``."""
+    if manager is None:
+        raise ValidationError(
+            "the slo subcommand needs an SLO manager (enable the SLO plane)"
+        )
+    rows = manager.status()
+    if args.output == "jsonl":
+        return "\n".join(
+            json.dumps(
+                {
+                    "slo": r["slo"],
+                    "objective": r["objective"],
+                    "window": r["window"],
+                    "budget_remaining": r["budget_remaining"],
+                    "fast_burn": r["fast_burn"],
+                    "slow_burn": r["slow_burn"],
+                    "state": r["state"],
+                }
+            )
+            for r in rows
+        )
+    header = ("SLO", "OBJECTIVE", "BUDGET_LEFT", "FAST_BURN", "SLOW_BURN",
+              "STATE")
+    table = [header] + [
+        (
+            str(r["slo"]),
+            f"{float(r['objective']) * 100:g}%",
+            f"{float(r['budget_remaining']) * 100:.1f}%",
+            f"{float(r['fast_burn']):.2f}x",
+            f"{float(r['slow_burn']):.2f}x",
+            str(r["state"]),
+        )
+        for r in rows
+    ]
+    widths = [max(len(row[i]) for row in table) for i in range(5)]
+    out = []
+    for name, objective, budget, fast, slow, state in table:
+        out.append(
+            f"{name:<{widths[0]}}  {objective:>{widths[1]}}  "
+            f"{budget:>{widths[2]}}  {fast:>{widths[3]}}  "
+            f"{slow:>{widths[4]}}  {state}"
         )
     return "\n".join(out)
 

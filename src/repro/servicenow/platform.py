@@ -173,8 +173,13 @@ class ServiceNowReceiver:
     dedup behaviour event management is deployed for.
     """
 
-    #: Labels consulted, in order, to find the affected CI.
-    DEFAULT_CI_LABELS = ("xname", "Context", "hostname", "cdu", "pdu", "fs")
+    #: Labels consulted, in order, to find the affected CI.  ``cluster``
+    #: is the last resort: service-scoped alerts (e.g. the SLO plane's
+    #: burn-rate pages) have no component CI, so the incident lands on
+    #: the cluster's own CMDB entry rather than "unknown".
+    DEFAULT_CI_LABELS = (
+        "xname", "Context", "hostname", "cdu", "pdu", "fs", "cluster",
+    )
 
     def __init__(
         self,

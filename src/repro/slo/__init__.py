@@ -1,0 +1,71 @@
+"""Service-level objectives over the monitoring plane's own signals.
+
+The paper's goal is a *small number of high-confidence ServiceNow
+incidents* out of a flood of raw telemetry.  This package adds the
+standard SRE rollup layer on top of the tsdb/vmalert/alerting plane:
+declarative SLOs with good/total SLIs, burn-rate recording rules
+persisted back into the TSDB, error budgets, and Google-SRE-workbook
+multi-window multi-burn-rate alerting — pages open ServiceNow
+incidents, slow-burn tickets only annotate.
+"""
+
+from repro.slo.budget import ErrorBudget
+from repro.slo.burnrate import (
+    DEFAULT_BURN_WINDOWS,
+    SEVERITY_PAGE,
+    SEVERITY_TICKET,
+    BurnWindow,
+    budget_rate,
+    burn_metric_name,
+    burn_rate,
+    detection_latency_bound_ns,
+    error_ratio_metric_name,
+    max_within_budget_burn,
+    multiwindow_fires,
+    time_to_exceed_ns,
+    windowed_burn,
+    windowed_error_fraction,
+)
+from repro.slo.manager import SloManager
+from repro.slo.model import SLI_GOOD_METRIC, SLI_TOTAL_METRIC, SLO, SLO_LABEL
+from repro.slo.sources import (
+    AlertDeliverySource,
+    IngestAvailabilitySource,
+    PatternFreshnessSource,
+    QueryLatencySource,
+    SliCollector,
+    SliSnapshot,
+    SliSource,
+    StaticSource,
+)
+
+__all__ = [
+    "AlertDeliverySource",
+    "BurnWindow",
+    "DEFAULT_BURN_WINDOWS",
+    "ErrorBudget",
+    "IngestAvailabilitySource",
+    "PatternFreshnessSource",
+    "QueryLatencySource",
+    "SEVERITY_PAGE",
+    "SEVERITY_TICKET",
+    "SLI_GOOD_METRIC",
+    "SLI_TOTAL_METRIC",
+    "SLO",
+    "SLO_LABEL",
+    "SliCollector",
+    "SliSnapshot",
+    "SliSource",
+    "SloManager",
+    "StaticSource",
+    "budget_rate",
+    "burn_metric_name",
+    "burn_rate",
+    "detection_latency_bound_ns",
+    "error_ratio_metric_name",
+    "max_within_budget_burn",
+    "multiwindow_fires",
+    "time_to_exceed_ns",
+    "windowed_burn",
+    "windowed_error_fraction",
+]

@@ -1,0 +1,241 @@
+"""Pure burn-rate math for multi-window multi-burn-rate SLO alerting.
+
+Everything here is side-effect free and works on plain numbers, so the
+Hypothesis property suite and Bench O1 can exercise the alerting
+semantics without a TSDB in the loop.  The production path records the
+same quantities as PromQL recording rules; this module is the ground
+truth they are checked against.
+
+Terminology (Google SRE workbook, ch. 5 "Alerting on SLOs"):
+
+- *budget rate* — the error fraction the objective allows,
+  ``1 - objective`` (0.1% for a 99.9% objective).
+- *burn rate* — how fast the budget is being consumed relative to the
+  allowed pace: ``error_fraction / budget_rate``.  Burn 1 means the
+  budget lasts exactly the SLO window; burn 14.4 exhausts a 30-day
+  budget in 50 hours.
+- *multi-window rule* — fire only when the burn over a short AND a long
+  window both exceed a factor.  The long window proves the burn is
+  material; the short window makes the alert reset quickly once the
+  incident is over.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from repro.common.durations import parse_duration_ns
+from repro.common.errors import ValidationError
+
+#: Severity of the two alert tiers: pages interrupt a human now,
+#: tickets wait for working hours.
+SEVERITY_PAGE = "page"
+SEVERITY_TICKET = "ticket"
+
+
+@dataclass(frozen=True)
+class BurnWindow:
+    """One row of the workbook's multi-window multi-burn-rate table."""
+
+    short: str  #: fast-reset window, e.g. ``"5m"``
+    long: str  #: sustain-proof window, e.g. ``"1h"``
+    factor: float  #: burn-rate threshold both windows must exceed
+    severity: str  #: :data:`SEVERITY_PAGE` or :data:`SEVERITY_TICKET`
+
+    def __post_init__(self) -> None:
+        if self.factor <= 0:
+            raise ValidationError("burn factor must be positive")
+        if self.severity not in (SEVERITY_PAGE, SEVERITY_TICKET):
+            raise ValidationError(
+                f"burn window severity must be {SEVERITY_PAGE!r} or "
+                f"{SEVERITY_TICKET!r}, not {self.severity!r}"
+            )
+        if self.short_ns >= self.long_ns:
+            raise ValidationError(
+                f"short window {self.short} must be shorter than the "
+                f"long window {self.long}"
+            )
+
+    @property
+    def short_ns(self) -> int:
+        return parse_duration_ns(self.short)
+
+    @property
+    def long_ns(self) -> int:
+        return parse_duration_ns(self.long)
+
+    @property
+    def is_page(self) -> bool:
+        return self.severity == SEVERITY_PAGE
+
+
+#: The workbook's recommended four-tier table for a 30-day window:
+#: 14.4x burn spends 2% of the monthly budget in an hour (page), 6x
+#: spends 5% in six hours (page), 3x/1x are ticket-grade slow burns.
+#: Short windows are 1/12 of their long window throughout.
+DEFAULT_BURN_WINDOWS: tuple[BurnWindow, ...] = (
+    BurnWindow("5m", "1h", 14.4, SEVERITY_PAGE),
+    BurnWindow("30m", "6h", 6.0, SEVERITY_PAGE),
+    BurnWindow("2h", "1d", 3.0, SEVERITY_TICKET),
+    BurnWindow("6h", "3d", 1.0, SEVERITY_TICKET),
+)
+
+
+def budget_rate(objective: float) -> float:
+    """The error fraction the objective allows (``1 - objective``)."""
+    if not 0.0 < objective < 1.0:
+        raise ValidationError("objective must be in (0, 1) exclusive")
+    return 1.0 - objective
+
+
+def burn_rate(error_fraction: float, objective: float) -> float:
+    """Budget-consumption speed: error fraction over allowed fraction."""
+    if error_fraction < 0.0:
+        raise ValidationError("error fraction cannot be negative")
+    return error_fraction / budget_rate(objective)
+
+
+def windowed_error_fraction(
+    events: Sequence[tuple[int, float, float]],
+    t_ns: int,
+    window_ns: int,
+) -> float:
+    """Error fraction of the ``(ts_ns, good, bad)`` increments in
+    ``(t_ns - window_ns, t_ns]``.  Zero traffic reads as fraction 0 —
+    the PromQL guard drops the sample entirely in that case, which for
+    alerting purposes is the same "cannot fire" outcome.
+
+    ``events`` must be sorted by timestamp (they are appended in sim
+    order everywhere this is used).
+    """
+    if window_ns <= 0:
+        raise ValidationError("window must be positive")
+    times = [e[0] for e in events]
+    lo = bisect_right(times, t_ns - window_ns)
+    hi = bisect_right(times, t_ns)
+    good = sum(e[1] for e in events[lo:hi])
+    bad = sum(e[2] for e in events[lo:hi])
+    total = good + bad
+    if total <= 0:
+        return 0.0
+    return bad / total
+
+
+def windowed_burn(
+    events: Sequence[tuple[int, float, float]],
+    t_ns: int,
+    window_ns: int,
+    objective: float,
+) -> float:
+    """Burn rate of the event stream over the trailing window."""
+    return burn_rate(
+        windowed_error_fraction(events, t_ns, window_ns), objective
+    )
+
+
+def multiwindow_fires(
+    events: Sequence[tuple[int, float, float]],
+    t_ns: int,
+    window: BurnWindow,
+    objective: float,
+) -> bool:
+    """The workbook condition: burn over *both* windows exceeds the
+    factor.  This is the reference semantics for the recorded
+    ``slo_burn_rate_<short> > f and slo_burn_rate_<long> > f`` rule."""
+    return (
+        windowed_burn(events, t_ns, window.short_ns, objective)
+        > window.factor
+        and windowed_burn(events, t_ns, window.long_ns, objective)
+        > window.factor
+    )
+
+
+def time_to_exceed_ns(
+    window_ns: int,
+    factor: float,
+    objective: float,
+    error_rate: float,
+) -> int | None:
+    """How long a steady burn takes to push one window past its factor.
+
+    With steady traffic and a constant error fraction ``error_rate``
+    starting at t=0 (window previously error-free), the trailing-window
+    error fraction after ``d`` is ``error_rate * d / window`` (until the
+    window is saturated).  It crosses ``factor * budget_rate`` at::
+
+        d = window * factor * budget_rate / error_rate
+
+    Returns ``None`` when the steady-state burn never reaches the
+    factor (``error_rate / budget_rate <= factor``) — the window
+    saturates below the threshold.
+    """
+    if window_ns <= 0:
+        raise ValidationError("window must be positive")
+    if not 0.0 < error_rate <= 1.0:
+        raise ValidationError("error rate must be in (0, 1]")
+    rate = budget_rate(objective)
+    if error_rate / rate <= factor:
+        return None
+    return int(window_ns * factor * rate / error_rate) + 1
+
+
+def detection_latency_bound_ns(
+    window: BurnWindow,
+    objective: float,
+    eval_interval_ns: int,
+    error_rate: float = 1.0,
+) -> int | None:
+    """Worst-case firing latency of a multi-window rule under a steady
+    burn, on an evaluator that looks every ``eval_interval_ns``.
+
+    Both windows must cross; the long window (needing more absolute bad
+    events for the same fraction) dominates.  The evaluator adds at
+    most one interval of staleness on top of the analytic crossing.
+
+    For the workbook's page tiers this bound is far below the short
+    window: a total outage against a 99.9% objective crosses the 1-hour
+    14.4x condition in ~52s.  ``None`` means the burn never fires.
+    """
+    if eval_interval_ns <= 0:
+        raise ValidationError("eval interval must be positive")
+    crossings = [
+        time_to_exceed_ns(w, window.factor, objective, error_rate)
+        for w in (window.short_ns, window.long_ns)
+    ]
+    if any(c is None for c in crossings):
+        return None
+    return max(c for c in crossings if c is not None) + eval_interval_ns
+
+
+def max_within_budget_burn(windows: Iterable[BurnWindow]) -> float:
+    """The smallest page factor — a stream whose burn never reaches it
+    on any window can never page.  Used by the noise-soak property."""
+    factors = [w.factor for w in windows if w.is_page]
+    if not factors:
+        raise ValidationError("no page-severity windows configured")
+    return min(factors)
+
+
+def burn_metric_name(window: str) -> str:
+    """TSDB name of the recorded per-window burn series.
+
+    Window-suffixed names (``slo_burn_rate_5m``) rather than a
+    ``window`` label: the multi-window rule joins the short and long
+    series with ``and``, which matches on the full label set — a window
+    label would break the join.  A labelled ``slo_burn_rate`` family is
+    additionally recorded (via alias rules) for the dashboard heatmap.
+    """
+    name = f"slo_burn_rate_{window}"
+    if not name.replace("_", "").isalnum():
+        raise ValidationError(f"window {window!r} is not metric-name safe")
+    return name
+
+
+def error_ratio_metric_name(window: str) -> str:
+    """TSDB name of the recorded per-window raw error-ratio series."""
+    name = f"slo_error_ratio_{window}"
+    if not name.replace("_", "").isalnum():
+        raise ValidationError(f"window {window!r} is not metric-name safe")
+    return name

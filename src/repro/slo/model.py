@@ -1,0 +1,93 @@
+"""The declarative SLO: objective, budget window, and a good/total SLI.
+
+An SLO here is purely data — "99.9% of ingest pushes succeed, measured
+over 30 days" — expressed the way Sloth/pyrra-style tooling does it: a
+pair of PromQL selectors for the good-event and total-event counters.
+The :class:`~repro.slo.manager.SloManager` turns the pair into
+burn-rate recording rules by wrapping each selector in ``increase()``
+over every alerting window.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+from repro.common.durations import format_duration_ns, parse_duration_ns
+from repro.common.errors import ValidationError
+from repro.slo.burnrate import budget_rate
+from repro.tsdb.promql import parse_promql
+
+#: Every SLO's SLI counters carry this label, keyed by the SLO name;
+#: it is the join key that keeps one SLO's windows matching each other
+#: and different SLOs apart.
+SLO_LABEL = "slo"
+
+#: Counter families the built-in exporter publishes for every SLO.
+SLI_GOOD_METRIC = "slo_sli_good_total"
+SLI_TOTAL_METRIC = "slo_sli_total"
+
+_NAME_RE = re.compile(r"^[a-z][a-z0-9-]*$")
+
+
+@dataclass(frozen=True)
+class SLO:
+    """One service-level objective over a good/total SLI pair.
+
+    ``good_expr`` / ``total_expr`` must be plain vector selectors (they
+    get wrapped in ``increase(<expr>[<window>])`` by the recording
+    rules); they default to the standard SLI counter families filtered
+    to this SLO's name.
+    """
+
+    name: str
+    description: str
+    objective: float = 0.999
+    window: str = "30d"
+    good_expr: str = ""
+    total_expr: str = ""
+
+    def __post_init__(self) -> None:
+        if not _NAME_RE.match(self.name):
+            raise ValidationError(
+                f"SLO name {self.name!r} must be lowercase kebab-case "
+                "(it becomes the `slo` label value)"
+            )
+        if not 0.0 < self.objective < 1.0:
+            raise ValidationError(
+                f"objective must be in (0, 1) exclusive, got {self.objective}"
+            )
+        if parse_duration_ns(self.window) <= 0:
+            raise ValidationError("SLO window must be positive")
+        if not self.good_expr:
+            object.__setattr__(
+                self,
+                "good_expr",
+                f'{SLI_GOOD_METRIC}{{{SLO_LABEL}="{self.name}"}}',
+            )
+        if not self.total_expr:
+            object.__setattr__(
+                self,
+                "total_expr",
+                f'{SLI_TOTAL_METRIC}{{{SLO_LABEL}="{self.name}"}}',
+            )
+        for expr in (self.good_expr, self.total_expr):
+            # Selectors must compose into range functions.
+            parse_promql(f"increase({expr}[5m])")
+
+    @property
+    def budget_rate(self) -> float:
+        """Allowed error fraction: ``1 - objective``."""
+        return budget_rate(self.objective)
+
+    @property
+    def window_ns(self) -> int:
+        return parse_duration_ns(self.window)
+
+    def describe(self) -> str:
+        """Human one-liner for dashboards and ``logcli slo``."""
+        pct = self.objective * 100.0
+        return (
+            f"{self.name}: {pct:g}% over "
+            f"{format_duration_ns(self.window_ns)} — {self.description}"
+        )

@@ -1,0 +1,163 @@
+"""SLI sources: cumulative good/total snapshots from the live planes.
+
+Each source adapts one subsystem's existing counters into the uniform
+"good events / total events" shape an SLO needs.  Snapshots are
+cumulative (monotone while the process lives), exactly like the
+counters they read — the exporter publishes them verbatim and all
+windowing happens downstream in ``increase()``.
+
+A :class:`SliCollector` wraps a source with an injection channel so the
+BURN_INJECTION chaos fault (and tests) can degrade any SLI uniformly,
+regardless of which subsystem backs it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Protocol
+
+from repro.common.errors import ValidationError
+
+
+@dataclass(frozen=True)
+class SliSnapshot:
+    """Cumulative good/total event counts at one instant."""
+
+    good: float
+    total: float
+
+    @property
+    def bad(self) -> float:
+        return self.total - self.good
+
+    def __post_init__(self) -> None:
+        if self.good < 0 or self.total < 0:
+            raise ValidationError("SLI counts cannot be negative")
+        if self.good > self.total:
+            raise ValidationError(
+                f"good events ({self.good}) exceed total ({self.total})"
+            )
+
+
+class SliSource(Protocol):
+    """Anything that can report a cumulative good/total pair."""
+
+    def snapshot(self) -> SliSnapshot: ...
+
+
+class StaticSource:
+    """A source with no live backend; events arrive only by injection.
+
+    Used by benches and tests that drive an SLO synthetically through
+    :meth:`SliCollector.inject`.
+    """
+
+    def snapshot(self) -> SliSnapshot:
+        return SliSnapshot(0.0, 0.0)
+
+
+class IngestAvailabilitySource:
+    """Ingest availability: accepted entries vs discarded + lost.
+
+    Good events are entries the warehouse actually ingested; bad events
+    are admission discards (rate limits, stream limits) plus writes the
+    distributor could not place on a quorum of ingesters.
+    """
+
+    def __init__(self, warehouse, admission=None, distributor=None) -> None:
+        self._warehouse = warehouse
+        self._admission = admission
+        self._distributor = distributor
+
+    def snapshot(self) -> SliSnapshot:
+        good = float(self._warehouse.messages_ingested)
+        bad = 0.0
+        if self._admission is not None:
+            bad += float(
+                sum(
+                    c.entries_discarded
+                    for c in self._admission.counters.values()
+                )
+            )
+        if self._distributor is not None:
+            bad += float(self._distributor.quorum_failures)
+        return SliSnapshot(good, good + bad)
+
+
+class QueryLatencySource:
+    """Query latency: fast-enough queries vs all queries, from the
+    sharded engine's accounted wall-clock."""
+
+    def __init__(self, engine) -> None:
+        self._engine = engine
+
+    def snapshot(self) -> SliSnapshot:
+        total = float(self._engine.queries_total)
+        slow = float(self._engine.slow_queries_total)
+        return SliSnapshot(max(total - slow, 0.0), total)
+
+
+class AlertDeliverySource:
+    """Alert delivery: journal entries delivered vs settled.
+
+    Pending notifications are in flight, not failures — only settled
+    entries (delivered or exhausted-retries failed) count toward the
+    SLI, so a burst of queued alerts does not read as an outage.
+    """
+
+    def __init__(self, journal) -> None:
+        self._journal = journal
+
+    def snapshot(self) -> SliSnapshot:
+        stats = self._journal.stats()
+        delivered = float(stats["delivered"])
+        failed = float(stats["failed"])
+        return SliSnapshot(delivered, delivered + failed)
+
+
+class PatternFreshnessSource:
+    """Pattern-detection freshness: novel-error templates noticed
+    within the bound vs all novel templates detected."""
+
+    def __init__(self, ruler, bound_ns: int) -> None:
+        if bound_ns <= 0:
+            raise ValidationError("freshness bound must be positive")
+        self._ruler = ruler
+        self._bound_ns = bound_ns
+
+    def snapshot(self) -> SliSnapshot:
+        detections = self._ruler.novel_detections
+        total = float(len(detections))
+        good = float(
+            sum(1 for d in detections if d.latency_ns <= self._bound_ns)
+        )
+        return SliSnapshot(good, total)
+
+
+class SliCollector:
+    """A source plus an additive injection channel.
+
+    ``inject()`` adds synthetic good/bad events on top of whatever the
+    backing source reports; the sum stays cumulative, so the injected
+    burn flows through scrape → increase() → burn rate like organic
+    traffic.  The injected totals are kept separate as ground truth for
+    fault bookkeeping.
+    """
+
+    def __init__(self, source: SliSource) -> None:
+        self._source = source
+        self.injected_good = 0.0
+        self.injected_bad = 0.0
+
+    def inject(self, good: float, bad: float) -> None:
+        if good < 0 or bad < 0:
+            raise ValidationError("injected counts cannot be negative")
+        self.injected_good += good
+        self.injected_bad += bad
+
+    def snapshot(self) -> SliSnapshot:
+        base = self._source.snapshot()
+        return SliSnapshot(
+            base.good + self.injected_good,
+            base.total + self.injected_good + self.injected_bad,
+        )

@@ -13,6 +13,7 @@ vectorised ``searchsorted`` slices rather than Python loops.
 
 from repro.tsdb.storage import TimeSeriesStore, MetricSample
 from repro.tsdb.promql import PromQLEngine
+from repro.tsdb.recording import RecordingEngine, RecordingRule
 from repro.tsdb.vmagent import VMAgent, ScrapeTarget
 from repro.tsdb.vmalert import VMAlert
 
@@ -20,6 +21,8 @@ __all__ = [
     "TimeSeriesStore",
     "MetricSample",
     "PromQLEngine",
+    "RecordingEngine",
+    "RecordingRule",
     "VMAgent",
     "ScrapeTarget",
     "VMAlert",

@@ -9,7 +9,13 @@ implements the subset the monitoring rules need:
   ``min_over_time``, ``max_over_time``, ``sum_over_time``,
   ``count_over_time``, ``last_over_time`` over ``[5m]`` windows;
 * vector aggregation — ``sum/min/max/avg/count`` with ``by``/``without``;
-* vector↔scalar comparisons (filtering) and arithmetic.
+* vector↔scalar comparisons (filtering) and arithmetic;
+* vector↔vector arithmetic and comparisons with one-to-one matching on
+  the full label set (ignoring ``__name__``), as SLO burn-rate ratios
+  need (``good_rate / total_rate``);
+* the logical set operators ``and``, ``or`` and ``unless`` at the
+  lowest precedence, so multi-window burn alerts can require both
+  windows at once (``burn_5m > 14.4 and burn_1h > 14.4``).
 
 The lexer is shared with LogQL (the grammars overlap exactly where we
 need them to).
@@ -103,18 +109,52 @@ class PromTopK:
 
 @dataclass(frozen=True)
 class PromBinOp:
+    """Arithmetic or comparison between vector/scalar operands.
+
+    One scalar side follows the classic vector↔scalar semantics; two
+    vector sides join one-to-one on the full label set minus
+    ``__name__`` (unmatched series drop out, duplicates are an error).
+    Scalar-only arithmetic is rejected — a bare number is not a vector.
+    """
+
     op: CmpOp | ArithOp
     lhs: "PromExpr | Scalar"
     rhs: "PromExpr | Scalar"
 
     def __post_init__(self) -> None:
         scalar_sides = isinstance(self.lhs, Scalar) + isinstance(self.rhs, Scalar)
-        if scalar_sides != 1:
-            raise QueryError("binary op must combine one vector and one scalar")
+        if scalar_sides == 2:
+            raise QueryError("binary op needs at least one vector operand")
+
+
+class SetOp(enum.Enum):
+    AND = "and"
+    OR = "or"
+    UNLESS = "unless"
+
+
+@dataclass(frozen=True)
+class PromSetOp:
+    """``and`` / ``or`` / ``unless`` between two instant vectors,
+    matching on the full label set minus ``__name__``."""
+
+    op: SetOp
+    lhs: "PromExpr"
+    rhs: "PromExpr"
+
+    def __post_init__(self) -> None:
+        if isinstance(self.lhs, Scalar) or isinstance(self.rhs, Scalar):
+            raise QueryError(f"{self.op.value} requires vector operands")
 
 
 PromExpr = Union[
-    VectorSelector, PromRangeAgg, PromVectorAgg, PromBinOp, PromTopK, PromAbsent
+    VectorSelector,
+    PromRangeAgg,
+    PromVectorAgg,
+    PromBinOp,
+    PromSetOp,
+    PromTopK,
+    PromAbsent,
 ]
 
 _RANGE_FUNCS = {f.value: f for f in PromRangeFunc}
@@ -139,6 +179,8 @@ _MATCH_TOKENS = {
     Tok.RE: MatchOp.RE,
     Tok.NRE: MatchOp.NRE,
 }
+# Set operators lex as plain identifiers (the lexer is LogQL's).
+_SET_WORDS = {o.value: o for o in SetOp}
 
 
 # ---------------------------------------------------------------------------
@@ -179,6 +221,15 @@ class _Parser:
         return expr
 
     def _expr(self) -> PromExpr:
+        # Set operators bind loosest, as in Prometheus: each side of an
+        # ``and``/``or``/``unless`` is a full comparison/arithmetic chain.
+        lhs = self._binop_expr()
+        while self.at(Tok.IDENT) and self.peek().text in _SET_WORDS:
+            op = _SET_WORDS[self.next().text]
+            lhs = PromSetOp(op, lhs, self._binop_expr())
+        return lhs
+
+    def _binop_expr(self) -> PromExpr:
         lhs = self._atom()
         while True:
             tok = self.peek()
@@ -388,6 +439,8 @@ class PromQLEngine:
             return self._eval_agg(expr, time_ns)
         if isinstance(expr, PromBinOp):
             return self._eval_binop(expr, time_ns)
+        if isinstance(expr, PromSetOp):
+            return self._eval_setop(expr, time_ns)
         if isinstance(expr, PromAbsent):
             present = self._eval_selector(expr.selector, time_ns)
             if present:
@@ -487,6 +540,11 @@ class PromQLEngine:
         return out
 
     def _eval_binop(self, expr: PromBinOp, time_ns: int) -> list[Sample]:
+        if isinstance(expr.lhs, Scalar) or isinstance(expr.rhs, Scalar):
+            return self._eval_binop_scalar(expr, time_ns)
+        return self._eval_binop_vector(expr, time_ns)
+
+    def _eval_binop_scalar(self, expr: PromBinOp, time_ns: int) -> list[Sample]:
         scalar_left = isinstance(expr.lhs, Scalar)
         scalar = expr.lhs if scalar_left else expr.rhs
         assert isinstance(scalar, Scalar)
@@ -507,3 +565,53 @@ class PromQLEngine:
                 assert isinstance(expr.op, ArithOp)
                 out.append(sample.with_value(expr.op.apply(a, b)))
         return out
+
+    def _eval_binop_vector(self, expr: PromBinOp, time_ns: int) -> list[Sample]:
+        lhs = self._eval(expr.lhs, time_ns)
+        rhs = self._eval(expr.rhs, time_ns)
+        rindex: dict[LabelSet, Sample] = {}
+        for sample in rhs:
+            key = sample.labels.without(METRIC_NAME_LABEL)
+            if key in rindex:
+                raise QueryError(
+                    "many-to-one matching not supported: duplicate right-hand "
+                    f"series {key}"
+                )
+            rindex[key] = sample
+        seen: set[LabelSet] = set()
+        out = []
+        for sample in lhs:
+            key = sample.labels.without(METRIC_NAME_LABEL)
+            if key in seen:
+                raise QueryError(
+                    "one-to-many matching not supported: duplicate left-hand "
+                    f"series {key}"
+                )
+            seen.add(key)
+            other = rindex.get(key)
+            if other is None:
+                continue  # one-to-one join: unmatched series drop out
+            if isinstance(expr.op, CmpOp):
+                if expr.op.apply(sample.value, other.value):
+                    out.append(sample)
+            else:
+                assert isinstance(expr.op, ArithOp)
+                # Arithmetic drops the metric name (Prometheus semantics).
+                out.append(Sample(key, expr.op.apply(sample.value, other.value),
+                                  time_ns))
+        return out
+
+    def _eval_setop(self, expr: PromSetOp, time_ns: int) -> list[Sample]:
+        lhs = self._eval(expr.lhs, time_ns)
+        rhs = self._eval(expr.rhs, time_ns)
+        rkeys = {s.labels.without(METRIC_NAME_LABEL) for s in rhs}
+        if expr.op is SetOp.AND:
+            return [s for s in lhs if s.labels.without(METRIC_NAME_LABEL) in rkeys]
+        if expr.op is SetOp.UNLESS:
+            return [
+                s for s in lhs if s.labels.without(METRIC_NAME_LABEL) not in rkeys
+            ]
+        lkeys = {s.labels.without(METRIC_NAME_LABEL) for s in lhs}
+        return lhs + [
+            s for s in rhs if s.labels.without(METRIC_NAME_LABEL) not in lkeys
+        ]
